@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks of host-side substrate hot paths: the page
+//! cache's LRU bookkeeping and the byte-diff used for write-back.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpufs::cache::{diff_extents, nonzero_extents};
+use hostfs::PageCache;
+use simtime::ByteLedger;
+
+fn bench_pagecache(c: &mut Criterion) {
+    c.bench_function("pagecache_hit", |b| {
+        let ledger = Arc::new(ByteLedger::new(1 << 30));
+        let mut cache = PageCache::new(4096, ledger);
+        for p in 0..1024 {
+            cache.touch_read(1, p);
+        }
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 61) % 1024;
+            black_box(cache.touch_read(1, p).0)
+        })
+    });
+    c.bench_function("pagecache_miss_evict", |b| {
+        // Budget of 256 pages: every miss evicts.
+        let ledger = Arc::new(ByteLedger::new(256 * 4096));
+        let mut cache = PageCache::new(4096, ledger);
+        let mut p = 0u64;
+        b.iter(|| {
+            p += 1;
+            black_box(cache.touch_read(1, p).0)
+        })
+    });
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let page = 256 << 10;
+    let pristine = vec![0u8; page];
+    let mut sparse = pristine.clone();
+    for i in (0..page).step_by(4096) {
+        sparse[i] = 1;
+    }
+    let dense: Vec<u8> = (0..page).map(|i| (i % 251) as u8 + 1).collect();
+
+    c.bench_function("diff_256k_sparse", |b| {
+        b.iter(|| black_box(diff_extents(&sparse, &pristine, 64)).len())
+    });
+    c.bench_function("diff_256k_dense", |b| {
+        b.iter(|| black_box(diff_extents(&dense, &pristine, 64)).len())
+    });
+    c.bench_function("nonzero_256k_dense", |b| {
+        b.iter(|| black_box(nonzero_extents(&dense, 64)).len())
+    });
+}
+
+criterion_group!(benches, bench_pagecache, bench_diff);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion microbenchmarks of the buffer-cache radix tree — real wall
+//! time of the concurrent data structure underlying Figure 7.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpufs::cache::{PageState, RadixTree, Snapshot};
+
+fn ready_tree(pages: u64) -> RadixTree {
+    let tree = RadixTree::new();
+    for idx in 0..pages {
+        let fp = tree.get_or_insert(idx);
+        fp.lock();
+        fp.begin_update();
+        fp.set_state(PageState::Initializing);
+        fp.set_frame(Some(idx as u32));
+        fp.set_state(PageState::Ready);
+        fp.end_update();
+        fp.unlock();
+    }
+    tree
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let tree = ready_tree(1024);
+    c.bench_function("radix_lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 61) % 1024; // co-prime stride touches all slots
+            black_box(tree.lookup(black_box(i)).is_some())
+        })
+    });
+    c.bench_function("radix_lookup_miss", |b| {
+        b.iter(|| black_box(tree.lookup(black_box(500_000)).is_none()))
+    });
+}
+
+fn bench_pin(c: &mut Criterion) {
+    let tree = ready_tree(1024);
+    c.bench_function("pin_lockfree", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 61) % 1024;
+            let fp = tree.lookup(i).expect("resident");
+            match fp.try_pin_lockfree() {
+                Ok(Snapshot::Pinned(f)) => {
+                    fp.unpin();
+                    black_box(f)
+                }
+                other => panic!("expected pinned, got {other:?}"),
+            }
+        })
+    });
+    c.bench_function("pin_locked", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 61) % 1024;
+            let fp = tree.lookup(i).expect("resident");
+            match fp.pin_locked() {
+                Snapshot::Pinned(f) => {
+                    fp.unpin();
+                    black_box(f)
+                }
+                other => panic!("expected pinned, got {other:?}"),
+            }
+        })
+    });
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("radix_get_or_insert_cold", |b| {
+        b.iter_batched(
+            RadixTree::new,
+            |tree| {
+                for idx in 0..256u64 {
+                    black_box(tree.get_or_insert(idx * 64)); // one leaf each
+                }
+                tree
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_lookup, bench_pin, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Shared plumbing for the experiment harnesses (`benches/`).
+//!
+//! Each `harness = false` bench target regenerates one figure or table of
+//! the paper, printing the same rows/series the paper reports, side by
+//! side with the paper's published numbers where useful. Dataset sizes are
+//! scaled down by [`SCALE`] (documented in EXPERIMENTS.md): all cache
+//! budgets and inputs shrink together, so crossover points land at the
+//! same relative positions while keeping bench wall time in seconds.
+
+use std::sync::Arc;
+
+use gpufs::GpufsHost;
+use gpusim::{Gpu, GpuSpec};
+use hostfs::{HostFs, HostFsConfig};
+use simtime::{Nanos, Timings};
+
+/// Dataset scale-down factor relative to the paper's testbed.
+pub const SCALE: u64 = 16;
+
+/// The page sizes swept in Figures 4–6 (16 KB – 16 MB).
+pub const PAGE_SIZES: &[usize] = &[
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+    256 << 10,
+    512 << 10,
+    1 << 20,
+    2 << 20,
+    4 << 20,
+    8 << 20,
+    16 << 20,
+];
+
+/// A freshly assembled host + GPUs, ready to mount GPUfs on.
+pub struct Rig {
+    /// The host file system.
+    pub fs: Arc<HostFs>,
+    /// The GPUfs host daemon.
+    pub host: GpufsHost,
+    /// The GPUs.
+    pub gpus: Vec<Arc<Gpu>>,
+}
+
+/// Build a rig with `n_gpus` GPUs of `gpu_mem_bytes` device memory each,
+/// `host_mem_bytes` of host RAM (page cache + pinned pool), and `timings`.
+#[must_use]
+pub fn rig(n_gpus: usize, gpu_mem_bytes: usize, host_mem_bytes: u64, timings: &Timings) -> Rig {
+    let fs = Arc::new(HostFs::new(HostFsConfig {
+        timings: timings.clone(),
+        host_mem_bytes,
+        cache_page_size: 64 << 10,
+        readahead_pages: 8,
+    }));
+    let spec = GpuSpec { memory_bytes: gpu_mem_bytes, ..GpuSpec::tesla_c2075() };
+    let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
+        .map(|i| Arc::new(Gpu::with_timings(i, spec.clone(), timings)))
+        .collect();
+    let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
+    Rig { fs, host, gpus }
+}
+
+/// Virtual nanoseconds → seconds.
+#[must_use]
+pub fn secs(ns: Nanos) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Virtual nanoseconds → milliseconds.
+#[must_use]
+pub fn millis(ns: Nanos) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Human-readable byte size (KB/MB with power-of-two units).
+#[must_use]
+pub fn human_size(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else {
+        format!("{}K", bytes >> 10)
+    }
+}
+
+/// Print a bench banner.
+pub fn banner(title: &str, notes: &str) {
+    println!("\n=== {title} ===");
+    if !notes.is_empty() {
+        println!("{notes}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_sizes_match_paper_axis() {
+        assert_eq!(PAGE_SIZES.len(), 11);
+        assert_eq!(PAGE_SIZES[0], 16 << 10);
+        assert_eq!(*PAGE_SIZES.last().unwrap(), 16 << 20);
+        assert!(PAGE_SIZES.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_size(16 << 10), "16K");
+        assert_eq!(human_size(2 << 20), "2M");
+    }
+
+    #[test]
+    fn rig_assembles() {
+        let r = rig(2, 32 << 20, 1 << 30, &Timings::default());
+        assert_eq!(r.gpus.len(), 2);
+        assert!(r.fs.mem().capacity() == 1 << 30);
+        assert_eq!(r.host.gpus().len(), 2);
+    }
+}

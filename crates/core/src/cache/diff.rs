@@ -1,0 +1,147 @@
+//! Byte diffs for write-back (paper §3.1).
+//!
+//! GPUfs must "determine which specific portions of a given page were
+//! modified on a given GPU when propagating those modifications to the
+//! host, to avoid accidentally reverting other portions of the same page
+//! that have been modified concurrently by other GPUs." For read-write
+//! files that means diffing the working copy against a pristine copy
+//! preserved at first read; for `O_GWRONCE` files the pristine copy is
+//! implicitly all zeros and the diff degenerates to a scan for nonzero
+//! runs.
+
+/// Byte extents `(offset, len)` within one page.
+pub type Extents = Vec<(u32, u32)>;
+
+/// Extents where `working` differs from `pristine`. Runs separated by
+/// fewer than `merge_gap` identical bytes are merged, trading a few
+/// redundant bytes on the wire for fewer host `pwrite`s.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn diff_extents(working: &[u8], pristine: &[u8], merge_gap: usize) -> Extents {
+    assert_eq!(working.len(), pristine.len(), "diff requires equal-length copies");
+    extents_where(working.len(), merge_gap, |i| working[i] != pristine[i])
+}
+
+/// Extents of nonzero bytes — the "diff against zeros" of write-once
+/// pages. A genuinely written zero byte is indistinguishable from an
+/// untouched byte, which is exactly the `O_GWRONCE` contract ("if data is
+/// overwritten, partial updates may occur").
+#[must_use]
+pub fn nonzero_extents(working: &[u8], merge_gap: usize) -> Extents {
+    extents_where(working.len(), merge_gap, |i| working[i] != 0)
+}
+
+fn extents_where(len: usize, merge_gap: usize, modified: impl Fn(usize) -> bool) -> Extents {
+    let mut out: Extents = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for i in 0..len {
+        match (modified(i), run_start) {
+            (true, None) => run_start = Some(i),
+            (false, Some(start)) => {
+                push_or_merge(&mut out, start, i - start, merge_gap);
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(start) = run_start {
+        push_or_merge(&mut out, start, len - start, merge_gap);
+    }
+    out
+}
+
+fn push_or_merge(out: &mut Extents, start: usize, len: usize, merge_gap: usize) {
+    if let Some(&mut (ref mut last_off, ref mut last_len)) = out.last_mut() {
+        let last_end = *last_off as usize + *last_len as usize;
+        if start - last_end <= merge_gap {
+            *last_len = (start + len - *last_off as usize) as u32;
+            return;
+        }
+    }
+    out.push((start as u32, len as u32));
+}
+
+/// Total bytes covered by `extents`.
+#[must_use]
+pub fn extent_bytes(extents: &[(u32, u32)]) -> u64 {
+    extents.iter().map(|&(_, l)| u64::from(l)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_pages_diff_to_nothing() {
+        let a = [7u8; 64];
+        assert!(diff_extents(&a, &a, 0).is_empty());
+    }
+
+    #[test]
+    fn single_byte_change() {
+        let pristine = [0u8; 16];
+        let mut working = pristine;
+        working[5] = 1;
+        assert_eq!(diff_extents(&working, &pristine, 0), vec![(5, 1)]);
+    }
+
+    #[test]
+    fn disjoint_runs_stay_disjoint_without_merging() {
+        let pristine = [0u8; 32];
+        let mut working = pristine;
+        working[2] = 1;
+        working[3] = 1;
+        working[20] = 1;
+        assert_eq!(diff_extents(&working, &pristine, 0), vec![(2, 2), (20, 1)]);
+    }
+
+    #[test]
+    fn small_gaps_merge() {
+        let pristine = [0u8; 32];
+        let mut working = pristine;
+        working[2] = 1;
+        working[6] = 1; // gap of 3 clean bytes
+        assert_eq!(diff_extents(&working, &pristine, 4), vec![(2, 5)]);
+        assert_eq!(diff_extents(&working, &pristine, 2), vec![(2, 1), (6, 1)]);
+    }
+
+    #[test]
+    fn run_reaching_end_is_closed() {
+        let pristine = [0u8; 8];
+        let mut working = pristine;
+        working[6] = 1;
+        working[7] = 1;
+        assert_eq!(diff_extents(&working, &pristine, 0), vec![(6, 2)]);
+    }
+
+    #[test]
+    fn nonzero_extents_ignore_written_zeros() {
+        let mut page = [0u8; 16];
+        page[1] = 5;
+        page[2] = 0; // "written" zero: invisible, per O_GWRONCE semantics
+        page[3] = 5;
+        assert_eq!(nonzero_extents(&page, 0), vec![(1, 1), (3, 1)]);
+        assert_eq!(nonzero_extents(&page, 1), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_extents() {
+        assert!(nonzero_extents(&[], 8).is_empty());
+        assert!(diff_extents(&[], &[], 8).is_empty());
+    }
+
+    #[test]
+    fn extent_bytes_sums_lengths() {
+        assert_eq!(extent_bytes(&[(0, 4), (10, 6)]), 10);
+        assert_eq!(extent_bytes(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = diff_extents(&[0], &[0, 1], 0);
+    }
+}

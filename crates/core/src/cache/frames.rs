@@ -1,0 +1,251 @@
+//! The raw data array and pframe metadata (paper §4.2).
+//!
+//! GPUfs pre-allocates all buffer-cache pages in one large contiguous
+//! array in GPU global memory — the *raw data array* — and keeps per-page
+//! metadata in a separate, index-aligned *pframe* array: the `i`th pframe
+//! describes the `i`th page, so translating between a page pointer and its
+//! metadata is pure arithmetic in both directions.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use gpusim::{DevPtr, GlobalMem, MemError};
+use parking_lot::Mutex;
+use simtime::Nanos;
+
+/// Index of a page frame in the raw data array.
+pub type FrameIdx = u32;
+
+/// Sentinel for "no frame".
+pub const NO_FRAME: FrameIdx = u32::MAX;
+
+/// Metadata of one buffer-cache page (the paper's `pframe`).
+///
+/// Unlike Linux, pframes carry file identity — the owning radix tree's
+/// unique id and the page's file offset — because GPUfs validates lock-free
+/// lookups against them (§4.2), and every cached page is backed by a host
+/// file.
+#[derive(Debug)]
+pub struct PFrame {
+    /// Unique id of the radix tree (file cache) owning this frame.
+    pub file_uid: AtomicU64,
+    /// Page index within the file (`file_offset / page_size`).
+    pub page_idx: AtomicU64,
+    /// Valid bytes in the page (short at EOF or for freshly written
+    /// write-once pages).
+    pub data_size: AtomicUsize,
+    /// Whether the page holds local writes not yet propagated to the host.
+    pub dirty: AtomicBool,
+    /// Virtual time at which the page content became valid (waiters on a
+    /// concurrent initialization synchronize their clocks to this).
+    pub ready_at: AtomicU64,
+    /// Frame index of this page's pristine copy (`NO_FRAME` if none).
+    /// Read-write files keep one so sync can diff working vs pristine
+    /// (paper §3.1); write-once files diff against zeros instead.
+    pub pristine: AtomicU64,
+}
+
+impl PFrame {
+    fn new() -> Self {
+        Self {
+            file_uid: AtomicU64::new(0),
+            page_idx: AtomicU64::new(0),
+            data_size: AtomicUsize::new(0),
+            dirty: AtomicBool::new(false),
+            ready_at: AtomicU64::new(0),
+            pristine: AtomicU64::new(u64::from(NO_FRAME)),
+        }
+    }
+
+    /// Reset to a pristine, unowned state (frame freed).
+    pub fn clear(&self) {
+        self.file_uid.store(0, Ordering::Relaxed);
+        self.page_idx.store(0, Ordering::Relaxed);
+        self.data_size.store(0, Ordering::Relaxed);
+        self.dirty.store(false, Ordering::Relaxed);
+        self.ready_at.store(0, Ordering::Relaxed);
+        self.pristine.store(u64::from(NO_FRAME), Ordering::Relaxed);
+    }
+
+    /// The pristine frame index, if any.
+    #[must_use]
+    pub fn pristine_frame(&self) -> Option<FrameIdx> {
+        let v = self.pristine.load(Ordering::Acquire);
+        if v == u64::from(NO_FRAME) {
+            None
+        } else {
+            Some(v as FrameIdx)
+        }
+    }
+
+    /// Set or clear the pristine frame index.
+    pub fn set_pristine(&self, frame: Option<FrameIdx>) {
+        self.pristine
+            .store(u64::from(frame.unwrap_or(NO_FRAME)), Ordering::Release);
+    }
+
+    /// Record when content becomes valid.
+    pub fn set_ready_at(&self, t: Nanos) {
+        self.ready_at.store(t, Ordering::Release);
+    }
+}
+
+/// The raw data array plus its pframe array and free list.
+///
+/// Frames are allocated from GPU global memory once at mount time; the
+/// free list hands them out and takes them back on eviction. There is no
+/// daemon thread: when the list runs dry, the *calling* threadblock
+/// reclaims pages (paper §4.2, "GPUfs code hijacking the calling thread to
+/// perform paging").
+#[derive(Debug)]
+pub struct FrameArena {
+    base: DevPtr,
+    page_size: usize,
+    pframes: Box<[PFrame]>,
+    free: Mutex<Vec<FrameIdx>>,
+}
+
+impl FrameArena {
+    /// Carve `num_frames` pages of `page_size` bytes out of `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocator error if GPU memory cannot hold the array.
+    pub fn new(mem: &GlobalMem, page_size: usize, num_frames: usize) -> Result<Self, MemError> {
+        let base = mem.alloc(page_size * num_frames)?;
+        let pframes = (0..num_frames).map(|_| PFrame::new()).collect();
+        // LIFO free list: pop from the back; start with low indices first.
+        let free = (0..num_frames as FrameIdx).rev().collect();
+        Ok(Self { base, page_size, pframes, free: Mutex::new(free) })
+    }
+
+    /// Page size in bytes.
+    #[must_use]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Total number of frames.
+    #[must_use]
+    pub fn num_frames(&self) -> usize {
+        self.pframes.len()
+    }
+
+    /// Frames currently free.
+    #[must_use]
+    pub fn free_frames(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Device address of frame `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn frame_ptr(&self, idx: FrameIdx) -> DevPtr {
+        assert!((idx as usize) < self.pframes.len(), "frame index out of range");
+        self.base + (idx as usize) * self.page_size
+    }
+
+    /// Metadata of frame `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn pframe(&self, idx: FrameIdx) -> &PFrame {
+        &self.pframes[idx as usize]
+    }
+
+    /// Take a free frame, if any.
+    pub fn alloc(&self) -> Option<FrameIdx> {
+        self.free.lock().pop()
+    }
+
+    /// Return a frame to the free list, clearing its metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on double free.
+    pub fn release(&self, idx: FrameIdx) {
+        self.pframe(idx).clear();
+        let mut free = self.free.lock();
+        debug_assert!(!free.contains(&idx), "double free of frame {idx}");
+        free.push(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::GlobalMem;
+
+    fn arena() -> (GlobalMem, FrameArena) {
+        let mem = GlobalMem::new(1 << 20);
+        let arena = FrameArena::new(&mem, 4096, 16).unwrap();
+        (mem, arena)
+    }
+
+    #[test]
+    fn frames_are_disjoint_and_addressable() {
+        let (_mem, a) = arena();
+        assert_eq!(a.num_frames(), 16);
+        assert_eq!(a.free_frames(), 16);
+        let p0 = a.frame_ptr(0);
+        let p1 = a.frame_ptr(1);
+        assert_eq!(p1.offset() - p0.offset(), 4096);
+    }
+
+    #[test]
+    fn alloc_until_exhaustion_then_release() {
+        let (_mem, a) = arena();
+        let mut got = Vec::new();
+        while let Some(f) = a.alloc() {
+            got.push(f);
+        }
+        assert_eq!(got.len(), 16);
+        assert_eq!(a.free_frames(), 0);
+        a.release(got.pop().unwrap());
+        assert_eq!(a.free_frames(), 1);
+        assert!(a.alloc().is_some());
+    }
+
+    #[test]
+    fn release_clears_metadata() {
+        let (_mem, a) = arena();
+        let f = a.alloc().unwrap();
+        let pf = a.pframe(f);
+        pf.file_uid.store(9, Ordering::Relaxed);
+        pf.dirty.store(true, Ordering::Relaxed);
+        pf.set_pristine(Some(3));
+        a.release(f);
+        let pf = a.pframe(f);
+        assert_eq!(pf.file_uid.load(Ordering::Relaxed), 0);
+        assert!(!pf.dirty.load(Ordering::Relaxed));
+        assert_eq!(pf.pristine_frame(), None);
+    }
+
+    #[test]
+    fn pframe_index_alignment_is_bidirectional() {
+        // The ith pframe describes the ith page: ptr -> index -> ptr.
+        let (_mem, a) = arena();
+        for idx in [0u32, 5, 15] {
+            let ptr = a.frame_ptr(idx);
+            let back = ((ptr.offset() - a.frame_ptr(0).offset()) / 4096) as u32;
+            assert_eq!(back, idx);
+        }
+    }
+
+    #[test]
+    fn arena_too_big_for_gpu_errors() {
+        let mem = GlobalMem::new(1 << 12);
+        assert!(FrameArena::new(&mem, 4096, 16).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_frame_index_panics() {
+        let (_mem, a) = arena();
+        let _ = a.frame_ptr(99);
+    }
+}

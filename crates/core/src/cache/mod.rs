@@ -1,0 +1,68 @@
+//! The GPU buffer cache: raw data array, pframes, per-file radix trees,
+//! byte diffs, and activity counters (paper §3.3 and §4.2).
+
+pub mod diff;
+pub mod frames;
+pub mod radix;
+
+pub use diff::{diff_extents, extent_bytes, nonzero_extents, Extents};
+pub use frames::{FrameArena, FrameIdx, PFrame, NO_FRAME};
+pub use radix::{FPage, PageState, RadixTree, Snapshot, FANOUT, MAX_PAGES, TREE_LEVELS};
+
+use simtime::Counter;
+
+/// Buffer-cache activity counters.
+///
+/// These are the instrumentation columns the paper reports: lock-free vs
+/// locked radix accesses (Table 2, Figure 7) and pages reclaimed under
+/// memory pressure (Table 2).
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Page lookups satisfied by the lock-free seqlock protocol.
+    pub lockfree_accesses: Counter,
+    /// Page lookups that fell back to the fpage lock (includes the
+    /// unlocked retries that preceded them, as in the paper's Table 2
+    /// footnote).
+    pub locked_accesses: Counter,
+    /// Frames reclaimed by the paging path.
+    pub pages_reclaimed: Counter,
+    /// Lookups that found the page resident (cache hits).
+    pub hits: Counter,
+    /// Lookups that had to fetch or zero-fill a page.
+    pub misses: Counter,
+    /// Pages written back to the host (eviction or sync).
+    pub writebacks: Counter,
+}
+
+impl CacheCounters {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.lockfree_accesses.take();
+        self.locked_accesses.take();
+        self.pages_reclaimed.take();
+        self.hits.take();
+        self.misses.take();
+        self.writebacks.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_reset() {
+        let c = CacheCounters::new();
+        c.lockfree_accesses.add(5);
+        c.pages_reclaimed.incr();
+        c.reset();
+        assert_eq!(c.lockfree_accesses.get(), 0);
+        assert_eq!(c.pages_reclaimed.get(), 0);
+    }
+}

@@ -1,0 +1,587 @@
+//! The per-file buffer-cache radix tree with lock-free lookup (paper §4.2).
+//!
+//! Each open file's cached pages are indexed by a radix tree whose
+//! last-level nodes hold `fpage` structures **by value** — in-place data
+//! structures that avoid pointer chasing and memory allocation on the hot
+//! path. Readers traverse the tree without taking any lock, validating
+//! each fpage with a seqlock-style version counter (inspired by Linux
+//! seqlocks and RCU, §6); updates (page initialization, eviction) take the
+//! fpage spinlock and bump the version around their critical section.
+//!
+//! A lookup retries the lock-free protocol a configurable number of times
+//! (the paper retries once) and falls back to locking on the next attempt.
+//! The caller counts which path succeeded — those counters are the
+//! "lock-free vs locked accesses" columns of Table 2 and the two curves of
+//! Figure 7.
+//!
+//! Deviation from the paper: interior and leaf nodes, once allocated, are
+//! reused rather than freed when their pages are reclaimed (only *frames*
+//! are recycled). This keeps traversal memory-safe without hazard
+//! pointers; node memory is bounded by file size / page size and is
+//! released when the file cache itself is dropped.
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::cache::frames::{FrameIdx, NO_FRAME};
+
+/// log2 of the tree fanout.
+pub const FANOUT_BITS: u32 = 6;
+/// Children per interior node / fpages per leaf.
+pub const FANOUT: usize = 1 << FANOUT_BITS;
+/// Tree depth: a fixed four levels cover `64^4 ≈ 16.7M` pages, enough for
+/// the largest files the paper reads (11.2 GB) at any page size.
+pub const TREE_LEVELS: u32 = 4;
+/// Largest page index the tree can hold.
+pub const MAX_PAGES: u64 = 1 << (FANOUT_BITS * TREE_LEVELS);
+
+/// Lifecycle of one fpage slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PageState {
+    /// No frame attached.
+    Empty = 0,
+    /// A threadblock is fetching/zeroing the page; others must wait.
+    Initializing = 1,
+    /// Frame attached and content valid.
+    Ready = 2,
+}
+
+impl PageState {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => PageState::Empty,
+            1 => PageState::Initializing,
+            2 => PageState::Ready,
+            _ => unreachable!("invalid page state"),
+        }
+    }
+}
+
+/// Result of one lock-free pin attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Snapshot {
+    /// Page pinned: the frame cannot be evicted until unpinned.
+    Pinned(FrameIdx),
+    /// Slot has no frame; the caller may initialize it.
+    Empty,
+    /// Another threadblock is initializing; the caller should wait.
+    Initializing,
+}
+
+/// An fpage: the in-place per-page concurrency record inside a leaf node.
+///
+/// Holds the page's read/write reference count and a spinlock, "together
+/// preventing concurrent access by mutually exclusive operations such as
+/// initialization, read/write access, and paging out" (paper §4.2).
+#[derive(Debug)]
+pub struct FPage {
+    /// Seqlock version: odd while an update is in flight.
+    version: AtomicU64,
+    state: AtomicU32,
+    frame: AtomicU32,
+    /// Pages pinned by in-flight reads/writes/mappings.
+    refs: AtomicU32,
+    locked: AtomicBool,
+}
+
+impl FPage {
+    fn new() -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            state: AtomicU32::new(PageState::Empty as u32),
+            frame: AtomicU32::new(NO_FRAME),
+            refs: AtomicU32::new(0),
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    /// Spin until the fpage lock is held.
+    pub fn lock(&self) {
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Release the fpage lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the lock is not held.
+    pub fn unlock(&self) {
+        debug_assert!(self.locked.load(Ordering::Relaxed), "unlock of unlocked fpage");
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Enter an update critical section (must hold the lock): readers see
+    /// an odd version and retry.
+    pub fn begin_update(&self) {
+        let v = self.version.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(v % 2 == 0, "nested begin_update");
+    }
+
+    /// Leave the update critical section.
+    pub fn end_update(&self) {
+        let v = self.version.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(v % 2 == 1, "end_update without begin");
+    }
+
+    /// Current state (racy read; stable only under the lock or seqlock).
+    #[must_use]
+    pub fn state(&self) -> PageState {
+        PageState::from_u8(self.state.load(Ordering::Acquire) as u8)
+    }
+
+    /// Set the state (must hold the lock, inside an update section).
+    pub fn set_state(&self, s: PageState) {
+        self.state.store(s as u32, Ordering::Release);
+    }
+
+    /// Attached frame, if any (racy read).
+    #[must_use]
+    pub fn frame(&self) -> Option<FrameIdx> {
+        let f = self.frame.load(Ordering::Acquire);
+        if f == NO_FRAME {
+            None
+        } else {
+            Some(f)
+        }
+    }
+
+    /// Attach or detach the frame (must hold the lock, inside an update).
+    pub fn set_frame(&self, frame: Option<FrameIdx>) {
+        self.frame.store(frame.unwrap_or(NO_FRAME), Ordering::Release);
+    }
+
+    /// Current pin count.
+    #[must_use]
+    pub fn refs(&self) -> u32 {
+        self.refs.load(Ordering::Acquire)
+    }
+
+    /// Add a pin without the seqlock protocol (caller holds the lock and
+    /// has verified the state).
+    pub fn pin_direct(&self) {
+        self.refs.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Drop a pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow.
+    pub fn unpin(&self) {
+        let prev = self.refs.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "unpin of unpinned fpage");
+    }
+
+    /// One lock-free pin attempt using the seqlock protocol.
+    ///
+    /// Returns `Err(())` when a concurrent update forced a retry.
+    pub fn try_pin_lockfree(&self) -> Result<Snapshot, ()> {
+        let v1 = self.version.load(Ordering::Acquire);
+        if v1 % 2 == 1 {
+            return Err(()); // update in flight
+        }
+        let state = self.state();
+        let frame = self.frame.load(Ordering::Acquire);
+        if self.version.load(Ordering::Acquire) != v1 {
+            return Err(());
+        }
+        match state {
+            PageState::Ready => {
+                // Optimistically pin, then revalidate: if an eviction
+                // started between the reads and the pin, back out.
+                self.refs.fetch_add(1, Ordering::AcqRel);
+                if self.version.load(Ordering::Acquire) == v1 {
+                    Ok(Snapshot::Pinned(frame))
+                } else {
+                    self.refs.fetch_sub(1, Ordering::AcqRel);
+                    Err(())
+                }
+            }
+            PageState::Empty => Ok(Snapshot::Empty),
+            PageState::Initializing => Ok(Snapshot::Initializing),
+        }
+    }
+
+    /// Pin attempt under the fpage lock (the fallback path). Never fails,
+    /// but may report `Empty`/`Initializing` just like the fast path.
+    #[must_use]
+    pub fn pin_locked(&self) -> Snapshot {
+        self.lock();
+        let out = match self.state() {
+            PageState::Ready => {
+                self.refs.fetch_add(1, Ordering::AcqRel);
+                Snapshot::Pinned(self.frame.load(Ordering::Acquire))
+            }
+            PageState::Empty => Snapshot::Empty,
+            PageState::Initializing => Snapshot::Initializing,
+        };
+        self.unlock();
+        out
+    }
+}
+
+/// One radix-tree node. Interior nodes use `children`; leaves (height 0)
+/// use `pages`.
+pub(crate) struct Node {
+    height: u8,
+    children: [AtomicPtr<Node>; FANOUT],
+    pages: Box<[FPage]>,
+}
+
+impl Node {
+    fn new(height: u8) -> Self {
+        let pages = if height == 0 {
+            (0..FANOUT).map(|_| FPage::new()).collect()
+        } else {
+            Box::from([])
+        };
+        Self {
+            height,
+            children: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+            pages,
+        }
+    }
+}
+
+/// A leaf node reference in the eviction list.
+#[derive(Debug, Clone, Copy)]
+struct LeafRef {
+    node: *const Node,
+    /// Page index of the leaf's first slot.
+    base_page: u64,
+}
+
+// SAFETY: the raw pointers reference nodes owned by the tree's arena,
+// which outlives every LeafRef; nodes are never freed before the tree.
+unsafe impl Send for LeafRef {}
+unsafe impl Sync for LeafRef {}
+
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// The per-file page index (see module docs).
+pub struct RadixTree {
+    uid: u64,
+    root: Box<Node>,
+    /// Owns every non-root node; taking this lock serializes node creation
+    /// (rare: once per 64 pages) while lookups stay lock-free.
+    arena: Mutex<Vec<Box<Node>>>,
+    /// Leaves in allocation order — the FIFO spine of the eviction policy.
+    leaves: Mutex<Vec<LeafRef>>,
+    /// Rotating start position for reclaim scans.
+    evict_cursor: AtomicUsize,
+}
+
+// SAFETY: all interior mutability is through atomics and mutexes; raw
+// node pointers never escape the tree's lifetime.
+unsafe impl Send for RadixTree {}
+unsafe impl Sync for RadixTree {}
+
+impl std::fmt::Debug for RadixTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RadixTree")
+            .field("uid", &self.uid)
+            .field("leaves", &self.leaves.lock().len())
+            .finish()
+    }
+}
+
+impl Default for RadixTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RadixTree {
+    /// An empty tree with a fresh unique id.
+    ///
+    /// The id is "assigned to each radix tree during initialization, then
+    /// propagated to every page referenced by the tree" so that lock-free
+    /// readers can verify they found the right page (paper §4.2).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            root: Box::new(Node::new((TREE_LEVELS - 1) as u8)),
+            arena: Mutex::new(Vec::new()),
+            leaves: Mutex::new(Vec::new()),
+            evict_cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// The tree's unique id.
+    #[must_use]
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    fn slot(page_idx: u64, height: u8) -> usize {
+        ((page_idx >> (FANOUT_BITS * u32::from(height))) & (FANOUT as u64 - 1)) as usize
+    }
+
+    /// Lock-free lookup of the fpage slot for `page_idx`, if its leaf
+    /// exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_idx` exceeds the tree capacity.
+    #[must_use]
+    pub fn lookup(&self, page_idx: u64) -> Option<&FPage> {
+        assert!(page_idx < MAX_PAGES, "page index beyond tree capacity");
+        let mut node: &Node = &self.root;
+        while node.height > 0 {
+            let child = node.children[Self::slot(page_idx, node.height)].load(Ordering::Acquire);
+            if child.is_null() {
+                return None;
+            }
+            // SAFETY: non-null children point into the arena, which lives
+            // as long as `self`; nodes are never freed before the tree.
+            node = unsafe { &*child };
+        }
+        Some(&node.pages[Self::slot(page_idx, 0)])
+    }
+
+    /// Find the fpage slot for `page_idx`, creating missing nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_idx` exceeds the tree capacity.
+    pub fn get_or_insert(&self, page_idx: u64) -> &FPage {
+        assert!(page_idx < MAX_PAGES, "page index beyond tree capacity");
+        let mut node: &Node = &self.root;
+        while node.height > 0 {
+            let slot = Self::slot(page_idx, node.height);
+            let mut child = node.children[slot].load(Ordering::Acquire);
+            if child.is_null() {
+                let mut arena = self.arena.lock();
+                // Re-check under the lock: another block may have created it.
+                child = node.children[slot].load(Ordering::Acquire);
+                if child.is_null() {
+                    let mut fresh = Box::new(Node::new(node.height - 1));
+                    let raw: *mut Node = &mut *fresh;
+                    arena.push(fresh);
+                    if node.height == 1 {
+                        // New leaf: register at the tail of the FIFO list.
+                        let base = page_idx & !(FANOUT as u64 - 1);
+                        self.leaves.lock().push(LeafRef { node: raw, base_page: base });
+                    }
+                    node.children[slot].store(raw, Ordering::Release);
+                    child = raw;
+                }
+            }
+            // SAFETY: see `lookup`.
+            node = unsafe { &*child };
+        }
+        &node.pages[Self::slot(page_idx, 0)]
+    }
+
+    /// Number of leaf nodes allocated so far.
+    #[must_use]
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.lock().len()
+    }
+
+    /// Visit fpages in FIFO-like reclaim order, starting from a rotating
+    /// cursor over leaves in allocation order. `f` receives each page's
+    /// index and slot and returns `true` to keep scanning.
+    pub fn for_each_reclaim_candidate(&self, mut f: impl FnMut(u64, &FPage) -> bool) {
+        let snapshot: Vec<LeafRef> = self.leaves.lock().clone();
+        if snapshot.is_empty() {
+            return;
+        }
+        let start = self.evict_cursor.fetch_add(1, Ordering::Relaxed) % snapshot.len();
+        for i in 0..snapshot.len() {
+            let leaf = snapshot[(start + i) % snapshot.len()];
+            // SAFETY: leaf nodes live in the arena for the tree's lifetime.
+            let node = unsafe { &*leaf.node };
+            for (slot, page) in node.pages.iter().enumerate() {
+                if !f(leaf.base_page + slot as u64, page) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Visit every allocated fpage in page-index order (used by `gfsync`
+    /// to find dirty pages and by invalidation to drop all frames).
+    pub fn for_each_page(&self, mut f: impl FnMut(u64, &FPage)) {
+        let mut snapshot: Vec<LeafRef> = self.leaves.lock().clone();
+        snapshot.sort_by_key(|l| l.base_page);
+        for leaf in snapshot {
+            // SAFETY: see above.
+            let node = unsafe { &*leaf.node };
+            for (slot, page) in node.pages.iter().enumerate() {
+                f(leaf.base_page + slot as u64, page);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_of_missing_page_is_none() {
+        let t = RadixTree::new();
+        assert!(t.lookup(0).is_none());
+        assert!(t.lookup(12345).is_none());
+    }
+
+    #[test]
+    fn insert_then_lookup_same_slot() {
+        let t = RadixTree::new();
+        let a = t.get_or_insert(77) as *const FPage;
+        let b = t.lookup(77).unwrap() as *const FPage;
+        assert_eq!(a, b);
+        // Neighbouring page in the same leaf.
+        let c = t.lookup(76);
+        assert!(c.is_some(), "whole leaf becomes visible");
+    }
+
+    #[test]
+    fn distant_pages_use_distinct_leaves() {
+        let t = RadixTree::new();
+        t.get_or_insert(0);
+        t.get_or_insert(1 << 18); // different level-2 subtree
+        assert_eq!(t.num_leaves(), 2);
+    }
+
+    #[test]
+    fn uids_are_unique() {
+        assert_ne!(RadixTree::new().uid(), RadixTree::new().uid());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond tree capacity")]
+    fn oversized_index_panics() {
+        let t = RadixTree::new();
+        let _ = t.lookup(MAX_PAGES);
+    }
+
+    #[test]
+    fn fpage_lockfree_pin_of_ready_page() {
+        let t = RadixTree::new();
+        let p = t.get_or_insert(3);
+        // Initialize: Empty -> Initializing -> Ready with frame 9.
+        p.lock();
+        p.begin_update();
+        p.set_state(PageState::Initializing);
+        p.set_frame(Some(9));
+        p.set_state(PageState::Ready);
+        p.end_update();
+        p.unlock();
+
+        match p.try_pin_lockfree() {
+            Ok(Snapshot::Pinned(f)) => assert_eq!(f, 9),
+            other => panic!("expected pinned, got {other:?}"),
+        }
+        assert_eq!(p.refs(), 1);
+        p.unpin();
+        assert_eq!(p.refs(), 0);
+    }
+
+    #[test]
+    fn lockfree_pin_retries_during_update() {
+        let t = RadixTree::new();
+        let p = t.get_or_insert(0);
+        p.lock();
+        p.begin_update();
+        assert_eq!(p.try_pin_lockfree(), Err(()), "odd version must force retry");
+        p.end_update();
+        p.unlock();
+        assert_eq!(p.try_pin_lockfree(), Ok(Snapshot::Empty));
+    }
+
+    #[test]
+    fn locked_pin_reports_states() {
+        let t = RadixTree::new();
+        let p = t.get_or_insert(0);
+        assert_eq!(p.pin_locked(), Snapshot::Empty);
+        p.lock();
+        p.begin_update();
+        p.set_state(PageState::Initializing);
+        p.end_update();
+        p.unlock();
+        assert_eq!(p.pin_locked(), Snapshot::Initializing);
+    }
+
+    #[test]
+    fn reclaim_candidates_cover_all_leaves() {
+        let t = RadixTree::new();
+        t.get_or_insert(0);
+        t.get_or_insert(100);
+        t.get_or_insert(1000);
+        let mut seen = std::collections::HashSet::new();
+        t.for_each_reclaim_candidate(|idx, _| {
+            seen.insert(idx);
+            true
+        });
+        assert!(seen.contains(&0) && seen.contains(&100) && seen.contains(&1000));
+        assert_eq!(seen.len(), 3 * FANOUT);
+    }
+
+    #[test]
+    fn for_each_page_is_sorted_by_index() {
+        let t = RadixTree::new();
+        t.get_or_insert(5000);
+        t.get_or_insert(2);
+        let mut indices = Vec::new();
+        t.for_each_page(|idx, _| indices.push(idx));
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted);
+    }
+
+    #[test]
+    fn concurrent_get_or_insert_returns_one_slot() {
+        let t = RadixTree::new();
+        let ptrs: Vec<usize> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| t.get_or_insert(42) as *const FPage as usize))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(t.num_leaves(), 1);
+    }
+
+    #[test]
+    fn concurrent_pin_unpin_is_balanced() {
+        let t = RadixTree::new();
+        let p = t.get_or_insert(7);
+        p.lock();
+        p.begin_update();
+        p.set_state(PageState::Ready);
+        p.set_frame(Some(1));
+        p.end_update();
+        p.unlock();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        loop {
+                            match p.try_pin_lockfree() {
+                                Ok(Snapshot::Pinned(_)) => break,
+                                _ => std::thread::yield_now(),
+                            }
+                        }
+                        p.unpin();
+                    }
+                });
+            }
+        });
+        assert_eq!(p.refs(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! GPUfs mount configuration and open modes.
+
+/// Access and consistency mode of one `gopen` (paper Table 1 and §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GOpenMode {
+    /// `O_RDONLY`: read-only; pages are fetched on demand and never
+    /// written back.
+    ReadOnly,
+    /// `O_RDWR`: read-write. A pristine copy of each fetched page is kept
+    /// so `gfsync`/`gmsync` can diff-and-merge concurrent non-overlapping
+    /// writers (paper §3.1; implemented here although the paper's
+    /// prototype restricted itself to a single writer).
+    ReadWrite,
+    /// `O_GWRONCE`: create a write-once file. Pages are never fetched from
+    /// the host; the pristine copy is implicitly all zeros, so write-back
+    /// reduces to a "diff against zeros" (paper §3.1–3.2). Each byte may
+    /// be written at most once; overwrites may be partially lost.
+    WriteOnce,
+    /// `O_NOSYNC`: a GPU-private temporary file. Data is never propagated
+    /// to the host except under memory pressure, and is discarded on
+    /// close.
+    Temp,
+}
+
+impl GOpenMode {
+    /// Whether the mode permits reads.
+    #[must_use]
+    pub fn readable(self) -> bool {
+        !matches!(self, GOpenMode::WriteOnce)
+    }
+
+    /// Whether the mode permits writes.
+    #[must_use]
+    pub fn writable(self) -> bool {
+        !matches!(self, GOpenMode::ReadOnly)
+    }
+
+    /// Whether pages must be fetched from the host on first access
+    /// (write-once and temp files start as zeros instead).
+    #[must_use]
+    pub fn fetches_pages(self) -> bool {
+        matches!(self, GOpenMode::ReadOnly | GOpenMode::ReadWrite)
+    }
+
+    /// Whether dirty pages ever propagate back to the host.
+    #[must_use]
+    pub fn syncs_to_host(self) -> bool {
+        !matches!(self, GOpenMode::ReadOnly | GOpenMode::Temp)
+    }
+
+    /// Whether a pristine copy of each fetched page is needed for
+    /// diff-and-merge write-back. Only full read-write sharing needs one;
+    /// write-once diffs against zeros.
+    #[must_use]
+    pub fn needs_pristine(self) -> bool {
+        matches!(self, GOpenMode::ReadWrite)
+    }
+}
+
+/// Configuration of one GPU's GPUfs instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpufsConfig {
+    /// Buffer-cache page size in bytes. The paper explores 16 KB–16 MB and
+    /// finds 128 KB–512 KB a good balance (§5.1); the default follows.
+    pub page_size: usize,
+    /// Total buffer-cache capacity in bytes (the raw data array).
+    pub cache_bytes: usize,
+    /// How many times a buffer-cache lookup retries lock-free before
+    /// falling back to the fpage lock. The paper retries once and locks on
+    /// the third attempt (§4.2).
+    pub lockfree_retries: u32,
+    /// Disable the lock-free fast path entirely: every lookup takes the
+    /// fpage lock. This exists only for the Figure 7 ablation ("locked"
+    /// series) and the corresponding Criterion microbenchmark.
+    pub force_locked: bool,
+    /// Ablation: disable the closed-file table (paper §4.1). Closing a
+    /// file discards its cached pages (dirty data is flushed first), so
+    /// every reopen refetches from the host.
+    pub disable_closed_table: bool,
+    /// Ablation: restore POSIX close semantics (paper §3.2 argues against
+    /// them): the last `gclose` synchronously writes back all dirty pages,
+    /// even though the nondeterministic block scheduler may reopen the
+    /// file moments later.
+    pub sync_on_close: bool,
+}
+
+impl Default for GpufsConfig {
+    fn default() -> Self {
+        Self {
+            page_size: 256 << 10,
+            cache_bytes: 1 << 30,
+            lockfree_retries: 1,
+            force_locked: false,
+            disable_closed_table: false,
+            sync_on_close: false,
+        }
+    }
+}
+
+impl GpufsConfig {
+    /// A configuration with the given page size and cache capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `page_size` is a positive power of two no larger
+    /// than `cache_bytes`.
+    #[must_use]
+    pub fn new(page_size: usize, cache_bytes: usize) -> Self {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(page_size <= cache_bytes, "cache must hold at least one page");
+        Self { page_size, cache_bytes, ..Self::default() }
+    }
+
+    /// Number of page frames in the raw data array.
+    #[must_use]
+    pub fn num_frames(&self) -> usize {
+        self.cache_bytes / self.page_size
+    }
+
+    /// A small configuration for unit tests: 4 KB pages, 16 frames.
+    #[must_use]
+    pub fn small_test() -> Self {
+        Self::new(4 << 10, 64 << 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_capabilities_match_paper_semantics() {
+        assert!(GOpenMode::ReadOnly.readable() && !GOpenMode::ReadOnly.writable());
+        assert!(!GOpenMode::ReadOnly.syncs_to_host());
+        assert!(GOpenMode::ReadWrite.readable() && GOpenMode::ReadWrite.writable());
+        assert!(GOpenMode::ReadWrite.needs_pristine());
+        assert!(!GOpenMode::WriteOnce.readable() && GOpenMode::WriteOnce.writable());
+        assert!(!GOpenMode::WriteOnce.fetches_pages());
+        assert!(GOpenMode::WriteOnce.syncs_to_host());
+        assert!(!GOpenMode::WriteOnce.needs_pristine(), "wronce diffs against zeros");
+        assert!(!GOpenMode::Temp.syncs_to_host());
+    }
+
+    #[test]
+    fn config_frame_count() {
+        let c = GpufsConfig::new(4096, 64 * 4096);
+        assert_eq!(c.num_frames(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_page_panics() {
+        let _ = GpufsConfig::new(3000, 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn cache_smaller_than_page_panics() {
+        let _ = GpufsConfig::new(1 << 20, 1 << 10);
+    }
+}

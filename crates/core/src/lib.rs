@@ -1,0 +1,60 @@
+//! # GPUfs: a file system API for GPU kernels
+//!
+//! Rust reproduction of *GPUfs: Integrating a File System with GPUs*
+//! (Silberstein, Ford, Keidar, Witchel — ASPLOS 2013).
+//!
+//! GPUfs lets data-parallel GPU code open, read, write, map, and
+//! synchronize host files directly from a running kernel, with a
+//! GPU-resident buffer cache, a weak locality-optimized consistency
+//! model, and a GPU-to-CPU RPC protocol served by a host daemon.
+//!
+//! ## Layers (paper Figure 2)
+//!
+//! * **GPU-side library** — [`GpuFsMount`] and the `g*` calls
+//!   ([`GpuFsMount::open`], [`GpuFsMount::read`], [`GpuFsMount::write`],
+//!   [`GpuFsMount::mmap`], [`GpuFsMount::fsync`], ...), the open/closed
+//!   file tables, and the buffer cache in [`cache`].
+//! * **Communication layer** — the RPC hub in [`rpc`] (write-shared
+//!   request queue, polling host daemon).
+//! * **Consistency layer** — generation-based lazy invalidation against
+//!   the WRAPFS-like registry in [`hostfs`].
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gpusim::{Gpu, GpuSpec, Grid};
+//! use hostfs::{HostFs, HostFsConfig};
+//! use gpufs::{GOpenMode, GpufsConfig, GpufsHost};
+//!
+//! // Host setup: file system, one GPU, the GPUfs daemon, one mount.
+//! let fs = Arc::new(HostFs::new(HostFsConfig::default()));
+//! fs.create("/input", b"hello from the host").unwrap();
+//! let gpu = Arc::new(Gpu::new(0, GpuSpec::small_test()));
+//! let host = GpufsHost::new(Arc::clone(&fs), vec![Arc::clone(&gpu)]);
+//! let mount = host.mount(0, GpufsConfig::small_test()).unwrap();
+//!
+//! // A self-contained GPU kernel reads the file — no CPU-side
+//! // application code beyond the launch itself.
+//! gpu.launch(Grid::new(1, 32), 0, |blk| {
+//!     let fd = mount.open(blk, "/input", GOpenMode::ReadOnly).unwrap();
+//!     let mut buf = [0u8; 32];
+//!     let n = mount.read(blk, &fd, 0, &mut buf).unwrap();
+//!     assert_eq!(&buf[..n], b"hello from the host");
+//!     mount.close(blk, fd).unwrap();
+//! });
+//! ```
+
+pub mod cache;
+mod config;
+mod daemon;
+mod error;
+mod mount;
+pub mod rpc;
+mod table;
+
+pub use config::{GOpenMode, GpufsConfig};
+pub use daemon::{DaemonStats, GpufsHost};
+pub use error::{GpufsError, GpufsResult};
+pub use mount::{GFd, GMap, GStat, GpuFsMount};
+pub use table::{GFile, Tables};

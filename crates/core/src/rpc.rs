@@ -1,0 +1,292 @@
+//! GPU→CPU remote procedure calls (paper §4.3).
+//!
+//! The GPU is the *client*: threadblocks post requests into a FIFO queue
+//! in write-shared memory and spin until the host daemon acknowledges
+//! completion — reversing the usual GPU-as-coprocessor roles. The host
+//! cannot be signalled (no GPU-initiated interrupts, no PCIe atomics), so
+//! the daemon polls; we model the poll latency on arrival and the
+//! completion-visibility latency on the way back, while using an OS
+//! condition variable to avoid burning a real core.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+
+use gpusim::{DevPtr, GpuId};
+use hostfs::{FsError, HostFd, Ino};
+use parking_lot::{Condvar, Mutex};
+use simtime::{Nanos, Timings};
+
+use crate::error::{GpufsError, GpufsResult};
+
+/// A request from a GPU threadblock to the host daemon.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Open (and possibly create) a host file.
+    Open {
+        /// Absolute path on the host file system.
+        path: String,
+        /// Whether the GPU open mode implies write access.
+        write: bool,
+        /// Create the file if missing.
+        create: bool,
+        /// Truncate on open.
+        truncate: bool,
+    },
+    /// Close a host descriptor.
+    Close {
+        /// Host descriptor from a previous [`Request::Open`].
+        fd: HostFd,
+    },
+    /// Read up to `len` bytes at `offset` into GPU memory at `dst`
+    /// (the daemon preads into a staging buffer and DMAs it across).
+    ReadPage {
+        /// Host descriptor.
+        fd: HostFd,
+        /// File offset of the page.
+        offset: u64,
+        /// Bytes to read (one buffer-cache page or less).
+        len: usize,
+        /// Destination frame in GPU global memory.
+        dst: DevPtr,
+        /// Which GPU's DMA engine to use.
+        gpu: GpuId,
+    },
+    /// Write the given byte extents of one page back to the host. The
+    /// extents are produced by the GPU-side diff (against the pristine
+    /// copy, or against zeros for `O_GWRONCE` files), so only modified
+    /// bytes travel (paper §3.1).
+    WriteExtents {
+        /// Host descriptor.
+        fd: HostFd,
+        /// Source frame in GPU global memory.
+        src: DevPtr,
+        /// File offset of the page start.
+        page_offset: u64,
+        /// Modified extents, as `(offset_in_page, len)` pairs.
+        extents: Vec<(u32, u32)>,
+        /// Which GPU's DMA engine to use.
+        gpu: GpuId,
+    },
+    /// Flush the host file to stable storage.
+    Fsync {
+        /// Host descriptor.
+        fd: HostFd,
+    },
+    /// Remove a file from the host namespace.
+    Unlink {
+        /// Absolute path.
+        path: String,
+    },
+    /// Truncate the host file.
+    Truncate {
+        /// Host descriptor.
+        fd: HostFd,
+        /// New size in bytes.
+        size: u64,
+    },
+    /// Query file metadata by path.
+    Stat {
+        /// Absolute path.
+        path: String,
+    },
+}
+
+/// Successful response payloads.
+#[derive(Debug, Clone)]
+pub enum RespOk {
+    /// Result of [`Request::Open`].
+    Opened {
+        /// Host descriptor for subsequent data requests.
+        fd: HostFd,
+        /// Host inode number (keys the closed-file table).
+        ino: Ino,
+        /// File size at open time (fixed for the whole GPU open, paper
+        /// Table 1: `gfstat` reflects size at first `gopen`).
+        size: u64,
+        /// Host consistency generation at open time.
+        generation: u64,
+    },
+    /// Bytes transferred by a read.
+    Read {
+        /// Bytes actually read (short at EOF).
+        n: usize,
+    },
+    /// Bytes written back.
+    Wrote {
+        /// Bytes written.
+        n: usize,
+        /// Host consistency generation after the writes (lets the GPU's
+        /// cache track its own propagated changes).
+        generation: u64,
+    },
+    /// Metadata from [`Request::Stat`].
+    Stat {
+        /// Inode number.
+        ino: Ino,
+        /// Size in bytes.
+        size: u64,
+        /// Whether the file is writable at host level.
+        writable: bool,
+        /// Host consistency generation (the lazy-invalidation probe that
+        /// the WRAPFS character device answers in the paper, §4.4).
+        generation: u64,
+    },
+    /// Operation with no payload completed.
+    Done,
+}
+
+pub(crate) struct Envelope {
+    pub req: Request,
+    pub gpu: GpuId,
+    pub issue: Nanos,
+    pub tx: mpsc::SyncSender<(Result<RespOk, FsError>, Nanos)>,
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("req", &self.req)
+            .field("gpu", &self.gpu)
+            .field("issue", &self.issue)
+            .finish()
+    }
+}
+
+/// The write-shared request queue polled by the host daemon.
+///
+/// One hub serves all GPUs (the paper's daemon is a single-threaded event
+/// loop on one CPU); per-GPU FIFO order is preserved because each
+/// threadblock's requests are pushed in issue order.
+#[derive(Debug, Default)]
+pub struct RpcHub {
+    queue: Mutex<VecDeque<Envelope>>,
+    ready: Condvar,
+    closed: AtomicBool,
+}
+
+impl RpcHub {
+    /// An open, empty hub.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Post a request and block until the daemon completes it.
+    ///
+    /// `issue` is the client's virtual time when the slot was filled. The
+    /// returned time is when the completion became visible to the GPU.
+    pub(crate) fn call(
+        &self,
+        gpu: GpuId,
+        issue: Nanos,
+        timings: &Timings,
+        req: Request,
+    ) -> GpufsResult<(RespOk, Nanos)> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(GpufsError::DaemonStopped);
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut q = self.queue.lock();
+            q.push_back(Envelope { req, gpu, issue, tx });
+            self.ready.notify_one();
+        }
+        let (result, end) = rx.recv().map_err(|_| GpufsError::DaemonStopped)?;
+        let visible = end + timings.rpc_complete_ns;
+        match result {
+            Ok(ok) => Ok((ok, visible)),
+            Err(e) => Err(GpufsError::Host(e)),
+        }
+    }
+
+    /// Daemon side: wait for the next request, or `None` after shutdown.
+    pub(crate) fn next(&self) -> Option<Envelope> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(env) = q.pop_front() {
+                return Some(env);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            self.ready.wait(&mut q);
+        }
+    }
+
+    /// Mark the hub closed and wake the daemon so it can drain and exit.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let _q = self.queue.lock();
+        self.ready.notify_all();
+    }
+
+    /// Whether the hub has been closed.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn call_roundtrips_through_a_fake_daemon() {
+        let hub = Arc::new(RpcHub::new());
+        let daemon_hub = Arc::clone(&hub);
+        let daemon = std::thread::spawn(move || {
+            while let Some(env) = daemon_hub.next() {
+                let end = env.issue + 100;
+                env.tx.send((Ok(RespOk::Done), end)).unwrap();
+            }
+        });
+        let t = Timings::default();
+        let (ok, visible) =
+            hub.call(0, 1_000, &t, Request::Fsync { fd: 3 }).expect("call should succeed");
+        assert!(matches!(ok, RespOk::Done));
+        assert_eq!(visible, 1_100 + t.rpc_complete_ns);
+        hub.close();
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn closed_hub_rejects_calls() {
+        let hub = RpcHub::new();
+        hub.close();
+        let err = hub.call(0, 0, &Timings::default(), Request::Fsync { fd: 1 });
+        assert!(matches!(err, Err(GpufsError::DaemonStopped)));
+    }
+
+    #[test]
+    fn next_returns_none_after_close_and_drain() {
+        let hub = RpcHub::new();
+        let (tx, _rx) = mpsc::sync_channel(1);
+        hub.queue.lock().push_back(Envelope {
+            req: Request::Unlink { path: "/x".into() },
+            gpu: 0,
+            issue: 0,
+            tx,
+        });
+        hub.close();
+        assert!(hub.next().is_some(), "queued request drains first");
+        assert!(hub.next().is_none());
+    }
+
+    #[test]
+    fn host_error_surfaces_to_caller() {
+        let hub = Arc::new(RpcHub::new());
+        let daemon_hub = Arc::clone(&hub);
+        let daemon = std::thread::spawn(move || {
+            while let Some(env) = daemon_hub.next() {
+                env.tx.send((Err(FsError::NotFound("/gone".into())), env.issue)).unwrap();
+            }
+        });
+        let err = hub.call(0, 0, &Timings::default(), Request::Stat { path: "/gone".into() });
+        assert!(matches!(err, Err(GpufsError::Host(FsError::NotFound(_)))));
+        hub.close();
+        daemon.join().unwrap();
+    }
+}

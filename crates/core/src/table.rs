@@ -1,0 +1,375 @@
+//! Open and closed file tables (paper §4.1).
+//!
+//! GPUfs file descriptors name *files*, not opens: all threadblocks
+//! opening the same path share one reference-counted [`GFile`]. When the
+//! reference count drops to zero the file moves to the *closed-file
+//! table* — indexed by host inode number — keeping its cached pages so
+//! that a later `gopen` (common under the GPU's nondeterministic block
+//! scheduling, which routinely drives counts to zero while blocks that
+//! will reopen the file are still queued) revives the cache instead of
+//! refetching it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hostfs::{HostFd, Ino};
+use parking_lot::Mutex;
+
+use crate::cache::RadixTree;
+use crate::config::GOpenMode;
+
+/// One GPU-side open file: shared by every threadblock that opened it.
+#[derive(Debug)]
+pub struct GFile {
+    path: String,
+    mode: GOpenMode,
+    host_fd: HostFd,
+    ino: Ino,
+    /// Size at first `gopen` — what `gfstat` reports for the whole open
+    /// (paper Table 1).
+    open_size: u64,
+    /// Current logical size including local `gwrite` extensions.
+    size: AtomicU64,
+    /// Host consistency generation this GPU's cache reflects: set at
+    /// open, refreshed by every write-back (our own propagated writes must
+    /// not look like foreign invalidations on reopen).
+    generation: AtomicU64,
+    /// Threadblocks currently holding the file open.
+    refs: AtomicI64,
+    /// High-water mark of bytes this GPU has written back to the host.
+    /// Pages of `O_NOSYNC` temporaries evicted under memory pressure land
+    /// on the host and must be refetchable below this mark, even though
+    /// the file logically lives only on the GPU (paper §3.2).
+    host_valid: AtomicU64,
+    /// The file's page cache.
+    tree: RadixTree,
+}
+
+impl GFile {
+    /// A freshly opened file with one reference.
+    #[must_use]
+    pub fn new(
+        path: String,
+        mode: GOpenMode,
+        host_fd: HostFd,
+        ino: Ino,
+        size: u64,
+        generation: u64,
+    ) -> Self {
+        Self {
+            path,
+            mode,
+            host_fd,
+            ino,
+            open_size: size,
+            size: AtomicU64::new(size),
+            generation: AtomicU64::new(generation),
+            refs: AtomicI64::new(1),
+            host_valid: AtomicU64::new(0),
+            tree: RadixTree::new(),
+        }
+    }
+
+    /// Host path.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Open mode.
+    #[must_use]
+    pub fn mode(&self) -> GOpenMode {
+        self.mode
+    }
+
+    /// Host descriptor used by the daemon for data requests.
+    #[must_use]
+    pub fn host_fd(&self) -> HostFd {
+        self.host_fd
+    }
+
+    /// Host inode number.
+    #[must_use]
+    pub fn ino(&self) -> Ino {
+        self.ino
+    }
+
+    /// Size at first open.
+    #[must_use]
+    pub fn open_size(&self) -> u64 {
+        self.open_size
+    }
+
+    /// Current logical size (open size plus local extensions).
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size.load(Ordering::Acquire)
+    }
+
+    /// Extend the logical size to at least `end`.
+    pub fn grow_to(&self, end: u64) {
+        self.size.fetch_max(end, Ordering::AcqRel);
+    }
+
+    /// Shrink the logical size (gftruncate).
+    pub fn set_size(&self, size: u64) {
+        self.size.store(size, Ordering::Release);
+    }
+
+    /// Host generation this cache reflects.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Advance the reflected generation (after propagating local writes).
+    pub fn observe_generation(&self, gen: u64) {
+        self.generation.fetch_max(gen, Ordering::AcqRel);
+    }
+
+    /// Bytes known to be present on the host (open size or written back).
+    #[must_use]
+    pub fn host_valid(&self) -> u64 {
+        self.host_valid.load(Ordering::Acquire).max(self.open_size)
+    }
+
+    /// Record that bytes up to `end` now exist on the host.
+    pub fn mark_host_valid(&self, end: u64) {
+        self.host_valid.fetch_max(end, Ordering::AcqRel);
+    }
+
+    /// The file's radix tree.
+    #[must_use]
+    pub fn tree(&self) -> &RadixTree {
+        &self.tree
+    }
+
+    /// Current open count.
+    #[must_use]
+    pub fn refcount(&self) -> i64 {
+        self.refs.load(Ordering::Acquire)
+    }
+
+    /// Add an open reference (coalesced `gopen`).
+    pub fn add_ref(&self) {
+        self.refs.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Drop an open reference; returns `true` if this was the last.
+    pub fn drop_ref(&self) -> bool {
+        self.refs.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Re-arm a revived closed file with a single reference.
+    pub fn revive(&self) {
+        self.refs.store(1, Ordering::Release);
+    }
+}
+
+/// The open-file table (by path) and closed-file table (by inode).
+#[derive(Debug, Default)]
+pub struct Tables {
+    open: Mutex<HashMap<String, Arc<GFile>>>,
+    closed: Mutex<HashMap<Ino, Arc<GFile>>>,
+    /// Path → inode hint so `gopen` can consult the closed-file table
+    /// *before* any host interaction (paper §4.1: "gopen checks the
+    /// closed file table first").
+    closed_paths: Mutex<HashMap<String, Ino>>,
+    /// Per-path serialization of open/close transitions, so concurrent
+    /// `gopen`s of one file coalesce into a single host RPC (paper
+    /// Table 1) without blocking opens of other files.
+    path_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+}
+
+impl Tables {
+    /// Empty tables.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The serialization lock for `path`.
+    #[must_use]
+    pub fn path_lock(&self, path: &str) -> Arc<Mutex<()>> {
+        Arc::clone(
+            self.path_locks
+                .lock()
+                .entry(path.to_owned())
+                .or_insert_with(|| Arc::new(Mutex::new(()))),
+        )
+    }
+
+    /// Currently open file at `path`, if any.
+    #[must_use]
+    pub fn get_open(&self, path: &str) -> Option<Arc<GFile>> {
+        self.open.lock().get(path).cloned()
+    }
+
+    /// Install `file` in the open table.
+    pub fn insert_open(&self, file: Arc<GFile>) {
+        self.open.lock().insert(file.path().to_owned(), file);
+    }
+
+    /// Remove `file` from the open table if it is still the installed
+    /// entry. Returns whether it was removed.
+    pub fn remove_open(&self, file: &Arc<GFile>) -> bool {
+        let mut open = self.open.lock();
+        match open.get(file.path()) {
+            Some(cur) if Arc::ptr_eq(cur, file) => {
+                open.remove(file.path());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Take the closed-table entry for `ino`, if present.
+    #[must_use]
+    pub fn take_closed(&self, ino: Ino) -> Option<Arc<GFile>> {
+        let taken = self.closed.lock().remove(&ino);
+        if let Some(f) = &taken {
+            let mut paths = self.closed_paths.lock();
+            if paths.get(f.path()) == Some(&ino) {
+                paths.remove(f.path());
+            }
+        }
+        taken
+    }
+
+    /// Inode hint for a parked path, if any.
+    #[must_use]
+    pub fn closed_ino_for_path(&self, path: &str) -> Option<Ino> {
+        self.closed_paths.lock().get(path).copied()
+    }
+
+    /// Park `file` in the closed table; returns any displaced entry
+    /// (whose cache the caller must release).
+    #[must_use]
+    pub fn park_closed(&self, file: Arc<GFile>) -> Option<Arc<GFile>> {
+        self.closed_paths.lock().insert(file.path().to_owned(), file.ino());
+        self.closed.lock().insert(file.ino(), file)
+    }
+
+    /// Snapshot of closed files (eviction victims of first resort:
+    /// "GPUfs first looks at closed files, which are not in use", §4.2).
+    #[must_use]
+    pub fn closed_files(&self) -> Vec<Arc<GFile>> {
+        self.closed.lock().values().cloned().collect()
+    }
+
+    /// Snapshot of open files, read-only ones first (the eviction order
+    /// after closed files).
+    #[must_use]
+    pub fn open_files_by_eviction_priority(&self) -> Vec<Arc<GFile>> {
+        let mut files: Vec<Arc<GFile>> = self.open.lock().values().cloned().collect();
+        files.sort_by_key(|f| f.mode().writable());
+        files
+    }
+
+    /// Remove `file` from the closed table if it is still parked there.
+    pub fn remove_closed(&self, file: &Arc<GFile>) -> bool {
+        let mut closed = self.closed.lock();
+        match closed.get(&file.ino()) {
+            Some(cur) if Arc::ptr_eq(cur, file) => {
+                closed.remove(&file.ino());
+                drop(closed);
+                let mut paths = self.closed_paths.lock();
+                if paths.get(file.path()) == Some(&file.ino()) {
+                    paths.remove(file.path());
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, ino: Ino, mode: GOpenMode) -> Arc<GFile> {
+        Arc::new(GFile::new(path.to_owned(), mode, 10, ino, 100, 1))
+    }
+
+    #[test]
+    fn refcounting_lifecycle() {
+        let f = file("/a", 1, GOpenMode::ReadOnly);
+        assert_eq!(f.refcount(), 1);
+        f.add_ref();
+        assert!(!f.drop_ref());
+        assert!(f.drop_ref(), "last reference");
+        f.revive();
+        assert_eq!(f.refcount(), 1);
+    }
+
+    #[test]
+    fn open_table_insert_lookup_remove() {
+        let t = Tables::new();
+        let f = file("/a", 1, GOpenMode::ReadOnly);
+        t.insert_open(Arc::clone(&f));
+        assert!(t.get_open("/a").is_some());
+        assert!(t.get_open("/b").is_none());
+        assert!(t.remove_open(&f));
+        assert!(!t.remove_open(&f), "second removal is a no-op");
+    }
+
+    #[test]
+    fn remove_open_ignores_replaced_entry() {
+        let t = Tables::new();
+        let f1 = file("/a", 1, GOpenMode::ReadOnly);
+        let f2 = file("/a", 1, GOpenMode::ReadOnly);
+        t.insert_open(Arc::clone(&f1));
+        t.insert_open(Arc::clone(&f2)); // replaces f1
+        assert!(!t.remove_open(&f1), "f1 is no longer installed");
+        assert!(t.get_open("/a").is_some());
+        assert!(t.remove_open(&f2));
+    }
+
+    #[test]
+    fn closed_table_park_take_displace() {
+        let t = Tables::new();
+        let f1 = file("/a", 7, GOpenMode::ReadOnly);
+        assert!(t.park_closed(Arc::clone(&f1)).is_none());
+        let f2 = file("/a", 7, GOpenMode::ReadOnly);
+        let displaced = t.park_closed(Arc::clone(&f2)).expect("f1 displaced");
+        assert!(Arc::ptr_eq(&displaced, &f1));
+        let got = t.take_closed(7).expect("f2 parked");
+        assert!(Arc::ptr_eq(&got, &f2));
+        assert!(t.take_closed(7).is_none());
+    }
+
+    #[test]
+    fn eviction_priority_lists_read_only_first() {
+        let t = Tables::new();
+        t.insert_open(file("/w", 1, GOpenMode::ReadWrite));
+        t.insert_open(file("/r", 2, GOpenMode::ReadOnly));
+        t.insert_open(file("/o", 3, GOpenMode::WriteOnce));
+        let order = t.open_files_by_eviction_priority();
+        assert_eq!(order[0].path(), "/r");
+        assert!(order[1].mode().writable() && order[2].mode().writable());
+    }
+
+    #[test]
+    fn path_lock_is_shared_per_path() {
+        let t = Tables::new();
+        let a = t.path_lock("/x");
+        let b = t.path_lock("/x");
+        let c = t.path_lock("/y");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn grow_and_truncate_size() {
+        let f = file("/a", 1, GOpenMode::ReadWrite);
+        f.grow_to(500);
+        assert_eq!(f.size(), 500);
+        f.grow_to(200);
+        assert_eq!(f.size(), 500, "grow_to never shrinks");
+        f.set_size(50);
+        assert_eq!(f.size(), 50);
+        assert_eq!(f.open_size(), 100, "open size is immutable");
+    }
+}

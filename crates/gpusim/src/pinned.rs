@@ -1,0 +1,91 @@
+//! Pinned (page-locked) host memory.
+
+use std::sync::Arc;
+
+use simtime::ByteLedger;
+
+/// A pinned host buffer, as allocated by `cudaHostMalloc` in the paper's
+/// baselines.
+///
+/// Pinned memory is wired: the OS cannot reclaim it, so it competes with
+/// the host page cache for physical memory. When created with
+/// [`HostPinned::new_accounted`], the buffer charges a [`ByteLedger`] that
+/// the host file system sizes its page cache against — this pressure is why
+/// the paper's CUDA double-buffering baselines fall 4× behind GPUfs once
+/// the workload is disk bound (Figure 8).
+#[derive(Debug)]
+pub struct HostPinned {
+    buf: Vec<u8>,
+    ledger: Option<Arc<ByteLedger>>,
+}
+
+impl HostPinned {
+    /// Allocate `len` zeroed pinned bytes without memory accounting.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self { buf: vec![0; len], ledger: None }
+    }
+
+    /// Allocate `len` zeroed pinned bytes charged against `ledger`.
+    #[must_use]
+    pub fn new_accounted(len: usize, ledger: Arc<ByteLedger>) -> Self {
+        ledger.charge(len as u64);
+        Self { buf: vec![0; len], ledger: Some(ledger) }
+    }
+
+    /// Length of the buffer.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for HostPinned {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsMut<[u8]> for HostPinned {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl Drop for HostPinned {
+    fn drop(&mut self) {
+        if let Some(ledger) = &self.ledger {
+            ledger.release(self.buf.len() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounted_buffer_charges_and_releases() {
+        let ledger = Arc::new(ByteLedger::new(1 << 20));
+        {
+            let buf = HostPinned::new_accounted(1000, Arc::clone(&ledger));
+            assert_eq!(ledger.used(), 1000);
+            assert_eq!(buf.len(), 1000);
+            assert!(!buf.is_empty());
+        }
+        assert_eq!(ledger.used(), 0);
+    }
+
+    #[test]
+    fn unaccounted_buffer_is_plain_memory() {
+        let mut buf = HostPinned::new(16);
+        buf.as_mut()[3] = 9;
+        assert_eq!(buf.as_ref()[3], 9);
+    }
+}

@@ -1,0 +1,154 @@
+//! WRAPFS-like consistency interposition layer.
+//!
+//! The paper implements its file consistency protocol with a modified
+//! WRAPFS kernel module stacked over the host file system (§4.4): a thin
+//! layer that observes opens, writes, truncates and unlinks, and lets the
+//! GPUfs host daemon query file state — never file content — through a
+//! character device. Invalidation is *lazy*: closing a file on one GPU
+//! does not push anything; a GPU discovers staleness when it reopens the
+//! file.
+//!
+//! We reproduce that as [`Consistency`]: a per-inode generation counter
+//! bumped by every content-changing host operation or foreign
+//! open-for-write, plus a registry of which GPUs hold cached pages of the
+//! file so tests and tools can audit the protocol.
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+
+use crate::Ino;
+
+/// Monotonic version of one file's content as seen by the host.
+pub type FileGeneration = u64;
+
+#[derive(Debug, Default)]
+struct EntryState {
+    generation: FileGeneration,
+    /// GPUs that registered a cached copy, with the generation they cached.
+    gpu_caches: HashMap<usize, FileGeneration>,
+}
+
+/// The consistency registry (stands in for the modified WRAPFS module).
+#[derive(Debug, Default)]
+pub struct Consistency {
+    files: Mutex<HashMap<Ino, EntryState>>,
+}
+
+impl Consistency {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current generation of `ino` (0 if never touched).
+    #[must_use]
+    pub fn generation(&self, ino: Ino) -> FileGeneration {
+        self.files.lock().get(&ino).map_or(0, |e| e.generation)
+    }
+
+    /// Record a content-changing event (host write, truncate, unlink,
+    /// foreign open-for-write). Returns the new generation.
+    pub fn bump(&self, ino: Ino) -> FileGeneration {
+        let mut files = self.files.lock();
+        let e = files.entry(ino).or_default();
+        e.generation += 1;
+        e.generation
+    }
+
+    /// A GPU registers that it now caches `ino` at generation `gen`.
+    pub fn register_gpu_cache(&self, ino: Ino, gpu: usize, gen: FileGeneration) {
+        let mut files = self.files.lock();
+        files.entry(ino).or_default().gpu_caches.insert(gpu, gen);
+    }
+
+    /// A GPU dropped its cached copy of `ino`.
+    pub fn unregister_gpu_cache(&self, ino: Ino, gpu: usize) {
+        if let Some(e) = self.files.lock().get_mut(&ino) {
+            e.gpu_caches.remove(&gpu);
+        }
+    }
+
+    /// Whether the copy GPU `gpu` cached is stale (lazy invalidation check
+    /// performed on reopen).
+    #[must_use]
+    pub fn is_stale(&self, ino: Ino, gpu: usize) -> bool {
+        let files = self.files.lock();
+        match files.get(&ino) {
+            Some(e) => match e.gpu_caches.get(&gpu) {
+                Some(&cached_gen) => cached_gen < e.generation,
+                None => false, // nothing cached, nothing stale
+            },
+            None => false,
+        }
+    }
+
+    /// GPUs currently registered as caching `ino` (any generation).
+    #[must_use]
+    pub fn cachers(&self, ino: Ino) -> HashSet<usize> {
+        self.files
+            .lock()
+            .get(&ino)
+            .map(|e| e.gpu_caches.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Forget all state for `ino` (file fully gone).
+    pub fn forget(&self, ino: Ino) {
+        self.files.lock().remove(&ino);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_start_at_zero_and_bump() {
+        let c = Consistency::new();
+        assert_eq!(c.generation(9), 0);
+        assert_eq!(c.bump(9), 1);
+        assert_eq!(c.bump(9), 2);
+        assert_eq!(c.generation(9), 2);
+    }
+
+    #[test]
+    fn staleness_is_lazy_and_per_gpu() {
+        let c = Consistency::new();
+        let g = c.bump(1);
+        c.register_gpu_cache(1, 0, g);
+        c.register_gpu_cache(1, 1, g);
+        assert!(!c.is_stale(1, 0));
+        // A host write invalidates both GPUs' copies...
+        c.bump(1);
+        assert!(c.is_stale(1, 0));
+        assert!(c.is_stale(1, 1));
+        // ...but only lazily: GPU 0 re-registers after refetching.
+        c.register_gpu_cache(1, 0, c.generation(1));
+        assert!(!c.is_stale(1, 0));
+        assert!(c.is_stale(1, 1));
+    }
+
+    #[test]
+    fn unregistered_gpu_is_never_stale() {
+        let c = Consistency::new();
+        c.bump(1);
+        assert!(!c.is_stale(1, 3));
+        c.register_gpu_cache(1, 3, c.generation(1));
+        c.unregister_gpu_cache(1, 3);
+        c.bump(1);
+        assert!(!c.is_stale(1, 3));
+    }
+
+    #[test]
+    fn cachers_and_forget() {
+        let c = Consistency::new();
+        c.register_gpu_cache(5, 0, 0);
+        c.register_gpu_cache(5, 2, 0);
+        assert_eq!(c.cachers(5), [0, 2].into_iter().collect());
+        c.forget(5);
+        assert!(c.cachers(5).is_empty());
+        assert_eq!(c.generation(5), 0);
+    }
+}

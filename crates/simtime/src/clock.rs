@@ -1,0 +1,132 @@
+//! Per-actor virtual clocks and the experiment-wide horizon.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::Nanos;
+
+/// The local virtual clock of one simulated executor.
+///
+/// A `Clock` is plain data owned by one actor (one GPU threadblock slot, the
+/// RPC daemon, a CPU worker). It only ever moves forward. Cross-actor
+/// synchronization happens by exchanging timestamps and calling
+/// [`Clock::wait_until`] with the producer's completion time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: Nanos,
+}
+
+impl Clock {
+    /// A clock starting at virtual time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { now: 0 }
+    }
+
+    /// A clock starting at `start`, used when an actor is spawned mid-run
+    /// (e.g. a threadblock dispatched after the kernel launch timestamp).
+    #[must_use]
+    pub fn starting_at(start: Nanos) -> Self {
+        Self { now: start }
+    }
+
+    /// Current local virtual time.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Spend `dur` nanoseconds of local work.
+    pub fn advance(&mut self, dur: Nanos) {
+        self.now = self.now.saturating_add(dur);
+    }
+
+    /// Block (virtually) until `t`; no-op if `t` is already in the past.
+    pub fn wait_until(&mut self, t: Nanos) {
+        self.now = self.now.max(t);
+    }
+}
+
+/// Experiment-wide high-water mark of virtual time.
+///
+/// Actors publish their final (or intermediate) clocks with
+/// [`Horizon::observe`]; the experiment's elapsed virtual time is
+/// [`Horizon::now`] minus its starting point. This mirrors how a kernel's
+/// completion time is the max over its threadblocks.
+#[derive(Debug, Default)]
+pub struct Horizon {
+    max: AtomicU64,
+}
+
+impl Horizon {
+    /// A horizon at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { max: AtomicU64::new(0) }
+    }
+
+    /// Record that some actor reached virtual time `t`.
+    pub fn observe(&self, t: Nanos) {
+        self.max.fetch_max(t, Ordering::AcqRel);
+    }
+
+    /// Latest virtual time observed so far.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.max.load(Ordering::Acquire)
+    }
+
+    /// Reset the horizon to `t` (used between benchmark phases).
+    pub fn reset_to(&self, t: Nanos) {
+        self.max.store(t, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        c.advance(10);
+        c.wait_until(5); // in the past: no-op
+        assert_eq!(c.now(), 10);
+        c.wait_until(25);
+        assert_eq!(c.now(), 25);
+    }
+
+    #[test]
+    fn clock_starting_at() {
+        let c = Clock::starting_at(42);
+        assert_eq!(c.now(), 42);
+    }
+
+    #[test]
+    fn clock_saturates_instead_of_overflowing() {
+        let mut c = Clock::starting_at(u64::MAX - 1);
+        c.advance(100);
+        assert_eq!(c.now(), u64::MAX);
+    }
+
+    #[test]
+    fn horizon_tracks_max_across_threads() {
+        let h = Horizon::new();
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let h = &h;
+                s.spawn(move || h.observe(i * 100));
+            }
+        });
+        assert_eq!(h.now(), 700);
+    }
+
+    #[test]
+    fn horizon_reset() {
+        let h = Horizon::new();
+        h.observe(500);
+        h.reset_to(100);
+        assert_eq!(h.now(), 100);
+        h.observe(50);
+        assert_eq!(h.now(), 100);
+    }
+}

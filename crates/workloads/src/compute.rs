@@ -1,0 +1,151 @@
+//! Calibrated compute-throughput model.
+//!
+//! The simulator executes workload logic for real (results are checked
+//! against CPU reference implementations) but charges *virtual* time for
+//! the data-parallel arithmetic, using rates calibrated from the paper's
+//! own measurements so speedup ratios come out as published:
+//!
+//! * Image match: the paper reports 18 GFLOP/s on one GPU, "twice as fast
+//!   as an 8-core CPU run using OpenMP" (§5.2.1), and distance computation
+//!   is 2 FLOP per vector element.
+//! * grep: one GPU beats the 8-core CPU by 6.8× on the Linux source and
+//!   7.3× on Shakespeare (Table 4). Matching cost scales with
+//!   `text bytes × dictionary words` per the paper's one-word-per-thread
+//!   parallelization.
+//! * Matrix–vector product is PCIe-bound; GPU arithmetic only has to be
+//!   fast enough to hide behind the transfers (the C2075 peaks above
+//!   1 TFLOP/s single precision).
+
+use simtime::Nanos;
+
+/// Floating-point throughput for the image-distance kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlopsModel {
+    /// Sustained GPU throughput, FLOP/s.
+    pub gpu_flops: f64,
+    /// Sustained per-CPU-core throughput, FLOP/s.
+    pub cpu_core_flops: f64,
+}
+
+impl FlopsModel {
+    /// Calibration for the image-matching workload (see module docs).
+    #[must_use]
+    pub fn imgmatch() -> Self {
+        Self { gpu_flops: 18.0e9, cpu_core_flops: 1.125e9 }
+    }
+
+    /// Calibration for the matrix–vector product: arithmetic hides behind
+    /// PCIe transfers.
+    #[must_use]
+    pub fn matvec() -> Self {
+        Self { gpu_flops: 515.0e9, cpu_core_flops: 4.0e9 }
+    }
+
+    /// Virtual time for `flops` floating-point operations using the whole
+    /// GPU (e.g. a kernel processing one chunk).
+    #[must_use]
+    pub fn gpu_time(&self, flops: u64) -> Nanos {
+        ((flops as f64) / self.gpu_flops * 1e9).round() as Nanos
+    }
+
+    /// Virtual time for `flops` executed by *one* of `concurrent_blocks`
+    /// threadblocks sharing the GPU: the sustained rate divides among the
+    /// resident blocks.
+    #[must_use]
+    pub fn gpu_block_time(&self, flops: u64, concurrent_blocks: usize) -> Nanos {
+        ((flops as f64) * concurrent_blocks.max(1) as f64 / self.gpu_flops * 1e9).round() as Nanos
+    }
+
+    /// Virtual time for `flops` on one CPU core.
+    #[must_use]
+    pub fn cpu_core_time(&self, flops: u64) -> Nanos {
+        ((flops as f64) / self.cpu_core_flops * 1e9).round() as Nanos
+    }
+}
+
+/// Throughput for dictionary string matching, in byte·word units per
+/// second: matching `b` bytes of text against `w` dictionary words costs
+/// `b*w` units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchModel {
+    /// GPU units per second.
+    pub gpu_rate: f64,
+    /// Per-CPU-core units per second.
+    pub cpu_core_rate: f64,
+}
+
+impl MatchModel {
+    /// Calibration from Table 4: 524 MB × 58k words in 53 min on one GPU
+    /// and 6.07 h on 8 cores.
+    #[must_use]
+    pub fn grep() -> Self {
+        Self { gpu_rate: 9.56e9, cpu_core_rate: 1.74e8 }
+    }
+
+    /// Virtual time for the whole GPU to match `text_bytes` against
+    /// `dict_words`.
+    #[must_use]
+    pub fn gpu_time(&self, text_bytes: u64, dict_words: u64) -> Nanos {
+        ((text_bytes as f64) * (dict_words as f64) / self.gpu_rate * 1e9).round() as Nanos
+    }
+
+    /// Virtual time for one of `concurrent_blocks` resident threadblocks
+    /// to match `text_bytes` against `dict_words`.
+    #[must_use]
+    pub fn gpu_block_time(
+        &self,
+        text_bytes: u64,
+        dict_words: u64,
+        concurrent_blocks: usize,
+    ) -> Nanos {
+        ((text_bytes as f64) * (dict_words as f64) * concurrent_blocks.max(1) as f64
+            / self.gpu_rate
+            * 1e9)
+            .round() as Nanos
+    }
+
+    /// Virtual single-core time to match `text_bytes` against `dict_words`.
+    #[must_use]
+    pub fn cpu_core_time(&self, text_bytes: u64, dict_words: u64) -> Nanos {
+        ((text_bytes as f64) * (dict_words as f64) / self.cpu_core_rate * 1e9).round() as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imgmatch_calibration_reproduces_table3_ratio() {
+        // 2016 queries × ~75k db images × 4096 elements × 2 flops.
+        let flops = 2016u64 * 75_000 * 4096 * 2;
+        let m = FlopsModel::imgmatch();
+        let gpu_s = m.gpu_time(flops) as f64 / 1e9;
+        let cpu8_s = m.cpu_core_time(flops) as f64 / 8.0 / 1e9;
+        assert!((50.0..80.0).contains(&gpu_s), "gpu {gpu_s}s");
+        let ratio = cpu8_s / gpu_s;
+        assert!((1.8..2.5).contains(&ratio), "paper: GPU ≈ 2× CPU×8, got {ratio}");
+    }
+
+    #[test]
+    fn grep_calibration_reproduces_table4() {
+        let m = MatchModel::grep();
+        let linux_bytes = 524u64 << 20;
+        let words = 58_000u64;
+        let gpu_min = m.gpu_time(linux_bytes, words) as f64 / 1e9 / 60.0;
+        let cpu8_h = m.cpu_core_time(linux_bytes, words) as f64 / 8.0 / 1e9 / 3600.0;
+        assert!((45.0..62.0).contains(&gpu_min), "paper: 53m, got {gpu_min}m");
+        assert!((5.0..7.0).contains(&cpu8_h), "paper: 6.07h, got {cpu8_h}h");
+        let shak_s = m.gpu_time(6 << 20, words) as f64 / 1e9;
+        assert!((30.0..48.0).contains(&shak_s), "paper: 40s, got {shak_s}s");
+    }
+
+    #[test]
+    fn matvec_compute_hides_behind_pcie() {
+        // Processing 1 MB of matrix (2 flops per 4-byte element) must be
+        // much faster than moving it over PCIe (~183 us/MB).
+        let m = FlopsModel::matvec();
+        let t = m.gpu_time((1 << 20) / 4 * 2);
+        assert!(t < 50_000, "compute {t}ns per MB should hide behind ~183us PCIe");
+    }
+}

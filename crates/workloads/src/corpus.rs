@@ -1,0 +1,433 @@
+//! Deterministic synthetic datasets standing in for the paper's inputs.
+//!
+//! The paper evaluates on the Linux 3.3.1 source tree (~33k files,
+//! 524 MB), the complete works of Shakespeare (one 6 MB file), a 58k-word
+//! modern-English dictionary reformatted to 32-byte-aligned records, and
+//! randomly generated image databases with query images injected at random
+//! locations (§5.2). None of those bytes matter — what the experiments
+//! exercise is the file-count/size distribution and the match statistics —
+//! so we generate seeded equivalents (see DESIGN.md, substitution table).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hostfs::HostFs;
+
+/// Byte width of one dictionary record: "we reformat the dictionary to
+/// align every word on a 32 byte boundary; none of the words in the
+/// dictionary exceed that length" (§5.2.2).
+pub const DICT_RECORD: usize = 32;
+
+/// A generated text corpus plus its dictionary.
+#[derive(Debug, Clone)]
+pub struct TextCorpus {
+    /// Directory holding the files.
+    pub dir: String,
+    /// Path of the file that lists the input files, one per line ("the
+    /// list of input files is itself specified in a file", §5.2.2).
+    pub file_list_path: String,
+    /// The corpus files.
+    pub files: Vec<String>,
+    /// Total corpus bytes.
+    pub total_bytes: u64,
+    /// Path of the 32-byte-aligned dictionary file.
+    pub dict_path: String,
+    /// The dictionary words (sorted).
+    pub dict_words: Vec<String>,
+}
+
+/// Configuration for [`gen_text_corpus`].
+#[derive(Debug, Clone)]
+pub struct TextCorpusConfig {
+    /// Directory to create the corpus under.
+    pub dir: String,
+    /// Number of files ("Linux kernel source": many small files;
+    /// "Shakespeare": one big file).
+    pub n_files: usize,
+    /// Total corpus size in bytes, split across files with a skewed
+    /// distribution like a source tree's.
+    pub total_bytes: u64,
+    /// Vocabulary size the text draws from.
+    pub vocab_size: usize,
+    /// Number of dictionary words; half are drawn from the vocabulary
+    /// (and therefore occur) and half are synthetic non-occurring words.
+    pub dict_words: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+fn vocab_word(i: usize) -> String {
+    // Pronounceable-ish, length 3..=14, deterministic.
+    const SYL: [&str; 16] = [
+        "ka", "lo", "mi", "tur", "ve", "sha", "dr", "en", "pos", "ix", "ul", "gra", "net", "om",
+        "zy", "fu",
+    ];
+    let mut w = String::new();
+    let mut v = i + 1;
+    while v > 0 {
+        w.push_str(SYL[v % SYL.len()]);
+        v /= SYL.len();
+    }
+    w.truncate(14);
+    w
+}
+
+/// Generate a corpus under `cfg.dir` (directories are created), returning
+/// its description.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (zero files) or host-FS setup errors.
+#[must_use]
+pub fn gen_text_corpus(fs: &HostFs, cfg: &TextCorpusConfig) -> TextCorpus {
+    assert!(cfg.n_files > 0, "corpus needs at least one file");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    fs.mkdir_p(&cfg.dir).expect("create corpus dir");
+
+    // Skewed file sizes: most files small, a few large, like a source
+    // tree. Weights follow a power-ish law.
+    let weights: Vec<f64> = (0..cfg.n_files)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.05..1.0f64);
+            1.0 / u // heavy tail
+        })
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+
+    let mut files = Vec::with_capacity(cfg.n_files);
+    let mut total = 0u64;
+    // Spread files over subdirectories, 64 per dir, like kernel sources.
+    for (i, w) in weights.iter().enumerate() {
+        let sub = format!("{}/d{:03}", cfg.dir, i / 64);
+        if i % 64 == 0 {
+            fs.mkdir_p(&sub).expect("create subdir");
+        }
+        let target = ((w / wsum) * cfg.total_bytes as f64).max(64.0) as usize;
+        let mut text = String::with_capacity(target + 16);
+        while text.len() < target {
+            let word = vocab_word(rng.gen_range(0..cfg.vocab_size));
+            text.push_str(&word);
+            text.push(if rng.gen_bool(0.12) { '\n' } else { ' ' });
+        }
+        let path = format!("{sub}/f{i:05}.txt");
+        total += text.len() as u64;
+        fs.create(&path, text.as_bytes()).expect("create corpus file");
+        files.push(path);
+    }
+
+    // Dictionary: half occurring vocabulary words, half absent words.
+    let mut dict_words: Vec<String> = (0..cfg.dict_words)
+        .map(|i| {
+            if i % 2 == 0 {
+                vocab_word(rng.gen_range(0..cfg.vocab_size))
+            } else {
+                format!("xq{i}absent")
+            }
+        })
+        .collect();
+    dict_words.sort();
+    dict_words.dedup();
+    let mut dict_bytes = Vec::with_capacity(dict_words.len() * DICT_RECORD);
+    for w in &dict_words {
+        let mut rec = [0u8; DICT_RECORD];
+        rec[..w.len().min(DICT_RECORD - 1)]
+            .copy_from_slice(&w.as_bytes()[..w.len().min(DICT_RECORD - 1)]);
+        dict_bytes.extend_from_slice(&rec);
+    }
+    let dict_path = format!("{}/dictionary.bin", cfg.dir);
+    fs.create(&dict_path, &dict_bytes).expect("create dictionary");
+
+    let file_list_path = format!("{}/file_list.txt", cfg.dir);
+    let list = files.join("\n") + "\n";
+    fs.create(&file_list_path, list.as_bytes()).expect("create file list");
+
+    TextCorpus { dir: cfg.dir.clone(), file_list_path, files, total_bytes: total, dict_path, dict_words }
+}
+
+/// Parse a 32-byte-aligned dictionary file back into words.
+#[must_use]
+pub fn parse_dictionary(bytes: &[u8]) -> Vec<Vec<u8>> {
+    bytes
+        .chunks_exact(DICT_RECORD)
+        .map(|rec| {
+            let n = rec.iter().position(|&b| b == 0).unwrap_or(DICT_RECORD);
+            rec[..n].to_vec()
+        })
+        .collect()
+}
+
+/// A generated image-matching dataset.
+#[derive(Debug, Clone)]
+pub struct ImageDataset {
+    /// Database files, in priority order.
+    pub db_paths: Vec<String>,
+    /// Images per database.
+    pub db_sizes: Vec<usize>,
+    /// The query-set file.
+    pub query_path: String,
+    /// Number of query images.
+    pub n_queries: usize,
+    /// Elements per image vector (the paper uses 4096).
+    pub dim: usize,
+    /// For each query, the `(db, index)` where its exact copy was
+    /// planted, or `None` for no-match queries. When a query is planted
+    /// in several databases, this records the highest-priority one.
+    pub planted: Vec<Option<(usize, usize)>>,
+}
+
+impl ImageDataset {
+    /// Bytes per image record.
+    #[must_use]
+    pub fn image_bytes(&self) -> usize {
+        self.dim * 4
+    }
+}
+
+/// Configuration for [`gen_image_dataset`].
+#[derive(Debug, Clone)]
+pub struct ImageDatasetConfig {
+    /// Directory for the files.
+    pub dir: String,
+    /// Images per database, in priority order (the paper: ~25k images in
+    /// each of 3 databases of 383/357/400 MB).
+    pub db_sizes: Vec<usize>,
+    /// Number of query images (paper: 2016).
+    pub n_queries: usize,
+    /// Elements per image (paper: 4096 → 16 KB/image).
+    pub dim: usize,
+    /// Fraction of queries that get an exact copy planted somewhere.
+    pub match_fraction: f64,
+    /// When true, every planted query lands at the very start of the
+    /// first database — the paper's degenerate early-exit case where
+    /// runtime falls 400×, "leaving only the costs of initialization,
+    /// invocation, and matching the query list with the first database
+    /// page" (§5.2.1).
+    pub plant_in_first_db_prefix: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+fn push_f32s(out: &mut Vec<u8>, v: &[f32]) {
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Generate query and database files; exact copies of matching queries
+/// are injected at random locations (§5.2.1).
+///
+/// # Panics
+///
+/// Panics on host-FS setup errors.
+#[must_use]
+pub fn gen_image_dataset(fs: &HostFs, cfg: &ImageDatasetConfig) -> ImageDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    fs.mkdir_p(&cfg.dir).expect("create image dir");
+
+    let queries: Vec<Vec<f32>> = if cfg.plant_in_first_db_prefix {
+        // The paper's degenerate early-exit case: "images always match
+        // the first entry in the first database" (§5.2.1) — every query
+        // is the same image, planted at slot 0 of database 0.
+        let one: Vec<f32> = (0..cfg.dim).map(|_| rng.gen_range(0.0..1.0f32)).collect();
+        vec![one; cfg.n_queries]
+    } else {
+        (0..cfg.n_queries)
+            .map(|_| (0..cfg.dim).map(|_| rng.gen_range(0.0..1.0f32)).collect())
+            .collect()
+    };
+
+    // Decide planting: (query, db, slot).
+    let mut planted: Vec<Option<(usize, usize)>> = vec![None; cfg.n_queries];
+    let mut plants: Vec<Vec<(usize, usize)>> = vec![Vec::new(); cfg.db_sizes.len()]; // per-db (slot, query)
+    if cfg.plant_in_first_db_prefix {
+        plants[0].push((0, 0));
+        for p in planted.iter_mut() {
+            *p = Some((0, 0));
+        }
+    } else {
+        for q in 0..cfg.n_queries {
+            if rng.gen_bool(cfg.match_fraction) {
+                let db = rng.gen_range(0..cfg.db_sizes.len());
+                let slot = rng.gen_range(0..cfg.db_sizes[db]);
+                if plants[db].iter().any(|&(s, _)| s == slot) {
+                    continue; // slot already used; leave this query unmatched
+                }
+                plants[db].push((slot, q));
+                planted[q] = Some((db, slot));
+            }
+        }
+    }
+
+    let mut db_paths = Vec::new();
+    for (d, &size) in cfg.db_sizes.iter().enumerate() {
+        let mut bytes = Vec::with_capacity(size * cfg.dim * 4);
+        let planted_here: std::collections::HashMap<usize, usize> =
+            plants[d].iter().copied().collect();
+        for slot in 0..size {
+            if let Some(&q) = planted_here.get(&slot) {
+                push_f32s(&mut bytes, &queries[q]);
+            } else {
+                // Random image, offset by +2.0 so it can never match a
+                // query within any reasonable threshold.
+                let img: Vec<f32> = (0..cfg.dim).map(|_| rng.gen_range(2.0..3.0f32)).collect();
+                push_f32s(&mut bytes, &img);
+            }
+        }
+        let path = format!("{}/db{d}.img", cfg.dir);
+        fs.create(&path, &bytes).expect("create image db");
+        db_paths.push(path);
+    }
+
+    let mut qbytes = Vec::with_capacity(cfg.n_queries * cfg.dim * 4);
+    for q in &queries {
+        push_f32s(&mut qbytes, q);
+    }
+    let query_path = format!("{}/queries.img", cfg.dir);
+    fs.create(&query_path, &qbytes).expect("create query set");
+
+    ImageDataset {
+        db_paths,
+        db_sizes: cfg.db_sizes.clone(),
+        query_path,
+        n_queries: cfg.n_queries,
+        dim: cfg.dim,
+        planted,
+    }
+}
+
+/// Create the matrix and vector files for the matrix–vector product.
+/// The matrix is synthetic (no host RAM cost, any size); the vector is a
+/// real file of seeded f32 values.
+///
+/// # Panics
+///
+/// Panics on host-FS setup errors.
+pub fn gen_matvec_input(
+    fs: &HostFs,
+    matrix_path: &str,
+    vector_path: &str,
+    rows: u64,
+    cols: u64,
+    seed: u64,
+) {
+    fs.create_synthetic(matrix_path, rows * cols * 4, seed).expect("create matrix");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ec);
+    let mut bytes = Vec::with_capacity(cols as usize * 4);
+    for _ in 0..cols {
+        bytes.extend_from_slice(&rng.gen_range(-1.0..1.0f32).to_le_bytes());
+    }
+    fs.create(vector_path, &bytes).expect("create vector");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostfs::HostFsConfig;
+
+    fn fs() -> HostFs {
+        HostFs::new(HostFsConfig::default())
+    }
+
+    fn small_corpus_cfg() -> TextCorpusConfig {
+        TextCorpusConfig {
+            dir: "/corpus".into(),
+            n_files: 20,
+            total_bytes: 64 << 10,
+            vocab_size: 500,
+            dict_words: 100,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let f1 = fs();
+        let f2 = fs();
+        let c1 = gen_text_corpus(&f1, &small_corpus_cfg());
+        let c2 = gen_text_corpus(&f2, &small_corpus_cfg());
+        assert_eq!(c1.files, c2.files);
+        assert_eq!(c1.total_bytes, c2.total_bytes);
+        assert_eq!(c1.dict_words, c2.dict_words);
+        let (a, _) = f1.read_whole(&c1.files[3], 0).unwrap();
+        let (b, _) = f2.read_whole(&c2.files[3], 0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corpus_file_list_matches_files() {
+        let f = fs();
+        let c = gen_text_corpus(&f, &small_corpus_cfg());
+        let (list, _) = f.read_whole(&c.file_list_path, 0).unwrap();
+        let listed: Vec<&str> = std::str::from_utf8(&list).unwrap().lines().collect();
+        assert_eq!(listed, c.files);
+        for path in &c.files {
+            assert!(f.exists(path));
+        }
+    }
+
+    #[test]
+    fn dictionary_records_are_aligned_and_parse_back() {
+        let f = fs();
+        let c = gen_text_corpus(&f, &small_corpus_cfg());
+        let (bytes, _) = f.read_whole(&c.dict_path, 0).unwrap();
+        assert_eq!(bytes.len() % DICT_RECORD, 0);
+        let parsed = parse_dictionary(&bytes);
+        let words: Vec<String> =
+            parsed.iter().map(|w| String::from_utf8(w.clone()).unwrap()).collect();
+        assert_eq!(words, c.dict_words);
+    }
+
+    #[test]
+    fn some_dictionary_words_occur_and_some_do_not() {
+        let f = fs();
+        let c = gen_text_corpus(&f, &small_corpus_cfg());
+        let mut all_text = Vec::new();
+        for path in &c.files {
+            let (bytes, _) = f.read_whole(path, 0).unwrap();
+            all_text.extend_from_slice(&bytes);
+        }
+        let text = String::from_utf8(all_text).unwrap();
+        let occur = c.dict_words.iter().filter(|w| text.contains(w.as_str())).count();
+        assert!(occur > 0, "some dictionary words must occur");
+        assert!(occur < c.dict_words.len(), "absent words must exist");
+    }
+
+    #[test]
+    fn image_dataset_plants_exact_matches() {
+        let f = fs();
+        let ds = gen_image_dataset(
+            &f,
+            &ImageDatasetConfig {
+                dir: "/img".into(),
+                db_sizes: vec![10, 15],
+                n_queries: 8,
+                dim: 16,
+                match_fraction: 0.5,
+                plant_in_first_db_prefix: false,
+                seed: 7,
+            },
+        );
+        let (qbytes, _) = f.read_whole(&ds.query_path, 0).unwrap();
+        let some_planted = ds.planted.iter().flatten().count();
+        assert!(some_planted > 0, "seed 7 should plant at least one");
+        for (q, plant) in ds.planted.iter().enumerate() {
+            if let Some((db, slot)) = plant {
+                let (dbytes, _) = f.read_whole(&ds.db_paths[*db], 0).unwrap();
+                let ib = ds.image_bytes();
+                assert_eq!(
+                    &dbytes[slot * ib..(slot + 1) * ib],
+                    &qbytes[q * ib..(q + 1) * ib],
+                    "query {q} must be byte-identical at its planted slot"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_inputs_have_right_sizes() {
+        let f = fs();
+        gen_matvec_input(&f, "/A", "/x", 100, 64, 3);
+        assert_eq!(f.stat("/A").unwrap().size, 100 * 64 * 4);
+        assert_eq!(f.stat("/x").unwrap().size, 64 * 4);
+    }
+}

@@ -1,0 +1,1 @@
+//! Root package library stub; all functionality lives in the workspace crates.

@@ -1,0 +1,151 @@
+//! Cross-GPU consistency-model tests: the locality-optimized weak
+//! consistency of paper §3.1 — local reads after fetch, propagation only
+//! on explicit sync, visibility to other GPUs only on reopen.
+
+use std::sync::Arc;
+
+use gpufs::{GOpenMode, GpufsConfig, GpufsHost};
+use gpusim::{Gpu, GpuSpec, Grid};
+use hostfs::{HostFs, HostFsConfig};
+
+fn rig(n_gpus: usize) -> (Arc<HostFs>, GpufsHost, Vec<Arc<Gpu>>) {
+    let fs = Arc::new(HostFs::new(HostFsConfig::default()));
+    let gpus: Vec<Arc<Gpu>> =
+        (0..n_gpus).map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test()))).collect();
+    let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
+    (fs, host, gpus)
+}
+
+#[test]
+fn writes_become_visible_to_other_gpus_only_on_reopen() {
+    let (fs, host, gpus) = rig(2);
+    fs.create("/wc.dat", &[0u8; 4096]).unwrap();
+    let m0 = host.mount(0, GpufsConfig::small_test()).unwrap();
+    let m1 = host.mount(1, GpufsConfig::small_test()).unwrap();
+
+    // GPU 1 caches the original content.
+    let k_read = gpus[1].launch(Grid::new(1, 32), 0, |blk| {
+        let fd = m1.open(blk, "/wc.dat", GOpenMode::ReadOnly).unwrap();
+        let mut b = [0u8; 16];
+        m1.read(blk, &fd, 0, &mut b).unwrap();
+        assert!(b.iter().all(|&x| x == 0));
+        m1.close(blk, fd).unwrap();
+    });
+
+    // GPU 0 writes and synchronizes.
+    let k_write = gpus[0].launch(Grid::new(1, 32), 0, |blk| {
+        let fd = m0.open(blk, "/wc.dat", GOpenMode::ReadWrite).unwrap();
+        m0.write(blk, &fd, 0, &[7u8; 16]).unwrap();
+        m0.fsync(blk, &fd).unwrap();
+        m0.close(blk, fd).unwrap();
+    });
+
+    // GPU 1 reopens: lazy invalidation must surface GPU 0's writes.
+    gpus[1].launch(Grid::new(1, 32), k_read.end.max(k_write.end), |blk| {
+        let fd = m1.open(blk, "/wc.dat", GOpenMode::ReadOnly).unwrap();
+        let mut b = [0u8; 16];
+        m1.read(blk, &fd, 0, &mut b).unwrap();
+        assert!(
+            b.iter().all(|&x| x == 7),
+            "reopen after foreign sync must see the new content"
+        );
+        m1.close(blk, fd).unwrap();
+    });
+}
+
+#[test]
+fn unsynced_writes_stay_invisible_across_gpus() {
+    let (fs, host, gpus) = rig(2);
+    fs.create("/priv.dat", &[1u8; 1024]).unwrap();
+    let m0 = host.mount(0, GpufsConfig::small_test()).unwrap();
+    let m1 = host.mount(1, GpufsConfig::small_test()).unwrap();
+
+    // GPU 0 writes but never syncs (close does not propagate, §3.2).
+    let k0 = gpus[0].launch(Grid::new(1, 32), 0, |blk| {
+        let fd = m0.open(blk, "/priv.dat", GOpenMode::ReadWrite).unwrap();
+        m0.write(blk, &fd, 0, &[9u8; 1024]).unwrap();
+        m0.close(blk, fd).unwrap();
+    });
+
+    gpus[1].launch(Grid::new(1, 32), k0.end, |blk| {
+        let fd = m1.open(blk, "/priv.dat", GOpenMode::ReadOnly).unwrap();
+        let mut b = [0u8; 1024];
+        m1.read(blk, &fd, 0, &mut b).unwrap();
+        assert!(
+            b.iter().all(|&x| x == 1),
+            "unsynced foreign writes must not be visible"
+        );
+        m1.close(blk, fd).unwrap();
+    });
+
+    // The writer's own cache still sees its writes on reopen (revival).
+    gpus[0].launch(Grid::new(1, 32), k0.end, |blk| {
+        let fd = m0.open(blk, "/priv.dat", GOpenMode::ReadWrite).unwrap();
+        let mut b = [0u8; 1024];
+        m0.read(blk, &fd, 0, &mut b).unwrap();
+        assert!(b.iter().all(|&x| x == 9), "own writes must survive reopen");
+        m0.close(blk, fd).unwrap();
+    });
+}
+
+#[test]
+fn two_gpus_produce_one_write_once_file() {
+    // The paper's "concurrent non-overlapping writes" common case: a
+    // parallel task on several GPUs producing disjoint ranges of one
+    // output file under O_GWRONCE.
+    let (fs, host, gpus) = rig(2);
+    let m: Vec<_> = (0..2)
+        .map(|g| host.mount(g, GpufsConfig::new(4 << 10, 256 << 10)).unwrap())
+        .collect();
+
+    std::thread::scope(|s| {
+        for g in 0..2usize {
+            let mount = Arc::clone(&m[g]);
+            let gpu = Arc::clone(&gpus[g]);
+            s.spawn(move || {
+                gpu.launch(Grid::new(4, 32), 0, |blk| {
+                    let fd = mount.open(blk, "/produced.out", GOpenMode::WriteOnce).unwrap();
+                    let lane = (g * 4 + blk.block_id()) as u64;
+                    let payload = vec![lane as u8 + 1; 1500];
+                    mount.write(blk, &fd, lane * 1500, &payload).unwrap();
+                    mount.fsync(blk, &fd).unwrap();
+                    mount.close(blk, fd).unwrap();
+                });
+            });
+        }
+    });
+
+    let (data, _) = fs.read_whole("/produced.out", 0).unwrap();
+    assert_eq!(data.len(), 8 * 1500);
+    for lane in 0..8usize {
+        assert!(
+            data[lane * 1500..(lane + 1) * 1500].iter().all(|&b| b == lane as u8 + 1),
+            "lane {lane} merged incorrectly"
+        );
+    }
+}
+
+#[test]
+fn generation_counters_line_up_with_registry() {
+    let (fs, host, gpus) = rig(1);
+    let ino = fs.create("/gen.dat", &[0u8; 64]).unwrap();
+    let mount = host.mount(0, GpufsConfig::small_test()).unwrap();
+    let g0 = fs.consistency().generation(ino);
+    gpus[0].launch(Grid::new(1, 32), 0, |blk| {
+        let fd = mount.open(blk, "/gen.dat", GOpenMode::ReadWrite).unwrap();
+        mount.write(blk, &fd, 0, &[5u8; 8]).unwrap();
+        mount.fsync(blk, &fd).unwrap();
+        mount.close(blk, fd).unwrap();
+    });
+    let g1 = fs.consistency().generation(ino);
+    assert!(g1 > g0, "open-for-write and write-back must bump the generation");
+    // A further kernel that only reads does not bump it.
+    gpus[0].launch(Grid::new(1, 32), 0, |blk| {
+        let fd = mount.open(blk, "/gen.dat", GOpenMode::ReadOnly).unwrap();
+        let mut b = [0u8; 8];
+        mount.read(blk, &fd, 0, &mut b).unwrap();
+        assert_eq!(b, [5u8; 8]);
+        mount.close(blk, fd).unwrap();
+    });
+    assert_eq!(fs.consistency().generation(ino), g1);
+}

@@ -1,0 +1,299 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: the radix tree against a model, the host file system
+//! against a byte-vector model, diff-and-merge equivalence, and
+//! virtual-time resource laws.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use gpufs::cache::{diff_extents, nonzero_extents, PageState, RadixTree};
+use hostfs::{HostFs, HostFsConfig, OpenFlags, PageCache};
+use simtime::ByteLedger;
+use simtime::{BandwidthResource, Clock, Nanos};
+
+/// Reference LRU used to model the page cache.
+#[derive(Default)]
+struct ModelLru {
+    order: Vec<(u64, u64)>, // most-recent last
+}
+
+impl ModelLru {
+    fn touch(&mut self, key: (u64, u64), cap: usize) -> bool {
+        let hit = if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            true
+        } else {
+            false
+        };
+        self.order.push(key);
+        while self.order.len() > cap {
+            self.order.remove(0);
+        }
+        hit
+    }
+}
+
+// ---------------------------------------------------------------------
+// Radix tree vs. a HashMap model.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(u64),
+    Lookup(u64),
+    SetReady(u64, u32),
+    Evict(u64),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    // Cluster indices so leaves are shared and revisited.
+    let idx = prop_oneof![0u64..64, 64u64..4096, (1u64 << 20)..(1u64 << 20) + 64];
+    prop_oneof![
+        idx.clone().prop_map(TreeOp::Insert),
+        idx.clone().prop_map(TreeOp::Lookup),
+        (idx.clone(), 0u32..1000).prop_map(|(i, f)| TreeOp::SetReady(i, f)),
+        idx.prop_map(TreeOp::Evict),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn radix_tree_matches_model(ops in proptest::collection::vec(tree_op(), 1..200)) {
+        let tree = RadixTree::new();
+        // Model: page index -> Some(frame) if Ready, None if Empty slot.
+        let mut model: HashMap<u64, Option<u32>> = HashMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(i) => {
+                    tree.get_or_insert(i);
+                    model.entry(i).or_insert(None);
+                }
+                TreeOp::Lookup(i) => {
+                    match tree.lookup(i) {
+                        Some(fp) => {
+                            // The whole leaf materializes at once, so a
+                            // hit is allowed even if the model never
+                            // touched this exact index; but a Ready state
+                            // must match the model's frame.
+                            if let Some(Some(frame)) = model.get(&i) {
+                                prop_assert_eq!(fp.state(), PageState::Ready);
+                                prop_assert_eq!(fp.frame(), Some(*frame));
+                            }
+                        }
+                        None => {
+                            prop_assert!(
+                                !model.contains_key(&i),
+                                "model has {} but tree lost it", i
+                            );
+                        }
+                    }
+                }
+                TreeOp::SetReady(i, frame) => {
+                    let fp = tree.get_or_insert(i);
+                    fp.lock();
+                    fp.begin_update();
+                    fp.set_frame(Some(frame));
+                    fp.set_state(PageState::Ready);
+                    fp.end_update();
+                    fp.unlock();
+                    model.insert(i, Some(frame));
+                }
+                TreeOp::Evict(i) => {
+                    if let Some(fp) = tree.lookup(i) {
+                        if fp.state() == PageState::Ready && fp.refs() == 0 {
+                            fp.lock();
+                            fp.begin_update();
+                            fp.set_frame(None);
+                            fp.set_state(PageState::Empty);
+                            fp.end_update();
+                            fp.unlock();
+                            model.insert(i, None);
+                        }
+                    }
+                }
+            }
+        }
+        // Final sweep: every Ready page in the model is found lock-free.
+        for (&i, entry) in &model {
+            if let Some(frame) = entry {
+                let fp = tree.lookup(i).expect("model page present");
+                prop_assert_eq!(fp.frame(), Some(*frame));
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Host FS vs. a byte-vector model.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn hostfs_read_your_writes(
+        writes in proptest::collection::vec(
+            (0u64..8192, proptest::collection::vec(any::<u8>(), 1..256)),
+            1..24
+        )
+    ) {
+        let fs = HostFs::new(HostFsConfig::default());
+        fs.create("/f", b"").unwrap();
+        let (fd, mut t) = fs.open("/f", OpenFlags::read_write(), 0).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for (off, data) in writes {
+            let (_, t2) = fs.pwrite(fd, off, &data, t).unwrap();
+            t = t2;
+            let end = off as usize + data.len();
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[off as usize..end].copy_from_slice(&data);
+        }
+        let mut buf = vec![0u8; model.len() + 10];
+        let (n, _) = fs.pread(fd, 0, &mut buf, t).unwrap();
+        prop_assert_eq!(n, model.len());
+        prop_assert_eq!(&buf[..n], &model[..]);
+        fs.close(fd).unwrap();
+    }
+
+    #[test]
+    fn hostfs_crash_preserves_exactly_the_synced_state(
+        pre in proptest::collection::vec(any::<u8>(), 0..512),
+        post in proptest::collection::vec(any::<u8>(), 1..512)
+    ) {
+        let fs = HostFs::new(HostFsConfig::default());
+        fs.create("/f", b"").unwrap();
+        let (fd, t) = fs.open("/f", OpenFlags::read_write(), 0).unwrap();
+        let (_, t) = fs.pwrite(fd, 0, &pre, t).unwrap();
+        let t = fs.fsync(fd, t).unwrap();
+        let (_, _t) = fs.pwrite(fd, pre.len() as u64, &post, t).unwrap();
+        fs.crash();
+        let (data, _) = fs.read_whole("/f", 0).unwrap();
+        prop_assert_eq!(data, pre, "crash must roll back to the fsync point");
+    }
+
+    // -----------------------------------------------------------------
+    // Diff-and-merge laws.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn diff_extents_reconstruct_working_copy(
+        pristine in proptest::collection::vec(any::<u8>(), 1..512),
+        edits in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 0..32),
+        gap in 0usize..16
+    ) {
+        let mut working = pristine.clone();
+        for (idx, byte) in edits {
+            let i = idx.index(working.len());
+            working[i] = byte;
+        }
+        let extents = diff_extents(&working, &pristine, gap);
+        // Applying the extents to the pristine copy yields the working
+        // copy: nothing modified is lost, nothing unmodified is claimed
+        // that would change the merge result.
+        let mut merged = pristine.clone();
+        for (off, len) in &extents {
+            let (off, len) = (*off as usize, *len as usize);
+            merged[off..off + len].copy_from_slice(&working[off..off + len]);
+        }
+        prop_assert_eq!(&merged, &working);
+        // Extents are sorted, non-overlapping, and separated by > gap.
+        for pair in extents.windows(2) {
+            let end = pair[0].0 as usize + pair[0].1 as usize;
+            prop_assert!(end + gap < pair[1].0 as usize + 1,
+                "extents {:?} not separated by more than {}", pair, gap);
+        }
+    }
+
+    #[test]
+    fn nonzero_extents_cover_every_nonzero_byte(
+        page in proptest::collection::vec(any::<u8>(), 1..512),
+        gap in 0usize..16
+    ) {
+        let extents = nonzero_extents(&page, gap);
+        let mut covered = vec![false; page.len()];
+        for (off, len) in &extents {
+            for i in *off as usize..*off as usize + *len as usize {
+                covered[i] = true;
+            }
+        }
+        for (i, &b) in page.iter().enumerate() {
+            if b != 0 {
+                prop_assert!(covered[i], "nonzero byte {i} not covered");
+            }
+        }
+        // Merging into an all-zero page reproduces exactly `page`.
+        let mut merged = vec![0u8; page.len()];
+        for (off, len) in &extents {
+            let (off, len) = (*off as usize, *len as usize);
+            merged[off..off + len].copy_from_slice(&page[off..off + len]);
+        }
+        prop_assert_eq!(&merged, &page);
+    }
+
+    // -----------------------------------------------------------------
+    // Page cache vs. a reference LRU.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn pagecache_tracks_reference_lru(
+        touches in proptest::collection::vec((1u64..4, 0u64..32), 1..200),
+        cap in 1usize..16
+    ) {
+        let ledger = Arc::new(ByteLedger::new(cap as u64 * 4096));
+        let mut cache = PageCache::new(4096, ledger);
+        let mut model = ModelLru::default();
+        for (ino, page) in touches {
+            let (hit, _) = cache.touch_read(ino, page);
+            let model_hit = model.touch((ino, page), cap);
+            prop_assert_eq!(hit, model_hit, "cache/model disagree on ({}, {})", ino, page);
+        }
+        // Residency agrees exactly at the end.
+        for &(ino, page) in &model.order {
+            prop_assert!(cache.is_resident(ino, page));
+        }
+        prop_assert_eq!(cache.resident_bytes(), model.order.len() as u64 * 4096);
+    }
+
+    // -----------------------------------------------------------------
+    // Virtual-time laws.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn bandwidth_resource_enforces_capacity(
+        requests in proptest::collection::vec((0u64..1_000_000, 1u64..1_000_000), 1..50)
+    ) {
+        let bw = BandwidthResource::new(1000.0, 100);
+        let mut total_service: Nanos = 0;
+        let mut max_end: Nanos = 0;
+        for (earliest, bytes) in &requests {
+            let r = bw.transfer(*earliest, *bytes);
+            prop_assert!(r.start >= *earliest, "transfer cannot start before issue");
+            prop_assert_eq!(r.busy(), bw.service_time(*bytes));
+            total_service += r.busy();
+            max_end = max_end.max(r.end);
+        }
+        // Work conservation: everything finishes no later than the last
+        // issue time plus the total service demand.
+        let max_earliest = requests.iter().map(|&(e, _)| e).max().unwrap_or(0);
+        prop_assert!(max_end <= max_earliest + total_service);
+    }
+
+    #[test]
+    fn clock_is_monotone_under_any_op_sequence(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1_000_000), 1..100)
+    ) {
+        let mut clock = Clock::new();
+        let mut last = clock.now();
+        for (advance, v) in ops {
+            if advance {
+                clock.advance(v);
+            } else {
+                clock.wait_until(v);
+            }
+            prop_assert!(clock.now() >= last);
+            last = clock.now();
+        }
+    }
+}
