@@ -67,14 +67,20 @@ fn close_sync_workload(sync_on_close: bool) -> (f64, u64) {
     };
     let mount = r.host.mount(0, cfg).unwrap();
     let res = r.gpus[0].launch_seeded(Grid::new(112, 256), 0, 7, |blk| {
-        let fd = mount.open(blk, "/produced.bin", GOpenMode::WriteOnce).unwrap();
+        let fd = mount
+            .open(blk, "/produced.bin", GOpenMode::WriteOnce)
+            .unwrap();
         let payload = vec![blk.block_id() as u8 + 1; 16 << 10];
-        mount.write(blk, &fd, blk.block_id() as u64 * (16 << 10), &payload).unwrap();
+        mount
+            .write(blk, &fd, blk.block_id() as u64 * (16 << 10), &payload)
+            .unwrap();
         mount.close(blk, fd).unwrap();
     });
     // One explicit sync at the end, as the paper's decoupled model intends.
     r.gpus[0].launch(Grid::new(1, 32), res.end, |blk| {
-        let fd = mount.open(blk, "/produced.bin", GOpenMode::WriteOnce).unwrap();
+        let fd = mount
+            .open(blk, "/produced.bin", GOpenMode::WriteOnce)
+            .unwrap();
         mount.fsync(blk, &fd).unwrap();
         mount.close(blk, fd).unwrap();
     });
@@ -89,10 +95,22 @@ fn main() {
     );
     let (t_on, h2d_on, opens_on) = reopen_workload(false);
     let (t_off, h2d_off, opens_off) = reopen_workload(true);
-    println!("{:>22} {:>12} {:>14} {:>12}", "", "time (ms)", "PCIe h2d (MB)", "host opens");
-    println!("{:>22} {:>12.1} {:>14} {:>12}", "closed table ON", t_on, h2d_on, opens_on);
-    println!("{:>22} {:>12.1} {:>14} {:>12}", "closed table OFF", t_off, h2d_off, opens_off);
-    println!("-> {:.1}x less PCIe traffic with the table\n", h2d_off as f64 / h2d_on.max(1) as f64);
+    println!(
+        "{:>22} {:>12} {:>14} {:>12}",
+        "", "time (ms)", "PCIe h2d (MB)", "host opens"
+    );
+    println!(
+        "{:>22} {:>12.1} {:>14} {:>12}",
+        "closed table ON", t_on, h2d_on, opens_on
+    );
+    println!(
+        "{:>22} {:>12.1} {:>14} {:>12}",
+        "closed table OFF", t_off, h2d_off, opens_off
+    );
+    println!(
+        "-> {:.1}x less PCIe traffic with the table\n",
+        h2d_off as f64 / h2d_on.max(1) as f64
+    );
 
     banner(
         "Ablation — decoupled close vs POSIX sync-on-close (paper §3.2)",

@@ -59,15 +59,18 @@ fn cuda_pipeline_phase(page: usize) -> f64 {
     let (fd, topen) = r.fs.open(FILE_PATH, OpenFlags::read_only(), 0).unwrap();
     cpu.wait_until(topen);
     // Two pinned staging buffers: pread chunk, enqueue async DMA, move on.
-    let mut staging =
-        [HostPinned::new_accounted(page, Arc::clone(r.fs.mem())),
-         HostPinned::new_accounted(page, Arc::clone(r.fs.mem()))];
+    let mut staging = [
+        HostPinned::new_accounted(page, Arc::clone(r.fs.mem())),
+        HostPinned::new_accounted(page, Arc::clone(r.fs.mem())),
+    ];
     let mut end = cpu.now();
     let mut off = 0u64;
     let mut i = 0usize;
     while off < FILE_BYTES {
         let n = (page as u64).min(FILE_BYTES - off) as usize;
-        let (got, tr) = r.fs.pread(fd, off, &mut staging[i].as_mut()[..n], cpu.now()).unwrap();
+        let (got, tr) =
+            r.fs.pread(fd, off, &mut staging[i].as_mut()[..n], cpu.now())
+                .unwrap();
         cpu.wait_until(tr);
         let xfer = r.gpus[0].dma().reserve_h2d(cpu.now(), got as u64);
         end = end.max(xfer.end);
@@ -120,6 +123,9 @@ fn main() {
             whole
         );
     }
-    println!("\nmax PCIe bandwidth line: {:.0} MB/s", Timings::default().pcie_mb_s);
+    println!(
+        "\nmax PCIe bandwidth line: {:.0} MB/s",
+        Timings::default().pcie_mb_s
+    );
     let _ = secs(0);
 }

@@ -47,7 +47,10 @@ fn run(page: usize) -> (f64, u64) {
     });
     let unique_pages = mount.counters().misses.get();
     // Effective throughput over the bytes the application asked for.
-    (throughput_mb_s(bytes_read.load(Ordering::Relaxed), res.elapsed()), unique_pages)
+    (
+        throughput_mb_s(bytes_read.load(Ordering::Relaxed), res.elapsed()),
+        unique_pages,
+    )
 }
 
 fn main() {
@@ -60,9 +63,17 @@ fn main() {
             FILE_BYTES >> 20
         ),
     );
-    println!("{:>10} {:>22} {:>16}", "page", "effective bw (MB/s)", "unique pages");
+    println!(
+        "{:>10} {:>22} {:>16}",
+        "page", "effective bw (MB/s)", "unique pages"
+    );
     for &page in PAGE_SIZES {
         let (bw, unique) = run(page);
-        println!("{:>10} {:>22.0} {:>16}", human_size(page as u64), bw, unique);
+        println!(
+            "{:>10} {:>22.0} {:>16}",
+            human_size(page as u64),
+            bw,
+            unique
+        );
     }
 }

@@ -10,13 +10,13 @@
 //! here as a virtual serial resource. The paper reports the lock-free
 //! protocol at 85–88% of raw memory speed and ~3x the locked variant.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use gpufs::{GOpenMode, GpufsConfig};
 use gpufs_bench::{banner, human_size, rig};
 use gpusim::Grid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simtime::Timings;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const FILE_BYTES: u64 = 16 << 20;
 const FILE_PATH: &str = "/cached.bin";
@@ -32,7 +32,10 @@ fn gpufs_phase(page: usize, force_locked: bool) -> (f64, u64, u64) {
     let cache = 64 << 20;
     let r = rig(1, cache + (32 << 20), 8 << 30, &t);
     r.fs.create_synthetic(FILE_PATH, FILE_BYTES, 9).unwrap();
-    let cfg = GpufsConfig { force_locked, ..GpufsConfig::new(page, cache) };
+    let cfg = GpufsConfig {
+        force_locked,
+        ..GpufsConfig::new(page, cache)
+    };
     let mount = r.host.mount(0, cfg).unwrap();
 
     // Prefetch the file into the GPU buffer cache with a separate kernel,
@@ -92,9 +95,7 @@ fn raw_memory_phase() -> f64 {
             blk.gpu().global().read(buf + off as usize, &mut dst);
             // The raw baseline pays the same memory latency + bandwidth
             // as a GPUfs copy of the chunk, and nothing else.
-            blk.advance(
-                t.gpu_mem_latency_ns + simtime::bw_time_ns(CHUNK as u64, t.gpu_mem_mb_s),
-            );
+            blk.advance(t.gpu_mem_latency_ns + simtime::bw_time_ns(CHUNK as u64, t.gpu_mem_mb_s));
             local = local.wrapping_add(u64::from(dst[0]));
         }
         sink.fetch_add(local, Ordering::Relaxed);

@@ -44,7 +44,10 @@ fn run(cache_bytes: usize) -> (f64, u64, u64, u64) {
     let _ = r.fs.read_whole(&ds.query_path, 0).unwrap();
     r.fs.reset_device_time();
 
-    let mount = r.host.mount(0, GpufsConfig::new(64 << 10, cache_bytes)).unwrap();
+    let mount = r
+        .host
+        .mount(0, GpufsConfig::new(64 << 10, cache_bytes))
+        .unwrap();
     let res = imgmatch_gpufs(&[std::sync::Arc::clone(&mount)], &r.gpus, &ds, 0.5).unwrap();
     assert_eq!(res.queries_matched, 0, "no-match input must not match");
     (

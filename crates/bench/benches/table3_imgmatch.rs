@@ -89,7 +89,15 @@ fn main() {
         let (g4, _) = gpu_run(4, fraction, false);
         println!(
             "{:>14} {:>10.1} {:>10.1} {:>8.1} ({:>3.1}x) {:>8.1} ({:>3.1}x) {:>8.1} ({:>3.1}x)",
-            label, cpu, g1, g2, g1 / g2, g3, g1 / g3, g4, g1 / g4
+            label,
+            cpu,
+            g1,
+            g2,
+            g1 / g2,
+            g3,
+            g1 / g3,
+            g4,
+            g1 / g4
         );
     }
 

@@ -64,8 +64,14 @@ fn run_corpus(label: &str, gen: impl Fn(&hostfs::HostFs) -> TextCorpus) {
     r.fs.drop_caches();
     r.fs.reset_device_time();
     let mount = r.host.mount(0, GpufsConfig::new(64 << 10, cache)).unwrap();
-    let gpufs =
-        grep_gpufs(&mount, &r.gpus[0], &corpus.file_list_path, &corpus.dict_path, "/out").unwrap();
+    let gpufs = grep_gpufs(
+        &mount,
+        &r.gpus[0],
+        &corpus.file_list_path,
+        &corpus.dict_path,
+        "/out",
+    )
+    .unwrap();
     drop(r);
 
     // Vanilla GPU (cold cache).
@@ -77,7 +83,10 @@ fn run_corpus(label: &str, gen: impl Fn(&hostfs::HostFs) -> TextCorpus) {
         grep_vanilla_gpu(&r.fs, &r.gpus[0], &corpus.file_list_path, &corpus.dict_path).unwrap();
     drop(r);
 
-    assert_eq!(gpufs.word_totals, cpu.word_totals, "all versions must agree");
+    assert_eq!(
+        gpufs.word_totals, cpu.word_totals,
+        "all versions must agree"
+    );
     assert_eq!(gpufs.word_totals, vanilla.word_totals);
     println!(
         "{:>16} {:>12.1} {:>14.1} ({:>4.1}x) {:>14.1} ({:>4.1}x)   [{} matches, {} occurrences]",
@@ -123,7 +132,11 @@ fn main() {
     println!(
         "\nLOC (semicolons): CPU {} | GPUfs {} | vanilla {} (paper: 80 / 140 / 178)",
         loc(grep_src, "pub fn grep_cpu", None),
-        loc(grep_src, "pub fn grep_gpufs", Some("pub fn grep_vanilla_gpu")),
+        loc(
+            grep_src,
+            "pub fn grep_gpufs",
+            Some("pub fn grep_vanilla_gpu")
+        ),
         loc(grep_src, "pub fn grep_vanilla_gpu", Some("pub fn grep_cpu")),
     );
 }

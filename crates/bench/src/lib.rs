@@ -52,7 +52,10 @@ pub fn rig(n_gpus: usize, gpu_mem_bytes: usize, host_mem_bytes: u64, timings: &T
         cache_page_size: 64 << 10,
         readahead_pages: 8,
     }));
-    let spec = GpuSpec { memory_bytes: gpu_mem_bytes, ..GpuSpec::tesla_c2075() };
+    let spec = GpuSpec {
+        memory_bytes: gpu_mem_bytes,
+        ..GpuSpec::tesla_c2075()
+    };
     let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
         .map(|i| Arc::new(Gpu::with_timings(i, spec.clone(), timings)))
         .collect();

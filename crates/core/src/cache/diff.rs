@@ -21,7 +21,11 @@ pub type Extents = Vec<(u32, u32)>;
 /// Panics if the slices differ in length.
 #[must_use]
 pub fn diff_extents(working: &[u8], pristine: &[u8], merge_gap: usize) -> Extents {
-    assert_eq!(working.len(), pristine.len(), "diff requires equal-length copies");
+    assert_eq!(
+        working.len(),
+        pristine.len(),
+        "diff requires equal-length copies"
+    );
     extents_where(working.len(), merge_gap, |i| working[i] != pristine[i])
 }
 

@@ -115,7 +115,12 @@ impl FrameArena {
         let pframes = (0..num_frames).map(|_| PFrame::new()).collect();
         // LIFO free list: pop from the back; start with low indices first.
         let free = (0..num_frames as FrameIdx).rev().collect();
-        Ok(Self { base, page_size, pframes, free: Mutex::new(free) })
+        Ok(Self {
+            base,
+            page_size,
+            pframes,
+            free: Mutex::new(free),
+        })
     }
 
     /// Page size in bytes.
@@ -143,7 +148,10 @@ impl FrameArena {
     /// Panics if `idx` is out of range.
     #[must_use]
     pub fn frame_ptr(&self, idx: FrameIdx) -> DevPtr {
-        assert!((idx as usize) < self.pframes.len(), "frame index out of range");
+        assert!(
+            (idx as usize) < self.pframes.len(),
+            "frame index out of range"
+        );
         self.base + (idx as usize) * self.page_size
     }
 

@@ -116,7 +116,10 @@ impl FPage {
     ///
     /// Panics in debug builds if the lock is not held.
     pub fn unlock(&self) {
-        debug_assert!(self.locked.load(Ordering::Relaxed), "unlock of unlocked fpage");
+        debug_assert!(
+            self.locked.load(Ordering::Relaxed),
+            "unlock of unlocked fpage"
+        );
         self.locked.store(false, Ordering::Release);
     }
 
@@ -124,7 +127,7 @@ impl FPage {
     /// an odd version and retry.
     pub fn begin_update(&self) {
         let v = self.version.fetch_add(1, Ordering::AcqRel);
-        debug_assert!(v % 2 == 0, "nested begin_update");
+        debug_assert!(v.is_multiple_of(2), "nested begin_update");
     }
 
     /// Leave the update critical section.
@@ -157,7 +160,8 @@ impl FPage {
 
     /// Attach or detach the frame (must hold the lock, inside an update).
     pub fn set_frame(&self, frame: Option<FrameIdx>) {
-        self.frame.store(frame.unwrap_or(NO_FRAME), Ordering::Release);
+        self.frame
+            .store(frame.unwrap_or(NO_FRAME), Ordering::Release);
     }
 
     /// Current pin count.
@@ -185,6 +189,9 @@ impl FPage {
     /// One lock-free pin attempt using the seqlock protocol.
     ///
     /// Returns `Err(())` when a concurrent update forced a retry.
+    // The unit error is deliberate: a seqlock retry carries no information
+    // beyond "try again", and callers only pattern-match on Ok/Err.
+    #[allow(clippy::result_unit_err)]
     pub fn try_pin_lockfree(&self) -> Result<Snapshot, ()> {
         let v1 = self.version.load(Ordering::Acquire);
         if v1 % 2 == 1 {
@@ -274,6 +281,9 @@ pub struct RadixTree {
     root: Box<Node>,
     /// Owns every non-root node; taking this lock serializes node creation
     /// (rare: once per 64 pages) while lookups stay lock-free.
+    // The Box is load-bearing: `children` and `LeafRef` hold raw pointers
+    // to nodes, so node addresses must survive Vec reallocation.
+    #[allow(clippy::vec_box)]
     arena: Mutex<Vec<Box<Node>>>,
     /// Leaves in allocation order — the FIFO spine of the eviction policy.
     leaves: Mutex<Vec<LeafRef>>,
@@ -372,7 +382,10 @@ impl RadixTree {
                     if node.height == 1 {
                         // New leaf: register at the tail of the FIFO list.
                         let base = page_idx & !(FANOUT as u64 - 1);
-                        self.leaves.lock().push(LeafRef { node: raw, base_page: base });
+                        self.leaves.lock().push(LeafRef {
+                            node: raw,
+                            base_page: base,
+                        });
                     }
                     node.children[slot].store(raw, Ordering::Release);
                     child = raw;
@@ -496,7 +509,11 @@ mod tests {
         let p = t.get_or_insert(0);
         p.lock();
         p.begin_update();
-        assert_eq!(p.try_pin_lockfree(), Err(()), "odd version must force retry");
+        assert_eq!(
+            p.try_pin_lockfree(),
+            Err(()),
+            "odd version must force retry"
+        );
         p.end_update();
         p.unlock();
         assert_eq!(p.try_pin_lockfree(), Ok(Snapshot::Empty));

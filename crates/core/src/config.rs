@@ -106,9 +106,19 @@ impl GpufsConfig {
     /// than `cache_bytes`.
     #[must_use]
     pub fn new(page_size: usize, cache_bytes: usize) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
-        assert!(page_size <= cache_bytes, "cache must hold at least one page");
-        Self { page_size, cache_bytes, ..Self::default() }
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert!(
+            page_size <= cache_bytes,
+            "cache must hold at least one page"
+        );
+        Self {
+            page_size,
+            cache_bytes,
+            ..Self::default()
+        }
     }
 
     /// Number of page frames in the raw data array.
@@ -137,7 +147,10 @@ mod tests {
         assert!(!GOpenMode::WriteOnce.readable() && GOpenMode::WriteOnce.writable());
         assert!(!GOpenMode::WriteOnce.fetches_pages());
         assert!(GOpenMode::WriteOnce.syncs_to_host());
-        assert!(!GOpenMode::WriteOnce.needs_pristine(), "wronce diffs against zeros");
+        assert!(
+            !GOpenMode::WriteOnce.needs_pristine(),
+            "wronce diffs against zeros"
+        );
         assert!(!GOpenMode::Temp.syncs_to_host());
     }
 

@@ -61,7 +61,13 @@ impl GpufsHost {
                 .spawn(move || daemon_loop(&fs, &gpus, &hub, &stats))
                 .expect("spawn gpufs daemon")
         };
-        Self { fs, gpus, hub, stats, daemon: Some(daemon) }
+        Self {
+            fs,
+            gpus,
+            hub,
+            stats,
+            daemon: Some(daemon),
+        }
     }
 
     /// The host file system.
@@ -135,7 +141,12 @@ fn serve(
 ) -> (Result<RespOk, FsError>, Nanos) {
     let now = clock.now();
     match req {
-        Request::Open { path, write, create, truncate } => {
+        Request::Open {
+            path,
+            write,
+            create,
+            truncate,
+        } => {
             stats.opens.incr();
             let flags = OpenFlags {
                 read: true,
@@ -149,7 +160,12 @@ fn serve(
                     let meta = fs.fstat(fd).expect("fresh fd");
                     let generation = fs.consistency().generation(meta.ino);
                     (
-                        Ok(RespOk::Opened { fd, ino: meta.ino, size: meta.size, generation }),
+                        Ok(RespOk::Opened {
+                            fd,
+                            ino: meta.ino,
+                            size: meta.size,
+                            generation,
+                        }),
                         clock.now(),
                     )
                 }
@@ -160,7 +176,13 @@ fn serve(
             let r = fs.close(*fd).map(|()| RespOk::Done);
             (r, clock.now())
         }
-        Request::ReadPage { fd, offset, len, dst, gpu } => {
+        Request::ReadPage {
+            fd,
+            offset,
+            len,
+            dst,
+            gpu,
+        } => {
             let mut staging = vec![0u8; *len];
             match fs.pread(*fd, *offset, &mut staging, now) {
                 Ok((n, t)) => {
@@ -178,7 +200,13 @@ fn serve(
                 Err(e) => (Err(e), clock.now()),
             }
         }
-        Request::WriteExtents { fd, src, page_offset, extents, gpu } => {
+        Request::WriteExtents {
+            fd,
+            src,
+            page_offset,
+            extents,
+            gpu,
+        } => {
             if extents.is_empty() {
                 let ino = fs.fstat(*fd).map(|m| m.ino).unwrap_or_default();
                 let generation = fs.consistency().generation(ino);
@@ -187,8 +215,11 @@ fn serve(
             // One DMA covers the span of all modified extents; then each
             // extent is written to the host file.
             let span_start = extents.iter().map(|&(o, _)| o).min().unwrap_or(0) as usize;
-            let span_end =
-                extents.iter().map(|&(o, l)| o as usize + l as usize).max().unwrap_or(0);
+            let span_end = extents
+                .iter()
+                .map(|&(o, l)| o as usize + l as usize)
+                .max()
+                .unwrap_or(0);
             let mut staging = vec![0u8; span_end - span_start];
             let r = gpus[*gpu].dma_d2h(*src + span_start, &mut staging, now);
             stats.bytes_d2h.add(staging.len() as u64);
@@ -207,7 +238,13 @@ fn serve(
             }
             let ino = fs.fstat(*fd).map(|m| m.ino).unwrap_or_default();
             let generation = fs.consistency().generation(ino);
-            (Ok(RespOk::Wrote { n: written, generation }), clock.now())
+            (
+                Ok(RespOk::Wrote {
+                    n: written,
+                    generation,
+                }),
+                clock.now(),
+            )
         }
         Request::Fsync { fd } => match fs.fsync(*fd, now) {
             Ok(t) => {
@@ -265,20 +302,35 @@ mod tests {
         h.fs().create("/f", b"hello world").unwrap();
         let (ok, t_open) = call(
             &h,
-            Request::Open { path: "/f".into(), write: false, create: false, truncate: false },
+            Request::Open {
+                path: "/f".into(),
+                write: false,
+                create: false,
+                truncate: false,
+            },
         )
         .unwrap();
-        let RespOk::Opened { fd, size, .. } = ok else { panic!("expected Opened") };
+        let RespOk::Opened { fd, size, .. } = ok else {
+            panic!("expected Opened")
+        };
         assert_eq!(size, 11);
         assert!(t_open > 0);
 
         let dst = h.gpus()[0].global().alloc(4096).unwrap();
         let (ok, t_read) = call(
             &h,
-            Request::ReadPage { fd, offset: 0, len: 4096, dst, gpu: 0 },
+            Request::ReadPage {
+                fd,
+                offset: 0,
+                len: 4096,
+                dst,
+                gpu: 0,
+            },
         )
         .unwrap();
-        let RespOk::Read { n } = ok else { panic!("expected Read") };
+        let RespOk::Read { n } = ok else {
+            panic!("expected Read")
+        };
         assert_eq!(n, 11);
         assert!(t_read > t_open, "read completion includes pread + DMA");
         let mut out = vec![0u8; 11];
@@ -295,10 +347,17 @@ mod tests {
         h.fs().create("/f", &[0xaau8; 64]).unwrap();
         let (ok, _) = call(
             &h,
-            Request::Open { path: "/f".into(), write: true, create: false, truncate: false },
+            Request::Open {
+                path: "/f".into(),
+                write: true,
+                create: false,
+                truncate: false,
+            },
         )
         .unwrap();
-        let RespOk::Opened { fd, .. } = ok else { panic!() };
+        let RespOk::Opened { fd, .. } = ok else {
+            panic!()
+        };
         let src = h.gpus()[0].global().alloc(64).unwrap();
         h.gpus()[0].global().write(src, &[0x55u8; 64]);
         // Diff says only bytes [8,12) and [40,44) changed.
@@ -313,12 +372,18 @@ mod tests {
             },
         )
         .unwrap();
-        let RespOk::Wrote { n, .. } = ok else { panic!() };
+        let RespOk::Wrote { n, .. } = ok else {
+            panic!()
+        };
         assert_eq!(n, 8);
         let (data, _) = h.fs().read_whole("/f", 0).unwrap();
         assert_eq!(&data[..8], &[0xaa; 8], "unmodified prefix preserved");
         assert_eq!(&data[8..12], &[0x55; 4]);
-        assert_eq!(&data[12..40], &[0xaa; 28], "bytes between extents preserved");
+        assert_eq!(
+            &data[12..40],
+            &[0xaa; 28],
+            "bytes between extents preserved"
+        );
         assert_eq!(&data[40..44], &[0x55; 4]);
     }
 
@@ -327,9 +392,17 @@ mod tests {
         let h = host();
         let err = call(
             &h,
-            Request::Open { path: "/missing".into(), write: false, create: false, truncate: false },
+            Request::Open {
+                path: "/missing".into(),
+                write: false,
+                create: false,
+                truncate: false,
+            },
         );
-        assert!(matches!(err, Err(crate::error::GpufsError::Host(FsError::NotFound(_)))));
+        assert!(matches!(
+            err,
+            Err(crate::error::GpufsError::Host(FsError::NotFound(_)))
+        ));
     }
 
     #[test]
@@ -337,7 +410,9 @@ mod tests {
         let h = host();
         h.fs().create("/s", &[1u8; 100]).unwrap();
         let (ok, _) = call(&h, Request::Stat { path: "/s".into() }).unwrap();
-        let RespOk::Stat { size, .. } = ok else { panic!() };
+        let RespOk::Stat { size, .. } = ok else {
+            panic!()
+        };
         assert_eq!(size, 100);
         call(&h, Request::Unlink { path: "/s".into() }).unwrap();
         assert!(!h.fs().exists("/s"));
@@ -360,17 +435,39 @@ mod tests {
         h.fs().create_synthetic("/big", 8 << 20, 3).unwrap();
         let (ok, _) = call(
             &h,
-            Request::Open { path: "/big".into(), write: false, create: false, truncate: false },
+            Request::Open {
+                path: "/big".into(),
+                write: false,
+                create: false,
+                truncate: false,
+            },
         )
         .unwrap();
-        let RespOk::Opened { fd, .. } = ok else { panic!() };
+        let RespOk::Opened { fd, .. } = ok else {
+            panic!()
+        };
         let a = h.gpus()[0].global().alloc(1 << 20).unwrap();
         let b = h.gpus()[0].global().alloc(1 << 20).unwrap();
-        let (_, t1) =
-            call(&h, Request::ReadPage { fd, offset: 0, len: 1 << 20, dst: a, gpu: 0 }).unwrap();
+        let (_, t1) = call(
+            &h,
+            Request::ReadPage {
+                fd,
+                offset: 0,
+                len: 1 << 20,
+                dst: a,
+                gpu: 0,
+            },
+        )
+        .unwrap();
         let (_, t2) = call(
             &h,
-            Request::ReadPage { fd, offset: 1 << 20, len: 1 << 20, dst: b, gpu: 0 },
+            Request::ReadPage {
+                fd,
+                offset: 1 << 20,
+                len: 1 << 20,
+                dst: b,
+                gpu: 0,
+            },
         )
         .unwrap();
         let pread_and_dma = t1; // first request end-to-end

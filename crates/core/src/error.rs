@@ -41,7 +41,10 @@ impl fmt::Display for GpufsError {
             GpufsError::Host(e) => write!(f, "host file system error: {e}"),
             GpufsError::DeviceMemory(e) => write!(f, "gpu memory error: {e}"),
             GpufsError::CacheExhausted { requested } => {
-                write!(f, "gpu buffer cache exhausted: could not reclaim {requested} frame(s)")
+                write!(
+                    f,
+                    "gpu buffer cache exhausted: could not reclaim {requested} frame(s)"
+                )
             }
             GpufsError::StaleDescriptor => write!(f, "file descriptor already closed"),
             GpufsError::ReadOnly(p) => write!(f, "file is open read-only: {p}"),
@@ -92,7 +95,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(GpufsError::CacheExhausted { requested: 3 }.to_string().contains('3'));
+        assert!(GpufsError::CacheExhausted { requested: 3 }
+            .to_string()
+            .contains('3'));
         assert!(GpufsError::ReadOnly("/f".into()).to_string().contains("/f"));
     }
 }

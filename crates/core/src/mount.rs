@@ -19,8 +19,8 @@ use gpusim::{BlockCtx, Gpu};
 use simtime::{bw_time_ns, Timings};
 
 use crate::cache::{
-    diff_extents, nonzero_extents, CacheCounters, Extents, FPage, FrameArena, FrameIdx,
-    PageState, Snapshot,
+    diff_extents, nonzero_extents, CacheCounters, Extents, FPage, FrameArena, FrameIdx, PageState,
+    Snapshot,
 };
 use crate::config::{GOpenMode, GpufsConfig};
 use crate::daemon::GpufsHost;
@@ -93,7 +93,11 @@ unsafe impl Sync for PagePin {}
 
 impl PagePin {
     fn new(file: Arc<GFile>, fp: &FPage, frame: FrameIdx) -> Self {
-        Self { file, fp: fp as *const FPage, frame }
+        Self {
+            file,
+            fp: fp as *const FPage,
+            frame,
+        }
     }
 
     fn fpage(&self) -> &FPage {
@@ -244,7 +248,9 @@ impl GpuFsMount {
     }
 
     fn rpc(&self, blk: &mut BlockCtx<'_>, req: Request) -> GpufsResult<RespOk> {
-        let (ok, t) = self.hub.call(self.gpu.id(), blk.now(), &self.timings, req)?;
+        let (ok, t) = self
+            .hub
+            .call(self.gpu.id(), blk.now(), &self.timings, req)?;
         blk.wait_until(t);
         Ok(ok)
     }
@@ -271,7 +277,9 @@ impl GpuFsMount {
 
         if let Some(f) = self.tables.get_open(path) {
             if f.mode() != mode {
-                return Err(GpufsError::InvalidMode("file already open in a different mode"));
+                return Err(GpufsError::InvalidMode(
+                    "file already open in a different mode",
+                ));
             }
             f.add_ref();
             return Ok(GFd { file: f });
@@ -283,25 +291,25 @@ impl GpuFsMount {
         // re-truncation of files other blocks just produced.
         if !self.config.disable_closed_table {
             if let Some(ino) = self.tables.closed_ino_for_path(path) {
-            if let Some(parked) = self.tables.take_closed(ino) {
-                let fresh = if parked.mode() == mode {
-                    // One read of the write-shared generation table: a
-                    // PCIe access, not a daemon RPC.
-                    blk.advance(self.timings.rpc_complete_ns);
-                    self.host_fs.consistency().generation(ino) == parked.generation()
-                } else {
-                    false
-                };
-                if fresh {
-                    parked.revive();
-                    self.tables.insert_open(Arc::clone(&parked));
-                    return Ok(GFd { file: parked });
+                if let Some(parked) = self.tables.take_closed(ino) {
+                    let fresh = if parked.mode() == mode {
+                        // One read of the write-shared generation table: a
+                        // PCIe access, not a daemon RPC.
+                        blk.advance(self.timings.rpc_complete_ns);
+                        self.host_fs.consistency().generation(ino) == parked.generation()
+                    } else {
+                        false
+                    };
+                    if fresh {
+                        parked.revive();
+                        self.tables.insert_open(Arc::clone(&parked));
+                        return Ok(GFd { file: parked });
+                    }
+                    // Stale or mode-incompatible: hand it to the full-open
+                    // path below, which flushes and discards it.
+                    let _ = self.tables.park_closed(parked);
                 }
-                // Stale or mode-incompatible: hand it to the full-open
-                // path below, which flushes and discards it.
-                let _ = self.tables.park_closed(parked);
             }
-        }
         }
 
         let create = matches!(mode, GOpenMode::WriteOnce | GOpenMode::Temp);
@@ -318,7 +326,13 @@ impl GpuFsMount {
                 truncate: false,
             },
         )?;
-        let RespOk::Opened { fd: host_fd, ino, size, generation } = resp else {
+        let RespOk::Opened {
+            fd: host_fd,
+            ino,
+            size,
+            generation,
+        } = resp
+        else {
             unreachable!("open must answer Opened");
         };
 
@@ -337,7 +351,12 @@ impl GpuFsMount {
             // whatever changed the file.
             self.flush_dirty(blk, &parked)?;
             self.discard_file_cache(&parked);
-            let _ = self.rpc(blk, Request::Close { fd: parked.host_fd() })?;
+            let _ = self.rpc(
+                blk,
+                Request::Close {
+                    fd: parked.host_fd(),
+                },
+            )?;
         }
 
         let file = Arc::new(GFile::new(
@@ -397,7 +416,12 @@ impl GpuFsMount {
                 // pages so no local writes are lost, then drop it.
                 self.flush_dirty(blk, &displaced)?;
                 self.discard_file_cache(&displaced);
-                let _ = self.rpc(blk, Request::Close { fd: displaced.host_fd() })?;
+                let _ = self.rpc(
+                    blk,
+                    Request::Close {
+                        fd: displaced.host_fd(),
+                    },
+                )?;
             }
         }
         Ok(())
@@ -443,8 +467,7 @@ impl GpuFsMount {
                 &mut dst[done..done + n],
             );
             blk.advance(
-                self.timings.gpu_mem_latency_ns
-                    + bw_time_ns(n as u64, self.timings.gpu_mem_mb_s),
+                self.timings.gpu_mem_latency_ns + bw_time_ns(n as u64, self.timings.gpu_mem_mb_s),
             );
             done += n;
         }
@@ -483,8 +506,7 @@ impl GpuFsMount {
                 &src[done..done + n],
             );
             blk.advance(
-                self.timings.gpu_mem_latency_ns
-                    + bw_time_ns(n as u64, self.timings.gpu_mem_mb_s),
+                self.timings.gpu_mem_latency_ns + bw_time_ns(n as u64, self.timings.gpu_mem_mb_s),
             );
             let pf = self.frames.pframe(pin.frame);
             pf.data_size.fetch_max(in_page + n, Ordering::AcqRel);
@@ -596,7 +618,12 @@ impl GpuFsMount {
     pub fn fsync_durable(&self, blk: &mut BlockCtx<'_>, fd: &GFd) -> GpufsResult<()> {
         self.fsync(blk, fd)?;
         if fd.file().mode().syncs_to_host() {
-            self.rpc(blk, Request::Fsync { fd: fd.file().host_fd() })?;
+            self.rpc(
+                blk,
+                Request::Fsync {
+                    fd: fd.file().host_fd(),
+                },
+            )?;
         }
         Ok(())
     }
@@ -608,15 +635,32 @@ impl GpuFsMount {
     ///
     /// Fails if the host cannot resolve or unlink the path.
     pub fn unlink(&self, blk: &mut BlockCtx<'_>, path: &str) -> GpufsResult<()> {
-        let resp = self.rpc(blk, Request::Stat { path: path.to_owned() })?;
-        let RespOk::Stat { ino, .. } = resp else { unreachable!("stat answers Stat") };
-        self.rpc(blk, Request::Unlink { path: path.to_owned() })?;
+        let resp = self.rpc(
+            blk,
+            Request::Stat {
+                path: path.to_owned(),
+            },
+        )?;
+        let RespOk::Stat { ino, .. } = resp else {
+            unreachable!("stat answers Stat")
+        };
+        self.rpc(
+            blk,
+            Request::Unlink {
+                path: path.to_owned(),
+            },
+        )?;
         if let Some(open) = self.tables.get_open(path) {
             self.discard_file_cache(&open);
         }
         if let Some(parked) = self.tables.take_closed(ino) {
             self.discard_file_cache(&parked);
-            let _ = self.rpc(blk, Request::Close { fd: parked.host_fd() })?;
+            let _ = self.rpc(
+                blk,
+                Request::Close {
+                    fd: parked.host_fd(),
+                },
+            )?;
         }
         Ok(())
     }
@@ -632,14 +676,20 @@ impl GpuFsMount {
         if !file.mode().writable() {
             return Err(GpufsError::ReadOnly(file.path().to_owned()));
         }
-        self.rpc(blk, Request::Truncate { fd: file.host_fd(), size })?;
+        self.rpc(
+            blk,
+            Request::Truncate {
+                fd: file.host_fd(),
+                size,
+            },
+        )?;
         file.set_size(size);
         let ps = self.config.page_size as u64;
         let first_dropped = size.div_ceil(ps);
         file.tree().for_each_page(|idx, fp| {
             if idx >= first_dropped {
                 self.try_discard_page(fp);
-            } else if idx == size / ps && size % ps != 0 {
+            } else if idx == size / ps && !size.is_multiple_of(ps) {
                 // Boundary page: clamp valid data and zero the tail so
                 // re-extension reads zeros.
                 if let Some(frame) = fp.frame() {
@@ -664,7 +714,10 @@ impl GpuFsMount {
     #[must_use]
     pub fn fstat(&self, blk: &mut BlockCtx<'_>, fd: &GFd) -> GStat {
         blk.advance(self.timings.gpufs_page_op_ns);
-        GStat { size: fd.file().open_size(), ino: fd.file().ino() }
+        GStat {
+            size: fd.file().open_size(),
+            ino: fd.file().ino(),
+        }
     }
 
     // ==================================================================
@@ -691,22 +744,21 @@ impl GpuFsMount {
         let mut contended = self.config.force_locked;
         loop {
             let mut via_lock = false;
-            let snap = if !self.config.force_locked
-                && failed_attempts <= self.config.lockfree_retries
-            {
-                match fp.try_pin_lockfree() {
-                    Ok(s) => s,
-                    Err(()) => {
-                        failed_attempts += 1;
-                        contended = true;
-                        continue;
+            let snap =
+                if !self.config.force_locked && failed_attempts <= self.config.lockfree_retries {
+                    match fp.try_pin_lockfree() {
+                        Ok(s) => s,
+                        Err(()) => {
+                            failed_attempts += 1;
+                            contended = true;
+                            continue;
+                        }
                     }
-                }
-            } else {
-                via_lock = true;
-                contended = true;
-                fp.pin_locked()
-            };
+                } else {
+                    via_lock = true;
+                    contended = true;
+                    fp.pin_locked()
+                };
             match snap {
                 Snapshot::Pinned(frame) => {
                     if contended {
@@ -817,7 +869,9 @@ impl GpuFsMount {
                         return Err(e);
                     }
                 };
-                self.gpu.global().copy_within(ptr, self.frames.frame_ptr(pristine), ps);
+                self.gpu
+                    .global()
+                    .copy_within(ptr, self.frames.frame_ptr(pristine), ps);
                 blk.advance(bw_time_ns(2 * ps as u64, self.timings.gpu_mem_mb_s));
                 pf.set_pristine(Some(pristine));
             }
@@ -903,7 +957,12 @@ impl GpuFsMount {
                     resident |= fp.state() != PageState::Empty;
                 });
                 if !resident && self.tables.remove_closed(victim) {
-                    let _ = self.rpc(blk, Request::Close { fd: victim.host_fd() })?;
+                    let _ = self.rpc(
+                        blk,
+                        Request::Close {
+                            fd: victim.host_fd(),
+                        },
+                    )?;
                 }
             }
             if freed >= want {
@@ -1078,7 +1137,9 @@ impl GpuFsMount {
                 gpu: self.gpu.id(),
             },
         )?;
-        let RespOk::Wrote { n, generation } = resp else { unreachable!("write answers Wrote") };
+        let RespOk::Wrote { n, generation } = resp else {
+            unreachable!("write answers Wrote")
+        };
         self.counters.writebacks.incr();
         let page_start = page_idx * self.config.page_size as u64;
         file.mark_host_valid(page_start + ds as u64);
@@ -1089,7 +1150,9 @@ impl GpuFsMount {
             // Refresh the pristine copy: future diffs are relative to the
             // state just propagated.
             if let Some(pristine_frame) = pf.pristine_frame() {
-                self.gpu.global().copy_within(ptr, self.frames.frame_ptr(pristine_frame), ds);
+                self.gpu
+                    .global()
+                    .copy_within(ptr, self.frames.frame_ptr(pristine_frame), ds);
                 blk.advance(bw_time_ns(2 * ds as u64, self.timings.gpu_mem_mb_s));
             }
         }
@@ -1111,8 +1174,9 @@ mod tests {
 
     fn rig(n_gpus: usize) -> Rig {
         let fs = Arc::new(HostFs::new(HostFsConfig::default()));
-        let gpus: Vec<Arc<Gpu>> =
-            (0..n_gpus).map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test()))).collect();
+        let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
+            .map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test())))
+            .collect();
         let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
         Rig { fs, host, gpus }
     }
@@ -1200,8 +1264,16 @@ mod tests {
             assert!(buf.iter().all(|&b| b == 7));
             mount.close(blk, fd).unwrap();
         });
-        assert_eq!(r.host.stats().bytes_h2d.get(), h2d_before, "revived: no refetch");
-        assert_eq!(mount.counters().misses.get(), misses_before, "all hits after revival");
+        assert_eq!(
+            r.host.stats().bytes_h2d.get(),
+            h2d_before,
+            "revived: no refetch"
+        );
+        assert_eq!(
+            mount.counters().misses.get(),
+            misses_before,
+            "all hits after revival"
+        );
     }
 
     #[test]
@@ -1224,7 +1296,10 @@ mod tests {
             let fd = mount.open(blk, "/f", GOpenMode::ReadOnly).unwrap();
             let mut buf = [0u8; 16];
             mount.read(blk, &fd, 0, &mut buf).unwrap();
-            assert!(buf.iter().all(|&b| b == 2), "stale page served after host write");
+            assert!(
+                buf.iter().all(|&b| b == 2),
+                "stale page served after host write"
+            );
             mount.close(blk, fd).unwrap();
         });
     }
@@ -1307,7 +1382,10 @@ mod tests {
             }
             mount.close(blk, fd).unwrap();
         });
-        assert!(mount.counters().pages_reclaimed.get() > 0, "pressure must evict");
+        assert!(
+            mount.counters().pages_reclaimed.get() > 0,
+            "pressure must evict"
+        );
     }
 
     #[test]
@@ -1401,7 +1479,10 @@ mod tests {
             mount.read(blk, &fd, 0, &mut buf).unwrap();
             let free_before = mount.free_frames();
             mount.unlink(blk, "/gone").unwrap();
-            assert!(mount.free_frames() > free_before, "buffer space reclaimed now");
+            assert!(
+                mount.free_frames() > free_before,
+                "buffer space reclaimed now"
+            );
             mount.close(blk, fd).unwrap();
         });
         assert!(!r.fs.exists("/gone"));
@@ -1488,7 +1569,11 @@ mod tests {
         // All refs dropped: exactly one host open happened (coalescing),
         // unless close raced a reopen (allowed), in which case opens are
         // still far below the 32 a POSIX-per-thread model would issue.
-        assert!(r.host.stats().opens.get() <= 4, "opens = {}", r.host.stats().opens.get());
+        assert!(
+            r.host.stats().opens.get() <= 4,
+            "opens = {}",
+            r.host.stats().opens.get()
+        );
         assert!(mount.counters().lockfree_accesses.get() > 0);
     }
 
@@ -1526,7 +1611,9 @@ mod tests {
             let fd = mount.open(blk, "/fs_merge", GOpenMode::ReadWrite).unwrap();
             mount.write(blk, &fd, 0, &[7u8; 4]).unwrap();
             // Host writes concurrently (before the GPU syncs).
-            let (hfd, t) = r.fs.open("/fs_merge", hostfs::OpenFlags::read_write(), 0).unwrap();
+            let (hfd, t) =
+                r.fs.open("/fs_merge", hostfs::OpenFlags::read_write(), 0)
+                    .unwrap();
             r.fs.pwrite(hfd, 100, &[9u8; 4], t).unwrap();
             r.fs.close(hfd).unwrap();
             mount.fsync(blk, &fd).unwrap();
@@ -1573,7 +1660,10 @@ mod policy_tests {
             for page in 0..24u64 {
                 mount.write(blk, &fd_t, page * 4096, &[9u8; 4096]).unwrap();
             }
-            assert!(mount.counters().pages_reclaimed.get() > 0, "pressure reclaimed");
+            assert!(
+                mount.counters().pages_reclaimed.get() > 0,
+                "pressure reclaimed"
+            );
             // Re-read the still-open file: every page must still be
             // resident (closed file was sacrificed first).
             let before = mount.counters().misses.get();
@@ -1593,7 +1683,10 @@ mod policy_tests {
     fn ablation_sync_on_close_writes_back_eagerly() {
         let (fs, host, gpu) = rig();
         fs.create("/posix.out", &[0u8; 64]).unwrap();
-        let cfg = GpufsConfig { sync_on_close: true, ..GpufsConfig::small_test() };
+        let cfg = GpufsConfig {
+            sync_on_close: true,
+            ..GpufsConfig::small_test()
+        };
         let mount = host.mount(0, cfg).unwrap();
         gpu.launch(Grid::new(1, 32), 0, |blk| {
             let fd = mount.open(blk, "/posix.out", GOpenMode::ReadWrite).unwrap();
@@ -1608,7 +1701,10 @@ mod policy_tests {
     fn ablation_disable_closed_table_refetches() {
         let (fs, host, gpu) = rig();
         fs.create("/nct.bin", &[3u8; 8192]).unwrap();
-        let cfg = GpufsConfig { disable_closed_table: true, ..GpufsConfig::small_test() };
+        let cfg = GpufsConfig {
+            disable_closed_table: true,
+            ..GpufsConfig::small_test()
+        };
         let mount = host.mount(0, cfg).unwrap();
         let run = |start| {
             gpu.launch(Grid::new(1, 32), start, |blk| {
@@ -1658,16 +1754,22 @@ mod policy_tests {
         fs.create("/false_share", &[0u8; 4096]).unwrap();
         let mount = host.mount(0, GpufsConfig::small_test()).unwrap();
         gpu.launch(Grid::new(8, 32), 0, |blk| {
-            let fd = mount.open(blk, "/false_share", GOpenMode::ReadWrite).unwrap();
+            let fd = mount
+                .open(blk, "/false_share", GOpenMode::ReadWrite)
+                .unwrap();
             let off = blk.block_id() as u64 * 512;
-            mount.write(blk, &fd, off, &[blk.block_id() as u8 + 1; 512]).unwrap();
+            mount
+                .write(blk, &fd, off, &[blk.block_id() as u8 + 1; 512])
+                .unwrap();
             mount.fsync(blk, &fd).unwrap();
             mount.close(blk, fd).unwrap();
         });
         let (data, _) = fs.read_whole("/false_share", 0).unwrap();
         for b in 0..8usize {
             assert!(
-                data[b * 512..(b + 1) * 512].iter().all(|&x| x == b as u8 + 1),
+                data[b * 512..(b + 1) * 512]
+                    .iter()
+                    .all(|&x| x == b as u8 + 1),
                 "slice {b} lost to false sharing"
             );
         }
@@ -1686,7 +1788,9 @@ mod policy_tests {
         gpu.launch(Grid::new(16, 32), 0, |blk| {
             let fd = mount.open(blk, "/mix", GOpenMode::ReadWrite).unwrap();
             let my = blk.block_id() as u64;
-            mount.write(blk, &fd, (16 + my) * 4096, &[my as u8 + 100; 4096]).unwrap();
+            mount
+                .write(blk, &fd, (16 + my) * 4096, &[my as u8 + 100; 4096])
+                .unwrap();
             let mut buf = vec![0u8; 2048];
             for step in 0..8u64 {
                 let off = ((my + step) % 16) * 4096 + 1024;

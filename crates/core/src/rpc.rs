@@ -189,7 +189,12 @@ impl RpcHub {
         let (tx, rx) = mpsc::sync_channel(1);
         {
             let mut q = self.queue.lock();
-            q.push_back(Envelope { req, gpu, issue, tx });
+            q.push_back(Envelope {
+                req,
+                gpu,
+                issue,
+                tx,
+            });
             self.ready.notify_one();
         }
         let (result, end) = rx.recv().map_err(|_| GpufsError::DaemonStopped)?;
@@ -244,8 +249,9 @@ mod tests {
             }
         });
         let t = Timings::default();
-        let (ok, visible) =
-            hub.call(0, 1_000, &t, Request::Fsync { fd: 3 }).expect("call should succeed");
+        let (ok, visible) = hub
+            .call(0, 1_000, &t, Request::Fsync { fd: 3 })
+            .expect("call should succeed");
         assert!(matches!(ok, RespOk::Done));
         assert_eq!(visible, 1_100 + t.rpc_complete_ns);
         hub.close();
@@ -281,10 +287,19 @@ mod tests {
         let daemon_hub = Arc::clone(&hub);
         let daemon = std::thread::spawn(move || {
             while let Some(env) = daemon_hub.next() {
-                env.tx.send((Err(FsError::NotFound("/gone".into())), env.issue)).unwrap();
+                env.tx
+                    .send((Err(FsError::NotFound("/gone".into())), env.issue))
+                    .unwrap();
             }
         });
-        let err = hub.call(0, 0, &Timings::default(), Request::Stat { path: "/gone".into() });
+        let err = hub.call(
+            0,
+            0,
+            &Timings::default(),
+            Request::Stat {
+                path: "/gone".into(),
+            },
+        );
         assert!(matches!(err, Err(GpufsError::Host(FsError::NotFound(_)))));
         hub.close();
         daemon.join().unwrap();

@@ -247,7 +247,9 @@ impl Tables {
     /// (whose cache the caller must release).
     #[must_use]
     pub fn park_closed(&self, file: Arc<GFile>) -> Option<Arc<GFile>> {
-        self.closed_paths.lock().insert(file.path().to_owned(), file.ino());
+        self.closed_paths
+            .lock()
+            .insert(file.path().to_owned(), file.ino());
         self.closed.lock().insert(file.ino(), file)
     }
 

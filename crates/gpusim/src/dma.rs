@@ -89,7 +89,11 @@ mod tests {
         let r = gpu.dma_h2d(&src, dst, 0);
         assert!(r.end > r.start);
         // 1 MiB at 5731 MB/s ≈ 183 us plus the 25 us setup.
-        assert!(r.busy() > 200_000 && r.busy() < 215_000, "busy = {}", r.busy());
+        assert!(
+            r.busy() > 200_000 && r.busy() < 215_000,
+            "busy = {}",
+            r.busy()
+        );
         let mut out = vec![0u8; 1 << 20];
         gpu.global().read(dst, &mut out);
         assert_eq!(out, src);

@@ -1,7 +1,5 @@
 //! Kernel launch and the non-preemptive threadblock scheduler.
 
-
-
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -22,7 +20,10 @@ impl Grid {
     /// A grid of `blocks` threadblocks with `threads_per_block` threads each.
     #[must_use]
     pub fn new(blocks: usize, threads_per_block: usize) -> Self {
-        Self { blocks, threads_per_block }
+        Self {
+            blocks,
+            threads_per_block,
+        }
     }
 
     /// Total threads in the kernel.
@@ -203,7 +204,10 @@ impl Gpu {
         F: Fn(&mut BlockCtx<'_>) + Sync,
     {
         assert!(grid.blocks > 0, "kernel must have at least one threadblock");
-        assert!(grid.threads_per_block > 0, "threadblocks must have at least one thread");
+        assert!(
+            grid.threads_per_block > 0,
+            "threadblocks must have at least one thread"
+        );
 
         // The hardware scheduler dispatches blocks in nondeterministic
         // order (paper §2); model it as a seeded shuffle.
@@ -258,7 +262,11 @@ impl Gpu {
         });
 
         let end = block_ends.iter().copied().max().unwrap_or(t0);
-        KernelResult { start, end, block_ends }
+        KernelResult {
+            start,
+            end,
+            block_ends,
+        }
     }
 
     /// Timing calibration this GPU was built with.
@@ -311,7 +319,11 @@ mod tests {
             // One slot => strictly sequential, records dispatch order.
             let single = Gpu::new(
                 0,
-                GpuSpec { num_mps: 1, resident_blocks_per_mp: 1, ..GpuSpec::small_test() },
+                GpuSpec {
+                    num_mps: 1,
+                    resident_blocks_per_mp: 1,
+                    ..GpuSpec::small_test()
+                },
             );
             single.launch_seeded(Grid::new(32, 32), 0, seed, |blk| {
                 order.lock().push(blk.block_id());
@@ -324,7 +336,11 @@ mod tests {
         let c = record(7);
         assert_eq!(a, b, "same seed must give the same dispatch order");
         assert_ne!(a, c, "different seeds should shuffle differently");
-        assert_ne!(a, (0..32).collect::<Vec<_>>(), "order should not be sequential");
+        assert_ne!(
+            a,
+            (0..32).collect::<Vec<_>>(),
+            "order should not be sequential"
+        );
     }
 
     #[test]

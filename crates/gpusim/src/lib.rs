@@ -84,7 +84,12 @@ impl Gpu {
     pub fn with_timings(id: GpuId, spec: GpuSpec, timings: &Timings) -> Self {
         let global = GlobalMem::new(spec.memory_bytes);
         let dma = DmaEngines::from_timings(timings);
-        Self { id, spec, global, dma }
+        Self {
+            id,
+            spec,
+            global,
+            dma,
+        }
     }
 
     /// This GPU's identifier.

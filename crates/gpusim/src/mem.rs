@@ -164,7 +164,10 @@ impl GlobalMem {
                 return Ok(DevPtr(off));
             }
         }
-        Err(MemError::OutOfMemory { requested: len, largest_free: largest })
+        Err(MemError::OutOfMemory {
+            requested: len,
+            largest_free: largest,
+        })
     }
 
     /// Return `[ptr, ptr+len)` to the allocator, coalescing neighbours.
@@ -186,10 +189,16 @@ impl GlobalMem {
         // Check overlap with neighbours.
         if idx > 0 {
             let (poff, plen) = free[idx - 1];
-            assert!(poff + plen as u64 <= ptr.0, "double free / overlap with previous region");
+            assert!(
+                poff + plen as u64 <= ptr.0,
+                "double free / overlap with previous region"
+            );
         }
         if idx < free.len() {
-            assert!(ptr.0 + len as u64 <= free[idx].0, "double free / overlap with next region");
+            assert!(
+                ptr.0 + len as u64 <= free[idx].0,
+                "double free / overlap with next region"
+            );
         }
         free.insert(idx, (ptr.0, len));
         // Coalesce with next, then previous.
@@ -205,7 +214,11 @@ impl GlobalMem {
 
     fn check(&self, ptr: DevPtr, len: usize) -> Result<(), MemError> {
         if (ptr.0 as usize).saturating_add(len) > self.capacity {
-            return Err(MemError::OutOfBounds { offset: ptr.0, len, capacity: self.capacity });
+            return Err(MemError::OutOfBounds {
+                offset: ptr.0,
+                len,
+                capacity: self.capacity,
+            });
         }
         Ok(())
     }
@@ -216,7 +229,8 @@ impl GlobalMem {
     ///
     /// Panics if the destination range is out of bounds.
     pub fn write(&self, ptr: DevPtr, src: &[u8]) {
-        self.try_write(ptr, src).expect("device write out of bounds");
+        self.try_write(ptr, src)
+            .expect("device write out of bounds");
     }
 
     /// Copy `src` into device memory at `ptr`.
@@ -266,8 +280,10 @@ impl GlobalMem {
     ///
     /// Panics if either range is out of bounds or the ranges overlap.
     pub fn copy_within(&self, src: DevPtr, dst: DevPtr, len: usize) {
-        self.check(src, len).expect("device copy source out of bounds");
-        self.check(dst, len).expect("device copy destination out of bounds");
+        self.check(src, len)
+            .expect("device copy source out of bounds");
+        self.check(dst, len)
+            .expect("device copy destination out of bounds");
         let s = src.0 as usize;
         let d = dst.0 as usize;
         assert!(s + len <= d || d + len <= s, "overlapping device copy");
@@ -352,7 +368,13 @@ mod tests {
         let mem = GlobalMem::new(1024);
         let _a = mem.alloc(1000).unwrap();
         let err = mem.alloc(100).unwrap_err();
-        assert_eq!(err, MemError::OutOfMemory { requested: 100, largest_free: 24 });
+        assert_eq!(
+            err,
+            MemError::OutOfMemory {
+                requested: 100,
+                largest_free: 24
+            }
+        );
     }
 
     #[test]
@@ -365,7 +387,10 @@ mod tests {
         mem.dealloc(c, 256);
         // Fragmented: 256 + 256 + 256(tail) free, but not contiguous.
         assert_eq!(mem.free_bytes(), 768);
-        assert!(mem.alloc(512).is_ok(), "c+tail should have coalesced into 512");
+        assert!(
+            mem.alloc(512).is_ok(),
+            "c+tail should have coalesced into 512"
+        );
         mem.dealloc(b, 256);
         // a+b now contiguous.
         assert!(mem.alloc(512).is_ok());

@@ -23,14 +23,20 @@ impl HostPinned {
     /// Allocate `len` zeroed pinned bytes without memory accounting.
     #[must_use]
     pub fn new(len: usize) -> Self {
-        Self { buf: vec![0; len], ledger: None }
+        Self {
+            buf: vec![0; len],
+            ledger: None,
+        }
     }
 
     /// Allocate `len` zeroed pinned bytes charged against `ledger`.
     #[must_use]
     pub fn new_accounted(len: usize, ledger: Arc<ByteLedger>) -> Self {
         ledger.charge(len as u64);
-        Self { buf: vec![0; len], ledger: Some(ledger) }
+        Self {
+            buf: vec![0; len],
+            ledger: Some(ledger),
+        }
     }
 
     /// Length of the buffer.

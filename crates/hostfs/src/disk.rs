@@ -67,7 +67,10 @@ impl DiskModel {
         }
         let prior_work = self.busy.fetch_add(dur, Ordering::AcqRel);
         let start = earliest.max(prior_work);
-        Reservation { start, end: start.saturating_add(dur) }
+        Reservation {
+            start,
+            end: start.saturating_add(dur),
+        }
     }
 
     /// Streaming bandwidth in MB/s.

@@ -34,31 +34,56 @@ impl OpenFlags {
     /// `O_RDONLY`.
     #[must_use]
     pub fn read_only() -> Self {
-        Self { read: true, write: false, create: false, truncate: false }
+        Self {
+            read: true,
+            write: false,
+            create: false,
+            truncate: false,
+        }
     }
 
     /// `O_WRONLY`.
     #[must_use]
     pub fn write_only() -> Self {
-        Self { read: false, write: true, create: false, truncate: false }
+        Self {
+            read: false,
+            write: true,
+            create: false,
+            truncate: false,
+        }
     }
 
     /// `O_RDWR`.
     #[must_use]
     pub fn read_write() -> Self {
-        Self { read: true, write: true, create: false, truncate: false }
+        Self {
+            read: true,
+            write: true,
+            create: false,
+            truncate: false,
+        }
     }
 
     /// `O_WRONLY | O_CREAT | O_TRUNC` — the usual "produce an output file".
     #[must_use]
     pub fn create_truncate() -> Self {
-        Self { read: false, write: true, create: true, truncate: true }
+        Self {
+            read: false,
+            write: true,
+            create: true,
+            truncate: true,
+        }
     }
 
     /// `O_RDWR | O_CREAT`.
     #[must_use]
     pub fn read_write_create() -> Self {
-        Self { read: true, write: true, create: true, truncate: false }
+        Self {
+            read: true,
+            write: true,
+            create: true,
+            truncate: false,
+        }
     }
 }
 
@@ -150,7 +175,10 @@ fn split_path(path: &str) -> FsResult<Vec<&str>> {
         return Ok(Vec::new());
     }
     let comps: Vec<&str> = path[1..].split('/').collect();
-    if comps.iter().any(|c| c.is_empty() || *c == "." || *c == "..") {
+    if comps
+        .iter()
+        .any(|c| c.is_empty() || *c == "." || *c == "..")
+    {
         return Err(FsError::InvalidPath(path.to_owned()));
     }
     Ok(comps)
@@ -220,7 +248,11 @@ impl HostFs {
     #[must_use]
     pub fn new(config: HostFsConfig) -> Self {
         let mem = Arc::new(ByteLedger::new(config.host_mem_bytes));
-        let mut inner = Inner { next_ino: ROOT_INO + 1, next_fd: 3, ..Inner::default() };
+        let mut inner = Inner {
+            next_ino: ROOT_INO + 1,
+            next_fd: 3,
+            ..Inner::default()
+        };
         inner.inodes.insert(ROOT_INO, Inode::new_dir(ROOT_INO));
         Self {
             disk: DiskModel::from_timings(&config.timings),
@@ -280,7 +312,12 @@ impl HostFs {
             } else {
                 let ino = inner.alloc_ino();
                 inner.inodes.insert(ino, Inode::new_dir(ino));
-                inner.inodes.get_mut(&cur).unwrap().entries.insert(comp.to_owned(), ino);
+                inner
+                    .inodes
+                    .get_mut(&cur)
+                    .unwrap()
+                    .entries
+                    .insert(comp.to_owned(), ino);
                 cur = ino;
             }
         }
@@ -297,7 +334,10 @@ impl HostFs {
     pub fn create(&self, path: &str, content: &[u8]) -> FsResult<Ino> {
         self.create_body(
             path,
-            FileBody::Bytes { cached: content.to_vec(), durable: content.to_vec() },
+            FileBody::Bytes {
+                cached: content.to_vec(),
+                durable: content.to_vec(),
+            },
             true,
         )
     }
@@ -318,8 +358,15 @@ impl HostFs {
             return Err(FsError::AlreadyExists(path.to_owned()));
         }
         let ino = inner.alloc_ino();
-        inner.inodes.insert(ino, Inode::new_file(ino, body, writable));
-        inner.inodes.get_mut(&dir).unwrap().entries.insert(name.to_owned(), ino);
+        inner
+            .inodes
+            .insert(ino, Inode::new_file(ino, body, writable));
+        inner
+            .inodes
+            .get_mut(&dir)
+            .unwrap()
+            .entries
+            .insert(name.to_owned(), ino);
         Ok(ino)
     }
 
@@ -351,9 +398,17 @@ impl HostFs {
     /// Fails if `path` is missing or not a directory.
     pub fn walk(&self, path: &str) -> FsResult<Vec<String>> {
         let mut out = Vec::new();
-        let mut stack = vec![if path == "/" { String::new() } else { path.to_owned() }];
+        let mut stack = vec![if path == "/" {
+            String::new()
+        } else {
+            path.to_owned()
+        }];
         while let Some(dir) = stack.pop() {
-            let full = if dir.is_empty() { "/".to_owned() } else { dir.clone() };
+            let full = if dir.is_empty() {
+                "/".to_owned()
+            } else {
+                dir.clone()
+            };
             for name in self.readdir(&full)? {
                 let child = format!("{dir}/{name}");
                 let inner = self.inner.lock();
@@ -391,8 +446,15 @@ impl HostFs {
             Err(FsError::NotFound(_)) if flags.create => {
                 let (dir, name) = inner.resolve_parent(path)?;
                 let ino = inner.alloc_ino();
-                inner.inodes.insert(ino, Inode::new_file(ino, FileBody::empty(), true));
-                inner.inodes.get_mut(&dir).unwrap().entries.insert(name.to_owned(), ino);
+                inner
+                    .inodes
+                    .insert(ino, Inode::new_file(ino, FileBody::empty(), true));
+                inner
+                    .inodes
+                    .get_mut(&dir)
+                    .unwrap()
+                    .entries
+                    .insert(name.to_owned(), ino);
                 ino
             }
             Err(e) => return Err(e),
@@ -412,7 +474,14 @@ impl HostFs {
         }
         let fd = inner.next_fd;
         inner.next_fd += 1;
-        inner.fds.insert(fd, OpenFile { ino, flags, path: path.to_owned() });
+        inner.fds.insert(
+            fd,
+            OpenFile {
+                ino,
+                flags,
+                path: path.to_owned(),
+            },
+        );
         *inner.open_counts.entry(ino).or_insert(0) += 1;
         drop(inner);
         if flags.write {
@@ -477,12 +546,9 @@ impl HostFs {
                 for page in ra0..ra0 + self.readahead_pages {
                     let _ = cache.insert_readahead(ino, page);
                 }
-                let _ = self.disk.access(
-                    ino,
-                    ra0 * psize,
-                    self.readahead_pages * psize,
-                    r.end,
-                );
+                let _ = self
+                    .disk
+                    .access(ino, ra0 * psize, self.readahead_pages * psize, r.end);
             }
         };
         for page in first..last {
@@ -511,7 +577,9 @@ impl HostFs {
             end = end.max(start + bw_time_ns(hit_bytes.min(len), self.timings.host_cached_mb_s));
         }
         if writebacks > 0 {
-            let r = self.disk.access(ino, u64::MAX / 2, writebacks * psize, start);
+            let r = self
+                .disk
+                .access(ino, u64::MAX / 2, writebacks * psize, start);
             end = end.max(r.end);
         }
         end
@@ -578,7 +646,9 @@ impl HostFs {
         }
         drop(cache);
         if writebacks > 0 {
-            let r = self.disk.access(ino, u64::MAX / 2, writebacks * psize, start);
+            let r = self
+                .disk
+                .access(ino, u64::MAX / 2, writebacks * psize, start);
             end = end.max(r.end);
         }
         Ok((src.len(), end))
@@ -618,7 +688,11 @@ impl HostFs {
         Ok(Metadata {
             ino,
             kind: node.kind,
-            size: if node.kind == FileKind::File { node.body.len() } else { 0 },
+            size: if node.kind == FileKind::File {
+                node.body.len()
+            } else {
+                0
+            },
             writable: node.writable,
         })
     }
@@ -798,7 +872,10 @@ mod tests {
         assert_eq!(f.fstat(fd).unwrap().size, 8);
         // Reading through a write-only fd is denied.
         let mut buf = [0u8; 8];
-        assert!(matches!(f.pread(fd, 0, &mut buf, t), Err(FsError::PermissionDenied(_))));
+        assert!(matches!(
+            f.pread(fd, 0, &mut buf, t),
+            Err(FsError::PermissionDenied(_))
+        ));
         f.close(fd).unwrap();
         let (data, _) = f.read_whole("/out", t).unwrap();
         assert_eq!(data, [0, 0, 0, 0, b'a', b'b', b'c', b'd']);
@@ -838,7 +915,10 @@ mod tests {
         let (n, _) = f.pread(fd, 0, &mut buf, t).unwrap();
         assert_eq!(n, 7);
         f.close(fd).unwrap();
-        assert!(matches!(f.open("/f", OpenFlags::read_only(), 0), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            f.open("/f", OpenFlags::read_only(), 0),
+            Err(FsError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -884,15 +964,27 @@ mod tests {
     #[test]
     fn invalid_paths_are_rejected() {
         let f = fs();
-        assert!(matches!(f.create("relative", b""), Err(FsError::InvalidPath(_))));
-        assert!(matches!(f.create("/a//b", b""), Err(FsError::InvalidPath(_))));
-        assert!(matches!(f.create("/a/../b", b""), Err(FsError::InvalidPath(_))));
+        assert!(matches!(
+            f.create("relative", b""),
+            Err(FsError::InvalidPath(_))
+        ));
+        assert!(matches!(
+            f.create("/a//b", b""),
+            Err(FsError::InvalidPath(_))
+        ));
+        assert!(matches!(
+            f.create("/a/../b", b""),
+            Err(FsError::InvalidPath(_))
+        ));
     }
 
     #[test]
     fn missing_parent_is_not_found() {
         let f = fs();
-        assert!(matches!(f.create("/no/dir/file", b""), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            f.create("/no/dir/file", b""),
+            Err(FsError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -907,7 +999,10 @@ mod tests {
     fn bad_descriptor_errors() {
         let f = fs();
         let mut buf = [0u8; 1];
-        assert!(matches!(f.pread(99, 0, &mut buf, 0), Err(FsError::BadDescriptor(99))));
+        assert!(matches!(
+            f.pread(99, 0, &mut buf, 0),
+            Err(FsError::BadDescriptor(99))
+        ));
         assert!(matches!(f.close(99), Err(FsError::BadDescriptor(99))));
     }
 
@@ -925,7 +1020,11 @@ mod tests {
         // so the next sequential read hits without new misses.
         let misses = f.cache_stats().misses;
         let (_, _t) = f.pread(fd, 64 << 10, &mut buf, t).unwrap();
-        assert_eq!(f.cache_stats().misses, misses, "page 1 was readahead-resident");
+        assert_eq!(
+            f.cache_stats().misses,
+            misses,
+            "page 1 was readahead-resident"
+        );
         assert!(f.cache_stats().hits > 0);
         f.close(fd).unwrap();
     }
@@ -940,7 +1039,10 @@ mod tests {
         f.drop_caches();
         f.reset_device_time();
         let (_, t2) = f.pread(fd, 0, &mut buf, t).unwrap();
-        assert!(f.cache_stats().misses > 0, "re-read after drop_caches must miss");
+        assert!(
+            f.cache_stats().misses > 0,
+            "re-read after drop_caches must miss"
+        );
         assert!(t2 > t);
     }
 }

@@ -47,7 +47,10 @@ impl FileBody {
     /// An empty mutable file.
     #[must_use]
     pub fn empty() -> Self {
-        FileBody::Bytes { cached: Vec::new(), durable: Vec::new() }
+        FileBody::Bytes {
+            cached: Vec::new(),
+            durable: Vec::new(),
+        }
     }
 
     /// Current (page-cache-visible) length.
@@ -197,7 +200,14 @@ impl Inode {
     /// A new regular file inode.
     #[must_use]
     pub fn new_file(ino: Ino, body: FileBody, writable: bool) -> Self {
-        Self { ino, kind: FileKind::File, body, entries: BTreeMap::new(), nlink: 1, writable }
+        Self {
+            ino,
+            kind: FileKind::File,
+            body,
+            entries: BTreeMap::new(),
+            nlink: 1,
+            writable,
+        }
     }
 
     /// A new directory inode.
@@ -230,7 +240,10 @@ mod tests {
 
     #[test]
     fn read_past_eof_is_short() {
-        let b = FileBody::Bytes { cached: vec![1, 2, 3], durable: vec![1, 2, 3] };
+        let b = FileBody::Bytes {
+            cached: vec![1, 2, 3],
+            durable: vec![1, 2, 3],
+        };
         let mut out = [0u8; 8];
         assert_eq!(b.read_at(2, &mut out), 1);
         assert_eq!(b.read_at(3, &mut out), 0);
@@ -239,7 +252,10 @@ mod tests {
 
     #[test]
     fn synthetic_reads_are_offset_stable() {
-        let b = FileBody::Synthetic { len: 1 << 20, seed: 7 };
+        let b = FileBody::Synthetic {
+            len: 1 << 20,
+            seed: 7,
+        };
         let mut a = vec![0u8; 64];
         let mut c = vec![0u8; 16];
         assert_eq!(b.read_at(100, &mut a), 64);

@@ -96,7 +96,10 @@ impl PageCache {
     fn bump(&mut self, key: Key, dirty_or: bool) {
         let tick = self.next_tick;
         self.next_tick += 1;
-        let e = self.entries.entry(key).or_insert(Entry { dirty: false, tick });
+        let e = self
+            .entries
+            .entry(key)
+            .or_insert(Entry { dirty: false, tick });
         e.tick = tick;
         e.dirty |= dirty_or;
         self.lru.push_back((tick, key));
@@ -114,7 +117,9 @@ impl PageCache {
     fn enforce_budget(&mut self) -> Vec<Key> {
         let mut writebacks = Vec::new();
         while self.resident_bytes() > self.budget() {
-            let Some((tick, key)) = self.lru.pop_front() else { break };
+            let Some((tick, key)) = self.lru.pop_front() else {
+                break;
+            };
             match self.entries.get(&key) {
                 Some(e) if e.tick == tick => {
                     if e.dirty {
@@ -186,7 +191,8 @@ impl PageCache {
 
     /// Drop pages of `ino` at page index >= `first_page` (truncate).
     pub fn invalidate_from(&mut self, ino: Ino, first_page: u64) {
-        self.entries.retain(|key, _| key.0 != ino || key.1 < first_page);
+        self.entries
+            .retain(|key, _| key.0 != ino || key.1 < first_page);
     }
 
     /// Drop every clean page and forget dirtiness (models

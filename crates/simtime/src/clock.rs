@@ -61,7 +61,9 @@ impl Horizon {
     /// A horizon at time zero.
     #[must_use]
     pub fn new() -> Self {
-        Self { max: AtomicU64::new(0) }
+        Self {
+            max: AtomicU64::new(0),
+        }
     }
 
     /// Record that some actor reached virtual time `t`.

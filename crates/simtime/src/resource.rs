@@ -60,7 +60,11 @@ impl BandwidthResource {
     /// A device streaming at `mb_per_s` with `setup_ns` per-operation cost.
     #[must_use]
     pub fn new(mb_per_s: f64, setup_ns: Nanos) -> Self {
-        Self { busy: AtomicU64::new(0), mb_per_s, setup_ns }
+        Self {
+            busy: AtomicU64::new(0),
+            mb_per_s,
+            setup_ns,
+        }
     }
 
     /// Configured streaming bandwidth in MB/s.
@@ -72,16 +76,22 @@ impl BandwidthResource {
     /// Reserve the device for a transfer of `bytes`, not starting before
     /// `earliest_start`. Returns the reservation window.
     pub fn transfer(&self, earliest_start: Nanos, bytes: u64) -> Reservation {
-        let dur = self.setup_ns.saturating_add(bw_time_ns(bytes, self.mb_per_s));
+        let dur = self
+            .setup_ns
+            .saturating_add(bw_time_ns(bytes, self.mb_per_s));
         let prior_work = self.busy.fetch_add(dur, Ordering::AcqRel);
         let start = earliest_start.max(prior_work);
-        Reservation { start, end: start.saturating_add(dur) }
+        Reservation {
+            start,
+            end: start.saturating_add(dur),
+        }
     }
 
     /// Time such a transfer would occupy the device, ignoring queueing.
     #[must_use]
     pub fn service_time(&self, bytes: u64) -> Nanos {
-        self.setup_ns.saturating_add(bw_time_ns(bytes, self.mb_per_s))
+        self.setup_ns
+            .saturating_add(bw_time_ns(bytes, self.mb_per_s))
     }
 
     /// Forget all queued work (used between benchmark phases).
@@ -104,7 +114,9 @@ impl SerialResource {
     /// A serial device, idle at time zero.
     #[must_use]
     pub fn new() -> Self {
-        Self { next_free: AtomicU64::new(0) }
+        Self {
+            next_free: AtomicU64::new(0),
+        }
     }
 
     /// Reserve the device for `dur` nanoseconds, not starting before
@@ -152,8 +164,8 @@ mod tests {
     fn setup_cost_dominates_small_transfers() {
         let r = BandwidthResource::new(5731.0, 10_000);
         let a = r.transfer(0, 16 * 1024); // 16 KB
-        // 16 KiB at 5731 MB/s is ~2.9 us; with the 10 us setup the device is
-        // mostly paying overhead, which is what makes small pages slow.
+                                          // 16 KiB at 5731 MB/s is ~2.9 us; with the 10 us setup the device is
+                                          // mostly paying overhead, which is what makes small pages slow.
         assert!(a.busy() > 12_000);
         assert!(a.busy() < 14_000);
     }
@@ -173,8 +185,7 @@ mod tests {
     fn concurrent_reservations_never_overlap() {
         let r = SerialResource::new();
         let windows: Vec<Reservation> = std::thread::scope(|s| {
-            let handles: Vec<_> =
-                (0..16).map(|_| s.spawn(|| r.acquire(0, 10))).collect();
+            let handles: Vec<_> = (0..16).map(|_| s.spawn(|| r.acquire(0, 10))).collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         let mut sorted = windows.clone();

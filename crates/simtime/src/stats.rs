@@ -16,7 +16,9 @@ impl Counter {
     /// A counter at zero.
     #[must_use]
     pub fn new() -> Self {
-        Self { value: AtomicU64::new(0) }
+        Self {
+            value: AtomicU64::new(0),
+        }
     }
 
     /// Increment by one.
@@ -57,7 +59,10 @@ impl ByteLedger {
     /// A ledger with `capacity` total bytes and nothing charged.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: AtomicU64::new(0) }
+        Self {
+            capacity,
+            used: AtomicU64::new(0),
+        }
     }
 
     /// Total capacity in bytes.
@@ -91,7 +96,10 @@ impl ByteLedger {
     /// Panics in debug builds if more is released than was charged.
     pub fn release(&self, bytes: u64) {
         let prev = self.used.fetch_sub(bytes, Ordering::AcqRel);
-        debug_assert!(prev >= bytes, "ByteLedger::release of {bytes} exceeds used {prev}");
+        debug_assert!(
+            prev >= bytes,
+            "ByteLedger::release of {bytes} exceeds used {prev}"
+        );
     }
 }
 

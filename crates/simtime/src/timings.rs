@@ -93,7 +93,12 @@ impl Timings {
     /// Copy with all PCIe DMA costs removed (Figure 5, "CPU DMA excluded").
     #[must_use]
     pub fn without_dma(&self) -> Self {
-        Self { pcie_mb_s: 0.0, pcie_pageable_mb_s: 0.0, dma_setup_ns: 0, ..self.clone() }
+        Self {
+            pcie_mb_s: 0.0,
+            pcie_pageable_mb_s: 0.0,
+            dma_setup_ns: 0,
+            ..self.clone()
+        }
     }
 
     /// Copy with all host file I/O costs removed (Figure 5, "CPU file I/O

@@ -31,14 +31,20 @@ impl FlopsModel {
     /// Calibration for the image-matching workload (see module docs).
     #[must_use]
     pub fn imgmatch() -> Self {
-        Self { gpu_flops: 18.0e9, cpu_core_flops: 1.125e9 }
+        Self {
+            gpu_flops: 18.0e9,
+            cpu_core_flops: 1.125e9,
+        }
     }
 
     /// Calibration for the matrix–vector product: arithmetic hides behind
     /// PCIe transfers.
     #[must_use]
     pub fn matvec() -> Self {
-        Self { gpu_flops: 515.0e9, cpu_core_flops: 4.0e9 }
+        Self {
+            gpu_flops: 515.0e9,
+            cpu_core_flops: 4.0e9,
+        }
     }
 
     /// Virtual time for `flops` floating-point operations using the whole
@@ -79,7 +85,10 @@ impl MatchModel {
     /// and 6.07 h on 8 cores.
     #[must_use]
     pub fn grep() -> Self {
-        Self { gpu_rate: 9.56e9, cpu_core_rate: 1.74e8 }
+        Self {
+            gpu_rate: 9.56e9,
+            cpu_core_rate: 1.74e8,
+        }
     }
 
     /// Virtual time for the whole GPU to match `text_bytes` against
@@ -124,7 +133,10 @@ mod tests {
         let cpu8_s = m.cpu_core_time(flops) as f64 / 8.0 / 1e9;
         assert!((50.0..80.0).contains(&gpu_s), "gpu {gpu_s}s");
         let ratio = cpu8_s / gpu_s;
-        assert!((1.8..2.5).contains(&ratio), "paper: GPU ≈ 2× CPU×8, got {ratio}");
+        assert!(
+            (1.8..2.5).contains(&ratio),
+            "paper: GPU ≈ 2× CPU×8, got {ratio}"
+        );
     }
 
     #[test]
@@ -134,7 +146,10 @@ mod tests {
         let words = 58_000u64;
         let gpu_min = m.gpu_time(linux_bytes, words) as f64 / 1e9 / 60.0;
         let cpu8_h = m.cpu_core_time(linux_bytes, words) as f64 / 8.0 / 1e9 / 3600.0;
-        assert!((45.0..62.0).contains(&gpu_min), "paper: 53m, got {gpu_min}m");
+        assert!(
+            (45.0..62.0).contains(&gpu_min),
+            "paper: 53m, got {gpu_min}m"
+        );
         assert!((5.0..7.0).contains(&cpu8_h), "paper: 6.07h, got {cpu8_h}h");
         let shak_s = m.gpu_time(6 << 20, words) as f64 / 1e9;
         assert!((30.0..48.0).contains(&shak_s), "paper: 40s, got {shak_s}s");
@@ -146,6 +161,9 @@ mod tests {
         // much faster than moving it over PCIe (~183 us/MB).
         let m = FlopsModel::matvec();
         let t = m.gpu_time((1 << 20) / 4 * 2);
-        assert!(t < 50_000, "compute {t}ns per MB should hide behind ~183us PCIe");
+        assert!(
+            t < 50_000,
+            "compute {t}ns per MB should hide behind ~183us PCIe"
+        );
     }
 }

@@ -111,7 +111,8 @@ pub fn gen_text_corpus(fs: &HostFs, cfg: &TextCorpusConfig) -> TextCorpus {
         }
         let path = format!("{sub}/f{i:05}.txt");
         total += text.len() as u64;
-        fs.create(&path, text.as_bytes()).expect("create corpus file");
+        fs.create(&path, text.as_bytes())
+            .expect("create corpus file");
         files.push(path);
     }
 
@@ -135,13 +136,22 @@ pub fn gen_text_corpus(fs: &HostFs, cfg: &TextCorpusConfig) -> TextCorpus {
         dict_bytes.extend_from_slice(&rec);
     }
     let dict_path = format!("{}/dictionary.bin", cfg.dir);
-    fs.create(&dict_path, &dict_bytes).expect("create dictionary");
+    fs.create(&dict_path, &dict_bytes)
+        .expect("create dictionary");
 
     let file_list_path = format!("{}/file_list.txt", cfg.dir);
     let list = files.join("\n") + "\n";
-    fs.create(&file_list_path, list.as_bytes()).expect("create file list");
+    fs.create(&file_list_path, list.as_bytes())
+        .expect("create file list");
 
-    TextCorpus { dir: cfg.dir.clone(), file_list_path, files, total_bytes: total, dict_path, dict_words }
+    TextCorpus {
+        dir: cfg.dir.clone(),
+        file_list_path,
+        files,
+        total_bytes: total,
+        dict_path,
+        dict_words,
+    }
 }
 
 /// Parse a 32-byte-aligned dictionary file back into words.
@@ -245,7 +255,7 @@ pub fn gen_image_dataset(fs: &HostFs, cfg: &ImageDatasetConfig) -> ImageDataset 
             *p = Some((0, 0));
         }
     } else {
-        for q in 0..cfg.n_queries {
+        for (q, plant) in planted.iter_mut().enumerate() {
             if rng.gen_bool(cfg.match_fraction) {
                 let db = rng.gen_range(0..cfg.db_sizes.len());
                 let slot = rng.gen_range(0..cfg.db_sizes[db]);
@@ -253,7 +263,7 @@ pub fn gen_image_dataset(fs: &HostFs, cfg: &ImageDatasetConfig) -> ImageDataset 
                     continue; // slot already used; leave this query unmatched
                 }
                 plants[db].push((slot, q));
-                planted[q] = Some((db, slot));
+                *plant = Some((db, slot));
             }
         }
     }
@@ -310,7 +320,8 @@ pub fn gen_matvec_input(
     cols: u64,
     seed: u64,
 ) {
-    fs.create_synthetic(matrix_path, rows * cols * 4, seed).expect("create matrix");
+    fs.create_synthetic(matrix_path, rows * cols * 4, seed)
+        .expect("create matrix");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5ec);
     let mut bytes = Vec::with_capacity(cols as usize * 4);
     for _ in 0..cols {
@@ -372,8 +383,10 @@ mod tests {
         let (bytes, _) = f.read_whole(&c.dict_path, 0).unwrap();
         assert_eq!(bytes.len() % DICT_RECORD, 0);
         let parsed = parse_dictionary(&bytes);
-        let words: Vec<String> =
-            parsed.iter().map(|w| String::from_utf8(w.clone()).unwrap()).collect();
+        let words: Vec<String> = parsed
+            .iter()
+            .map(|w| String::from_utf8(w.clone()).unwrap())
+            .collect();
         assert_eq!(words, c.dict_words);
     }
 
@@ -387,7 +400,11 @@ mod tests {
             all_text.extend_from_slice(&bytes);
         }
         let text = String::from_utf8(all_text).unwrap();
-        let occur = c.dict_words.iter().filter(|w| text.contains(w.as_str())).count();
+        let occur = c
+            .dict_words
+            .iter()
+            .filter(|w| text.contains(w.as_str()))
+            .count();
         assert!(occur > 0, "some dictionary words must occur");
         assert!(occur < c.dict_words.len(), "absent words must exist");
     }

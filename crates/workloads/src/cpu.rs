@@ -71,7 +71,10 @@ impl CpuExecutor {
                 .map(|core_id| {
                     let body = &body;
                     s.spawn(move || {
-                        let mut ctx = CoreCtx { core_id, clock: Clock::starting_at(start) };
+                        let mut ctx = CoreCtx {
+                            core_id,
+                            clock: Clock::starting_at(start),
+                        };
                         body(&mut ctx);
                         ctx.clock.now()
                     })

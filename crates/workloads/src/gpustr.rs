@@ -134,17 +134,10 @@ mod tests {
 
     #[test]
     fn tokenizer_splits_on_punctuation_and_whitespace() {
-        let words: Vec<&[u8]> =
-            WordTokenizer::new(b"the quick-brown_fox, isn't (it)?").collect();
+        let words: Vec<&[u8]> = WordTokenizer::new(b"the quick-brown_fox, isn't (it)?").collect();
         assert_eq!(
             words,
-            vec![
-                b"the".as_slice(),
-                b"quick",
-                b"brown_fox",
-                b"isn't",
-                b"it"
-            ]
+            vec![b"the".as_slice(), b"quick", b"brown_fox", b"isn't", b"it"]
         );
     }
 
@@ -173,6 +166,9 @@ mod tests {
         let n = format_match_line(&mut buf, b"kernel", b"/src/main.c", 42).unwrap();
         assert_eq!(&buf[..n], b"kernel /src/main.c 42\n");
         let mut tiny = [0u8; 8];
-        assert_eq!(format_match_line(&mut tiny, b"kernel", b"/src/main.c", 42), None);
+        assert_eq!(
+            format_match_line(&mut tiny, b"kernel", b"/src/main.c", 42),
+            None
+        );
     }
 }

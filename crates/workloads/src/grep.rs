@@ -132,7 +132,10 @@ pub fn grep_gpufs(
             // one-word-per-thread parallelization.
             let nb = blk.grid().blocks;
             let (my_files, my_dict): (Vec<usize>, &[Vec<u8>]) = if files.len() >= nb {
-                ((blk.block_id()..files.len()).step_by(nb).collect(), &dict[..])
+                (
+                    (blk.block_id()..files.len()).step_by(nb).collect(),
+                    &dict[..],
+                )
             } else {
                 let span = dict.len().div_ceil(nb);
                 let d0 = (blk.block_id() * span).min(dict.len());
@@ -236,7 +239,9 @@ pub fn grep_vanilla_gpu(
     }
 
     // Phase 2: one bulk PCIe transfer of inputs + dictionary.
-    let xfer = gpu.dma().reserve_h2d(cpu.now(), total_bytes + dict_bytes.len() as u64);
+    let xfer = gpu
+        .dma()
+        .reserve_h2d(cpu.now(), total_bytes + dict_bytes.len() as u64);
 
     // Phase 3 (GPU kernel): blocks split files (or, with few files, the
     // dictionary); kernel time is the slowest block's matching work at
@@ -320,7 +325,10 @@ pub fn grep_cpu(
             // Same split as the GPU version: stride files across cores,
             // or shard the dictionary when files are scarce.
             let (my_files, my_dict): (Vec<usize>, &[Vec<u8>]) = if files.len() >= cores {
-                ((core.core_id()..files.len()).step_by(cores).collect(), &dict[..])
+                (
+                    (core.core_id()..files.len()).step_by(cores).collect(),
+                    &dict[..],
+                )
             } else {
                 let span = dict.len().div_ceil(cores);
                 let d0 = (core.core_id() * span).min(dict.len());
@@ -332,7 +340,7 @@ pub fn grep_cpu(
                 core.wait_until(t);
                 core.advance(model.cpu_core_time(text.len() as u64, my_dict.len() as u64));
                 let counts = count_matches(&text, my_dict);
-                for (_, &c) in &counts {
+                for &c in counts.values() {
                     match_records.fetch_add(1, Ordering::Relaxed);
                     total_occurrences.fetch_add(c, Ordering::Relaxed);
                 }
@@ -386,20 +394,35 @@ mod tests {
     fn gpufs_and_cpu_find_identical_counts() {
         let (fs, host, gpu, corpus) = rig();
         let mount = host.mount(0, GpufsConfig::new(4 << 10, 2 << 20)).unwrap();
-        let g = grep_gpufs(&mount, &gpu, &corpus.file_list_path, &corpus.dict_path, "/out")
-            .unwrap();
+        let g = grep_gpufs(
+            &mount,
+            &gpu,
+            &corpus.file_list_path,
+            &corpus.dict_path,
+            "/out",
+        )
+        .unwrap();
         let c = grep_cpu(&fs, 8, &corpus.file_list_path, &corpus.dict_path).unwrap();
         assert_eq!(g.word_totals, c.word_totals);
         assert_eq!(g.total_occurrences, c.total_occurrences);
-        assert!(g.total_occurrences > 0, "corpus must contain dictionary words");
+        assert!(
+            g.total_occurrences > 0,
+            "corpus must contain dictionary words"
+        );
     }
 
     #[test]
     fn vanilla_gpu_agrees_too() {
         let (fs, host, gpu, corpus) = rig();
         let mount = host.mount(0, GpufsConfig::new(4 << 10, 2 << 20)).unwrap();
-        let g = grep_gpufs(&mount, &gpu, &corpus.file_list_path, &corpus.dict_path, "/out")
-            .unwrap();
+        let g = grep_gpufs(
+            &mount,
+            &gpu,
+            &corpus.file_list_path,
+            &corpus.dict_path,
+            "/out",
+        )
+        .unwrap();
         let v = grep_vanilla_gpu(&fs, &gpu, &corpus.file_list_path, &corpus.dict_path).unwrap();
         assert_eq!(g.word_totals, v.word_totals);
     }
@@ -408,8 +431,14 @@ mod tests {
     fn output_file_contains_formatted_lines() {
         let (fs, host, gpu, corpus) = rig();
         let mount = host.mount(0, GpufsConfig::new(4 << 10, 2 << 20)).unwrap();
-        let g = grep_gpufs(&mount, &gpu, &corpus.file_list_path, &corpus.dict_path, "/out")
-            .unwrap();
+        let g = grep_gpufs(
+            &mount,
+            &gpu,
+            &corpus.file_list_path,
+            &corpus.dict_path,
+            "/out",
+        )
+        .unwrap();
         assert!(g.output_bytes > 0);
         let (out, _) = fs.read_whole("/out", 0).unwrap();
         assert_eq!(out.len() as u64, g.output_bytes);

@@ -97,7 +97,9 @@ pub fn imgmatch_gpufs(
     assert!(!gpus.is_empty(), "need at least one GPU");
     let n_gpus = gpus.len();
     let per_gpu = ds.n_queries.div_ceil(n_gpus);
-    let results: Vec<AtomicU64> = (0..ds.n_queries).map(|_| AtomicU64::new(NO_MATCH)).collect();
+    let results: Vec<AtomicU64> = (0..ds.n_queries)
+        .map(|_| AtomicU64::new(NO_MATCH))
+        .collect();
     let failure: parking_lot::Mutex<Option<gpufs::GpufsError>> = parking_lot::Mutex::new(None);
 
     let ends: Vec<Nanos> = std::thread::scope(|s| {
@@ -124,15 +126,24 @@ pub fn imgmatch_gpufs(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("gpu thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("gpu thread"))
+            .collect()
     });
     if let Some(e) = failure.into_inner() {
         return Err(e);
     }
-    let matches: Vec<Option<(usize, usize)>> =
-        results.iter().map(|r| unpack(r.load(Ordering::Relaxed))).collect();
+    let matches: Vec<Option<(usize, usize)>> = results
+        .iter()
+        .map(|r| unpack(r.load(Ordering::Relaxed)))
+        .collect();
     let queries_matched = matches.iter().flatten().count();
-    Ok(ImgMatchResult { elapsed: ends.into_iter().max().unwrap_or(0), matches, queries_matched })
+    Ok(ImgMatchResult {
+        elapsed: ends.into_iter().max().unwrap_or(0),
+        matches,
+        queries_matched,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -164,8 +175,7 @@ fn run_block(
     let mut qbytes = vec![0u8; (my_q1 - my_q0) * ib];
     mount.read(blk, &fd_q, (my_q0 * ib) as u64, &mut qbytes)?;
     mount.close(blk, fd_q)?;
-    let queries: Vec<Vec<f32>> =
-        qbytes.chunks_exact(ib).map(f32_slice).collect();
+    let queries: Vec<Vec<f32>> = qbytes.chunks_exact(ib).map(f32_slice).collect();
     let mut unmatched: Vec<usize> = (0..queries.len()).collect();
 
     // Scan databases in priority order; stop as soon as this block's
@@ -228,7 +238,9 @@ pub fn imgmatch_cpu(
     let cpu = CpuExecutor::new(cores);
     let ib = ds.image_bytes();
     let threshold_sq = threshold * threshold;
-    let results: Vec<AtomicU64> = (0..ds.n_queries).map(|_| AtomicU64::new(NO_MATCH)).collect();
+    let results: Vec<AtomicU64> = (0..ds.n_queries)
+        .map(|_| AtomicU64::new(NO_MATCH))
+        .collect();
     let err: parking_lot::Mutex<Option<hostfs::FsError>> = parking_lot::Mutex::new(None);
     let next_chunk = AtomicUsize::new(0);
     let _ = next_chunk; // cores use static split, matching the paper
@@ -243,8 +255,7 @@ pub fn imgmatch_cpu(
         let mut work = || -> Result<(), hostfs::FsError> {
             let (qbytes, t) = fs.read_whole(&ds.query_path, core.now())?;
             core.wait_until(t);
-            let queries: Vec<Vec<f32>> = qbytes
-                [my_q0 * ib..my_q1 * ib]
+            let queries: Vec<Vec<f32>> = qbytes[my_q0 * ib..my_q1 * ib]
                 .chunks_exact(ib)
                 .map(f32_slice)
                 .collect();
@@ -271,8 +282,7 @@ pub fn imgmatch_cpu(
                         let image = f32_slice(&chunk[i * ib..(i + 1) * ib]);
                         unmatched.retain(|&q| {
                             if matches_query(&image, &queries[q], threshold_sq) {
-                                results[my_q0 + q]
-                                    .store(pack(db_idx, img + i), Ordering::Relaxed);
+                                results[my_q0 + q].store(pack(db_idx, img + i), Ordering::Relaxed);
                                 false
                             } else {
                                 true
@@ -292,10 +302,16 @@ pub fn imgmatch_cpu(
     if let Some(e) = err.into_inner() {
         return Err(e);
     }
-    let matches: Vec<Option<(usize, usize)>> =
-        results.iter().map(|r| unpack(r.load(Ordering::Relaxed))).collect();
+    let matches: Vec<Option<(usize, usize)>> = results
+        .iter()
+        .map(|r| unpack(r.load(Ordering::Relaxed)))
+        .collect();
     let queries_matched = matches.iter().flatten().count();
-    Ok(ImgMatchResult { elapsed: end, matches, queries_matched })
+    Ok(ImgMatchResult {
+        elapsed: end,
+        matches,
+        queries_matched,
+    })
 }
 
 #[cfg(test)]
@@ -323,8 +339,9 @@ mod tests {
 
     fn rig(n_gpus: usize) -> (Arc<HostFs>, GpufsHost, Vec<Arc<Gpu>>) {
         let fs = Arc::new(HostFs::new(HostFsConfig::default()));
-        let gpus: Vec<Arc<Gpu>> =
-            (0..n_gpus).map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test()))).collect();
+        let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
+            .map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test())))
+            .collect();
         let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
         (fs, host, gpus)
     }
@@ -335,7 +352,10 @@ mod tests {
         let ds = dataset(&fs, 0.6, false);
         let mount = host.mount(0, GpufsConfig::new(4 << 10, 1 << 20)).unwrap();
         let res = imgmatch_gpufs(&[mount], &gpus, &ds, 0.5).unwrap();
-        assert_eq!(res.matches, ds.planted, "every planted query found, nothing else");
+        assert_eq!(
+            res.matches, ds.planted,
+            "every planted query found, nothing else"
+        );
         assert_eq!(res.queries_matched, ds.planted.iter().flatten().count());
         assert!(res.elapsed > 0);
     }
@@ -354,8 +374,9 @@ mod tests {
     fn multi_gpu_covers_all_queries() {
         let (fs, host, gpus) = rig(4);
         let ds = dataset(&fs, 0.5, false);
-        let mounts: Vec<_> =
-            (0..4).map(|g| host.mount(g, GpufsConfig::new(4 << 10, 1 << 20)).unwrap()).collect();
+        let mounts: Vec<_> = (0..4)
+            .map(|g| host.mount(g, GpufsConfig::new(4 << 10, 1 << 20)).unwrap())
+            .collect();
         let res = imgmatch_gpufs(&mounts, &gpus, &ds, 0.5).unwrap();
         assert_eq!(res.matches, ds.planted);
     }

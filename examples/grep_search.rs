@@ -37,10 +37,18 @@ fn main() {
 
     let gpu = Arc::new(Gpu::new(0, GpuSpec::tesla_c2075_scaled(32)));
     let host = GpufsHost::new(Arc::clone(&fs), vec![Arc::clone(&gpu)]);
-    let mount = host.mount(0, GpufsConfig::new(64 << 10, 64 << 20)).expect("mount");
+    let mount = host
+        .mount(0, GpufsConfig::new(64 << 10, 64 << 20))
+        .expect("mount");
 
-    let g = grep_gpufs(&mount, &gpu, &corpus.file_list_path, &corpus.dict_path, "/matches.txt")
-        .expect("gpufs grep");
+    let g = grep_gpufs(
+        &mount,
+        &gpu,
+        &corpus.file_list_path,
+        &corpus.dict_path,
+        "/matches.txt",
+    )
+    .expect("gpufs grep");
     let v = grep_vanilla_gpu(&fs, &gpu, &corpus.file_list_path, &corpus.dict_path)
         .expect("vanilla grep");
     let c = grep_cpu(&fs, 8, &corpus.file_list_path, &corpus.dict_path).expect("cpu grep");
@@ -59,7 +67,10 @@ fn main() {
     // The formatted output really is in the host file system.
     let (out, _) = fs.read_whole("/matches.txt", 0).expect("output exists");
     let first = String::from_utf8_lossy(&out);
-    println!("first output line: {}", first.lines().next().unwrap_or("<empty>"));
+    println!(
+        "first output line: {}",
+        first.lines().next().unwrap_or("<empty>")
+    );
 
     // Keep the kernel-launch plumbing visible: this is all the CPU code a
     // GPUfs application actually needs.

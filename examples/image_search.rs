@@ -39,23 +39,36 @@ fn main() {
         ds.db_sizes.iter().sum::<usize>()
     );
 
-    let spec = GpuSpec { memory_bytes: 128 << 20, ..GpuSpec::tesla_c2075() };
-    let gpus: Vec<Arc<Gpu>> =
-        (0..2).map(|i| Arc::new(Gpu::with_timings(i, spec.clone(), &Timings::default()))).collect();
+    let spec = GpuSpec {
+        memory_bytes: 128 << 20,
+        ..GpuSpec::tesla_c2075()
+    };
+    let gpus: Vec<Arc<Gpu>> = (0..2)
+        .map(|i| Arc::new(Gpu::with_timings(i, spec.clone(), &Timings::default())))
+        .collect();
     let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
     let mounts: Vec<_> = (0..2)
-        .map(|g| host.mount(g, GpufsConfig::new(64 << 10, 32 << 20)).expect("mount"))
+        .map(|g| {
+            host.mount(g, GpufsConfig::new(64 << 10, 32 << 20))
+                .expect("mount")
+        })
         .collect();
 
     let one = imgmatch_gpufs(&mounts[..1], &gpus[..1], &ds, 0.5).expect("1 gpu");
     let two = imgmatch_gpufs(&mounts, &gpus, &ds, 0.5).expect("2 gpus");
     let cpu = imgmatch_cpu(&fs, 8, &ds, 0.5).expect("cpu");
 
-    assert_eq!(one.matches, ds.planted, "matches must be exactly the planted copies");
+    assert_eq!(
+        one.matches, ds.planted,
+        "matches must be exactly the planted copies"
+    );
     assert_eq!(two.matches, ds.planted);
     assert_eq!(cpu.matches, ds.planted);
 
-    println!("matched {} of {} queries", one.queries_matched, ds.n_queries);
+    println!(
+        "matched {} of {} queries",
+        one.queries_matched, ds.n_queries
+    );
     println!("CPU x8: {:>8.2} ms", cpu.elapsed as f64 / 1e6);
     println!("1 GPU:  {:>8.2} ms", one.elapsed as f64 / 1e6);
     println!(
@@ -63,7 +76,13 @@ fn main() {
         two.elapsed as f64 / 1e6,
         one.elapsed as f64 / two.elapsed as f64
     );
-    for (q, m) in ds.planted.iter().enumerate().filter(|(_, m)| m.is_some()).take(3) {
+    for (q, m) in ds
+        .planted
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.is_some())
+        .take(3)
+    {
         let (db, slot) = m.unwrap();
         println!("  e.g. query {q} found in db{db} at image {slot}");
     }

@@ -39,7 +39,9 @@ fn main() {
     let gpu = Arc::new(Gpu::new(0, GpuSpec::small_test()));
     let host = GpufsHost::new(Arc::clone(&fs), vec![Arc::clone(&gpu)]);
     let cache_bytes = 256 << 10; // far smaller than the 4 MB matrix
-    let mount = host.mount(0, GpufsConfig::new(16 << 10, cache_bytes)).expect("mount");
+    let mount = host
+        .mount(0, GpufsConfig::new(16 << 10, cache_bytes))
+        .expect("mount");
 
     let g = matvec_gpufs(&mount, &gpu, "/A", "/x", "/y", ROWS, COLS).expect("gpufs matvec");
     println!(
@@ -49,10 +51,16 @@ fn main() {
         cache_bytes >> 10,
         mount.counters().pages_reclaimed.get()
     );
-    assert!(mount.counters().pages_reclaimed.get() > 0, "must have paged");
+    assert!(
+        mount.counters().pages_reclaimed.get() > 0,
+        "must have paged"
+    );
 
     let naive = matvec_cuda(&fs, &gpu, "/A", "/x", ROWS, COLS, None, 2).expect("cuda naive");
-    println!("CUDA double-buffering baseline: {:.2} ms", naive.elapsed as f64 / 1e6);
+    println!(
+        "CUDA double-buffering baseline: {:.2} ms",
+        naive.elapsed as f64 / 1e6
+    );
 
     // Validate against the host reference.
     let expected = matvec_cpu_reference(&fs, "/A", "/x", ROWS, COLS).expect("reference");

@@ -17,7 +17,9 @@ fn main() {
         .expect("create input");
     let gpu = Arc::new(Gpu::new(0, GpuSpec::small_test()));
     let host = GpufsHost::new(Arc::clone(&fs), vec![Arc::clone(&gpu)]);
-    let mount = host.mount(0, GpufsConfig::small_test()).expect("mount gpufs");
+    let mount = host
+        .mount(0, GpufsConfig::small_test())
+        .expect("mount gpufs");
 
     // ---- The entire application: one GPU kernel. ----------------------
     // Four threadblocks each read the input and write an uppercased copy
@@ -25,7 +27,9 @@ fn main() {
     let input_len = fs.stat("/input.txt").expect("stat").size as usize;
     let result = gpu.launch(Grid::new(4, 32), 0, |blk| {
         let fd_in = mount.open(blk, "/input.txt", GOpenMode::ReadOnly).unwrap();
-        let fd_out = mount.open(blk, "/output.txt", GOpenMode::WriteOnce).unwrap();
+        let fd_out = mount
+            .open(blk, "/output.txt", GOpenMode::WriteOnce)
+            .unwrap();
 
         let nb = blk.grid().blocks;
         let span = input_len.div_ceil(nb);
@@ -47,8 +51,13 @@ fn main() {
     });
 
     // ---- Back on the host: the file is just... there. ------------------
-    let (out, _) = fs.read_whole("/output.txt", result.end).expect("read output");
-    println!("GPU kernel finished in {:.1} us of device time", result.elapsed() as f64 / 1e3);
+    let (out, _) = fs
+        .read_whole("/output.txt", result.end)
+        .expect("read output");
+    println!(
+        "GPU kernel finished in {:.1} us of device time",
+        result.elapsed() as f64 / 1e3
+    );
     println!("host sees: {}", String::from_utf8_lossy(&out).trim_end());
     assert_eq!(out, b"GPUS DESERVE A FILE SYSTEM TOO.\n");
     println!(

@@ -1,0 +1,169 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this crate provides a
+//! minimal functional bench harness with Criterion's surface API as used by
+//! the workspace benches: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It measures for a short fixed budget and
+//! prints mean per-iteration wall time — enough to compare hot paths
+//! locally, without Criterion's statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement budget.
+const WARMUP: Duration = Duration::from_millis(20);
+const MEASURE: Duration = Duration::from_millis(120);
+
+/// Top-level harness handle passed to each bench target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark named `id` and prints its mean iteration
+    /// time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        match b.iters {
+            0 => println!("{id:<40} (no measurement recorded)"),
+            iters => {
+                let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+                println!("{id:<40} {per_iter:>12.1} ns/iter ({iters} iters)");
+            }
+        }
+        self
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim runs one input
+/// per routine call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; many batches per measurement.
+    SmallInput,
+    /// Setup output is large; few batches per measurement.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Timing context handed to the closure given to
+/// [`Criterion::bench_function`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up untimed, then measure batches until the budget elapses.
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let stop = start + MEASURE;
+        let mut iters = 0u64;
+        while Instant::now() < stop {
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            iters += 16;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let stop = Instant::now() + MEASURE;
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while Instant::now() < stop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+/// Declares a function `$name` that runs each listed bench target with a
+/// fresh [`Criterion`] handle.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group declared by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke_iter", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_calls_setup_per_routine() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("smoke_batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| {
+                    runs += 1;
+                    black_box(v.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(runs > 0);
+        assert_eq!(setups, runs, "every routine call gets a fresh input");
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so this crate provides a
+//! minimal property-testing harness with the proptest surface the workspace
+//! tests use: the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], and
+//! [`prop_assert_eq!`] macros, the [`Strategy`] trait with
+//! [`Strategy::prop_map`], [`collection::vec`], [`any`], and
+//! [`sample::Index`].
+//!
+//! Cases are generated from a seed derived deterministically from the test
+//! name and case number, so failures reproduce exactly on re-run. There is
+//! no shrinking: a failure reports the case number and assertion message.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod collection;
+pub mod sample;
+
+/// Everything the `proptest!` test modules need in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy,
+        TestCaseResult,
+    };
+}
+
+/// Mirror of proptest's `prop` facade module (`prop::sample::Index`, ...).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), String>;
+
+/// Number of generated cases per property and related knobs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// A strategy producing `f(value)` for each generated `value`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy so heterogeneous strategies of the same
+    /// `Value` can share a collection (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.new_value(rng)))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (the engine of [`prop_oneof!`]).
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A strategy that picks one of `branches` uniformly per value.
+    #[must_use]
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Self { branches }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self {
+            branches: self.branches.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        let branch = rng.gen_range(0..self.branches.len());
+        self.branches[branch].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Values with a canonical "anything goes" strategy.
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Self(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T` ([`Arbitrary`]).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// FNV-1a over the test name: a stable per-test seed base so every run
+/// regenerates identical cases.
+#[must_use]
+pub fn seed_for(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Runs `body` over `config.cases` generated cases; panics with the case
+/// number and message on the first failure. Used by [`proptest!`].
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> TestCaseResult,
+{
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(seed_for(test_name, case));
+        if let Err(msg) = body(&mut rng) {
+            panic!(
+                "property {test_name} failed at case {case}/{}: {msg}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($binding:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(stringify!($name), &config, |rng| {
+                    $(let $binding = $crate::Strategy::new_value(&$strat, rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Uniformly picks one of several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Like `assert!` inside [`proptest!`]: fails the case instead of
+/// panicking, so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), format_args!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err(format!(
+                "assertion failed at {}:{}: {:?} != {:?}",
+                file!(), line!(), left, right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err(format!(
+                "assertion failed at {}:{}: {:?} != {:?}: {}",
+                file!(), line!(), left, right, format_args!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable_per_test_and_case() {
+        assert_eq!(crate::seed_for("a", 0), crate::seed_for("a", 0));
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("a", 1));
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("b", 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![
+            (0u64..10).prop_map(|v| v * 2),
+            (100u64..110).prop_map(|v| v + 1),
+        ]) {
+            prop_assert!(x % 2 == 0 && x < 20 || (101..111).contains(&x));
+        }
+
+        #[test]
+        fn index_is_always_valid(idx in any::<prop::sample::Index>(), len in 1usize..50) {
+            prop_assert!(idx.index(len) < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        crate::run_cases("always_fails", &ProptestConfig::with_cases(3), |_rng| {
+            Err("nope".to_string())
+        });
+    }
+}

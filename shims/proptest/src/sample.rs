@@ -1,0 +1,26 @@
+//! Sampling helper types.
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+use crate::Arbitrary;
+
+/// A length-independent random index: generated once, projected onto any
+/// slice length with [`Index::index`]. Mirrors `proptest::sample::Index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects this draw onto `0..len`. Panics if `len` is zero.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        Self(rng.next_u64())
+    }
+}

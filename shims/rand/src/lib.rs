@@ -1,0 +1,277 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so this crate provides
+//! the subset of the `rand` 0.8 API the workspace uses: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] /
+//! [`Rng::gen_bool`], [`seq::SliceRandom::shuffle`], and [`random`].
+//!
+//! The generator is SplitMix64 — statistically fine for workload synthesis
+//! and deterministic under a fixed seed, which is all the callers need.
+//! Streams differ from real `rand`, so seeds reproduce runs within this
+//! repo only.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+pub mod seq;
+
+/// Core uniform-bits source.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`. Panics on an empty range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a deterministic generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range that knows how to sample one value of `T` uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Map 64 random bits onto `[0, 1)` with 53-bit precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Multiply-shift maps 64 uniform bits onto [0, span) with
+                // negligible bias for the span sizes used here.
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                self.start + draw
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                start + draw
+            }
+        }
+    )+};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_sample_range {
+    ($($t:ty => $u:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_signed_sample_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = unit_f64(rng.next_u64()) as $t;
+                let v = self.start + (self.end - self.start) * unit;
+                // Rounding (e.g. the f64->f32 cast of a unit within 2^-25
+                // of 1.0) can land exactly on the excluded upper bound;
+                // clamp to the largest value below it.
+                if v < self.end {
+                    v
+                } else {
+                    self.end.next_down().max(self.start)
+                }
+            }
+        }
+    )+};
+}
+
+impl_float_sample_range!(f32, f64);
+
+/// Types producible by [`random`].
+pub trait RandomValue {
+    /// Draws a uniform value of `Self` from `rng`.
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_value {
+    ($($t:ty),+) => {$(
+        impl RandomValue for $t {
+            fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_random_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RandomValue for bool {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl RandomValue for f64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl RandomValue for f32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Returns a value seeded from OS-provided entropy (the hash-map hasher's
+/// per-process random keys), mirroring `rand::random`.
+pub fn random<T: RandomValue>() -> T {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+
+    let seed = RandomState::new().build_hasher().finish();
+    let mut rng = rngs::StdRng::seed_from_u64(seed);
+    T::random_from(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(10);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g: f32 = rng.gen_range(2.0..3.0f32);
+            assert!((2.0..3.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn float_gen_range_never_returns_the_upper_bound() {
+        // A one-ULP-wide range makes `start + span * unit` round up to the
+        // excluded end for roughly half of all draws unless clamped.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (start, end) = (1.0f32, 1.0f32 + f32::EPSILON);
+        for _ in 0..1_000 {
+            let v: f32 = rng.gen_range(start..end);
+            assert!(v >= start && v < end, "v={v} escaped [{start}, {end})");
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((4_000..6_000).contains(&hits), "hits={hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_seeded_permutation() {
+        use crate::seq::SliceRandom;
+        let orig: Vec<u32> = (0..100).collect();
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        a.shuffle(&mut StdRng::seed_from_u64(5));
+        b.shuffle(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle must be a permutation");
+        let mut c = orig.clone();
+        c.shuffle(&mut StdRng::seed_from_u64(6));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_produces_varied_values() {
+        let draws: Vec<u64> = (0..8).map(|_| random::<u64>()).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,35 @@
+//! Slice sampling helpers.
+
+use crate::{RngCore, SampleRange};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let idx = (0..self.len()).sample_single(rng);
+            Some(&self[idx])
+        }
+    }
+}

@@ -10,8 +10,9 @@ use hostfs::{HostFs, HostFsConfig};
 
 fn rig(n_gpus: usize) -> (Arc<HostFs>, GpufsHost, Vec<Arc<Gpu>>) {
     let fs = Arc::new(HostFs::new(HostFsConfig::default()));
-    let gpus: Vec<Arc<Gpu>> =
-        (0..n_gpus).map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test()))).collect();
+    let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
+        .map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test())))
+        .collect();
     let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
     (fs, host, gpus)
 }
@@ -104,7 +105,9 @@ fn two_gpus_produce_one_write_once_file() {
             let gpu = Arc::clone(&gpus[g]);
             s.spawn(move || {
                 gpu.launch(Grid::new(4, 32), 0, |blk| {
-                    let fd = mount.open(blk, "/produced.out", GOpenMode::WriteOnce).unwrap();
+                    let fd = mount
+                        .open(blk, "/produced.out", GOpenMode::WriteOnce)
+                        .unwrap();
                     let lane = (g * 4 + blk.block_id()) as u64;
                     let payload = vec![lane as u8 + 1; 1500];
                     mount.write(blk, &fd, lane * 1500, &payload).unwrap();
@@ -119,7 +122,9 @@ fn two_gpus_produce_one_write_once_file() {
     assert_eq!(data.len(), 8 * 1500);
     for lane in 0..8usize {
         assert!(
-            data[lane * 1500..(lane + 1) * 1500].iter().all(|&b| b == lane as u8 + 1),
+            data[lane * 1500..(lane + 1) * 1500]
+                .iter()
+                .all(|&b| b == lane as u8 + 1),
             "lane {lane} merged incorrectly"
         );
     }
@@ -138,7 +143,10 @@ fn generation_counters_line_up_with_registry() {
         mount.close(blk, fd).unwrap();
     });
     let g1 = fs.consistency().generation(ino);
-    assert!(g1 > g0, "open-for-write and write-back must bump the generation");
+    assert!(
+        g1 > g0,
+        "open-for-write and write-back must bump the generation"
+    );
     // A further kernel that only reads does not bump it.
     gpus[0].launch(Grid::new(1, 32), 0, |blk| {
         let fd = mount.open(blk, "/gen.dat", GOpenMode::ReadOnly).unwrap();

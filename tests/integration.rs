@@ -16,8 +16,9 @@ struct Rig {
 
 fn rig(n_gpus: usize) -> Rig {
     let fs = Arc::new(HostFs::new(HostFsConfig::default()));
-    let gpus: Vec<Arc<Gpu>> =
-        (0..n_gpus).map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test()))).collect();
+    let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
+        .map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test())))
+        .collect();
     let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
     Rig { fs, host, gpus }
 }
@@ -31,9 +32,13 @@ fn gpu_processing_pipeline_composes_through_files() {
     let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
 
     let s1 = r.gpus[0].launch(Grid::new(4, 32), 0, |blk| {
-        let fd = mount.open(blk, "/stage1.out", GOpenMode::WriteOnce).unwrap();
+        let fd = mount
+            .open(blk, "/stage1.out", GOpenMode::WriteOnce)
+            .unwrap();
         let data = vec![blk.block_id() as u8 + 1; 512];
-        mount.write(blk, &fd, blk.block_id() as u64 * 512, &data).unwrap();
+        mount
+            .write(blk, &fd, blk.block_id() as u64 * 512, &data)
+            .unwrap();
         mount.fsync(blk, &fd).unwrap();
         mount.close(blk, fd).unwrap();
     });
@@ -50,7 +55,9 @@ fn gpu_processing_pipeline_composes_through_files() {
     let (data, _) = r.fs.read_whole("/stage1.out", 0).unwrap();
     assert_eq!(data.len(), 2048);
     for b in 0..4usize {
-        assert!(data[b * 512..(b + 1) * 512].iter().all(|&x| x == b as u8 + 1));
+        assert!(data[b * 512..(b + 1) * 512]
+            .iter()
+            .all(|&x| x == b as u8 + 1));
     }
 }
 
@@ -69,7 +76,9 @@ fn cpu_writer_invalidates_gpu_cache_between_kernels() {
     });
 
     // A CPU process rewrites the file between kernels.
-    let (fd, t) = r.fs.open("/shared.dat", OpenFlags::read_write(), k1.end).unwrap();
+    let (fd, t) =
+        r.fs.open("/shared.dat", OpenFlags::read_write(), k1.end)
+            .unwrap();
     r.fs.pwrite(fd, 0, &[2u8; 4096], t).unwrap();
     r.fs.close(fd).unwrap();
 
@@ -77,7 +86,10 @@ fn cpu_writer_invalidates_gpu_cache_between_kernels() {
         let fd = mount.open(blk, "/shared.dat", GOpenMode::ReadOnly).unwrap();
         let mut b = [0u8; 64];
         mount.read(blk, &fd, 0, &mut b).unwrap();
-        assert!(b.iter().all(|&x| x == 2), "lazy invalidation must drop stale pages");
+        assert!(
+            b.iter().all(|&x| x == 2),
+            "lazy invalidation must drop stale pages"
+        );
         mount.close(blk, fd).unwrap();
     });
 }
@@ -86,16 +98,19 @@ fn cpu_writer_invalidates_gpu_cache_between_kernels() {
 fn four_gpus_write_disjoint_stripes_of_one_file() {
     let r = rig(4);
     r.fs.create("/striped.out", &[0u8; 16384]).unwrap();
-    let mounts: Vec<_> =
-        (0..4).map(|g| r.host.mount(g, GpufsConfig::small_test()).unwrap()).collect();
+    let mounts: Vec<_> = (0..4)
+        .map(|g| r.host.mount(g, GpufsConfig::small_test()).unwrap())
+        .collect();
 
     std::thread::scope(|s| {
-        for g in 0..4 {
-            let mount = Arc::clone(&mounts[g]);
+        for (g, mount) in mounts.iter().enumerate() {
+            let mount = Arc::clone(mount);
             let gpu = Arc::clone(&r.gpus[g]);
             s.spawn(move || {
                 gpu.launch(Grid::new(2, 32), 0, |blk| {
-                    let fd = mount.open(blk, "/striped.out", GOpenMode::ReadWrite).unwrap();
+                    let fd = mount
+                        .open(blk, "/striped.out", GOpenMode::ReadWrite)
+                        .unwrap();
                     // Each GPU writes two 2 KB stripes via its blocks.
                     let stripe = (g * 2 + blk.block_id()) as u64 * 2048;
                     let payload = vec![(g * 2 + blk.block_id()) as u8 + 10; 2048];
@@ -111,7 +126,9 @@ fn four_gpus_write_disjoint_stripes_of_one_file() {
     for stripe in 0..8usize {
         let expect = stripe as u8 + 10;
         assert!(
-            data[stripe * 2048..(stripe + 1) * 2048].iter().all(|&b| b == expect),
+            data[stripe * 2048..(stripe + 1) * 2048]
+                .iter()
+                .all(|&b| b == expect),
             "stripe {stripe} corrupted by diff-and-merge"
         );
     }
@@ -123,7 +140,9 @@ fn gfsync_durable_survives_host_crash() {
     r.fs.create("/durable.log", b"").unwrap();
     let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
     r.gpus[0].launch(Grid::new(1, 32), 0, |blk| {
-        let fd = mount.open(blk, "/durable.log", GOpenMode::ReadWrite).unwrap();
+        let fd = mount
+            .open(blk, "/durable.log", GOpenMode::ReadWrite)
+            .unwrap();
         mount.write(blk, &fd, 0, b"committed").unwrap();
         mount.fsync_durable(blk, &fd).unwrap();
         mount.write(blk, &fd, 9, b" volatile").unwrap();
@@ -133,7 +152,10 @@ fn gfsync_durable_survives_host_crash() {
     r.fs.crash();
     let (data, _) = r.fs.read_whole("/durable.log", 0).unwrap();
     assert_eq!(&data[..9], b"committed");
-    assert!(!data.windows(8).any(|w| w == b"volatile"), "non-durable tail lost in crash");
+    assert!(
+        !data.windows(8).any(|w| w == b"volatile"),
+        "non-durable tail lost in crash"
+    );
 }
 
 #[test]
@@ -142,7 +164,10 @@ fn streaming_read_larger_than_cache_is_exact() {
     let payload: Vec<u8> = (0..256 * 1024u32).map(|i| (i % 241) as u8).collect();
     r.fs.create("/big.bin", &payload).unwrap();
     // 16 frames of 4 KB = 64 KB cache; 256 KB file streams through it.
-    let mount = r.host.mount(0, GpufsConfig::new(4 << 10, 64 << 10)).unwrap();
+    let mount = r
+        .host
+        .mount(0, GpufsConfig::new(4 << 10, 64 << 10))
+        .unwrap();
     let checksum = std::sync::atomic::AtomicU64::new(0);
     r.gpus[0].launch(Grid::new(8, 64), 0, |blk| {
         let fd = mount.open(blk, "/big.bin", GOpenMode::ReadOnly).unwrap();
@@ -150,14 +175,22 @@ fn streaming_read_larger_than_cache_is_exact() {
         let off = blk.block_id() * span;
         let mut buf = vec![0u8; span];
         assert_eq!(mount.read(blk, &fd, off as u64, &mut buf).unwrap(), span);
-        assert_eq!(&buf[..], &payload[off..off + span], "block {} data", blk.block_id());
+        assert_eq!(
+            &buf[..],
+            &payload[off..off + span],
+            "block {} data",
+            blk.block_id()
+        );
         let sum: u64 = buf.iter().map(|&b| u64::from(b)).sum();
         checksum.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
         mount.close(blk, fd).unwrap();
     });
     let expect: u64 = payload.iter().map(|&b| u64::from(b)).sum();
     assert_eq!(checksum.load(std::sync::atomic::Ordering::Relaxed), expect);
-    assert!(mount.counters().pages_reclaimed.get() > 0, "must have streamed");
+    assert!(
+        mount.counters().pages_reclaimed.get() > 0,
+        "must have streamed"
+    );
 }
 
 #[test]
@@ -181,7 +214,9 @@ fn temp_files_never_reach_the_host_namespace_content() {
     let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
     r.gpus[0].launch(Grid::new(1, 32), 0, |blk| {
         let fd = mount.open(blk, "/scratch.tmp", GOpenMode::Temp).unwrap();
-        mount.write(blk, &fd, 0, b"gpu-private intermediate data").unwrap();
+        mount
+            .write(blk, &fd, 0, b"gpu-private intermediate data")
+            .unwrap();
         let mut buf = [0u8; 29];
         assert_eq!(mount.read(blk, &fd, 0, &mut buf).unwrap(), 29);
         assert_eq!(&buf, b"gpu-private intermediate data");
@@ -200,13 +235,18 @@ fn temp_files_never_reach_the_host_namespace_content() {
 fn reopen_between_kernels_revives_cache_without_host_traffic() {
     let r = rig(1);
     r.fs.create_synthetic("/warm.bin", 1 << 20, 5).unwrap();
-    let mount = r.host.mount(0, GpufsConfig::new(16 << 10, 2 << 20)).unwrap();
+    let mount = r
+        .host
+        .mount(0, GpufsConfig::new(16 << 10, 2 << 20))
+        .unwrap();
     let k1 = r.gpus[0].launch(Grid::new(4, 64), 0, |blk| {
         let fd = mount.open(blk, "/warm.bin", GOpenMode::ReadOnly).unwrap();
         let mut buf = vec![0u8; 64 << 10];
         let off = blk.block_id() as u64 * (256 << 10);
         for i in 0..4u64 {
-            mount.read(blk, &fd, off + i * (64 << 10), &mut buf).unwrap();
+            mount
+                .read(blk, &fd, off + i * (64 << 10), &mut buf)
+                .unwrap();
         }
         mount.close(blk, fd).unwrap();
     });
@@ -218,11 +258,17 @@ fn reopen_between_kernels_revives_cache_without_host_traffic() {
         let mut buf = vec![0u8; 64 << 10];
         let off = blk.block_id() as u64 * (256 << 10);
         for i in 0..4u64 {
-            mount.read(blk, &fd, off + i * (64 << 10), &mut buf).unwrap();
+            mount
+                .read(blk, &fd, off + i * (64 << 10), &mut buf)
+                .unwrap();
         }
         mount.close(blk, fd).unwrap();
     });
-    assert_eq!(r.host.stats().bytes_h2d.get(), h2d, "revival must not refetch");
+    assert_eq!(
+        r.host.stats().bytes_h2d.get(),
+        h2d,
+        "revival must not refetch"
+    );
 }
 
 #[test]

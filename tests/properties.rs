@@ -214,8 +214,8 @@ proptest! {
         let extents = nonzero_extents(&page, gap);
         let mut covered = vec![false; page.len()];
         for (off, len) in &extents {
-            for i in *off as usize..*off as usize + *len as usize {
-                covered[i] = true;
+            for c in &mut covered[*off as usize..*off as usize + *len as usize] {
+                *c = true;
             }
         }
         for (i, &b) in page.iter().enumerate() {
