@@ -1,0 +1,90 @@
+//! Append one Figure-4 measurement record to `BENCH_fig4.json` (JSONL:
+//! one JSON object per line), so the repo carries its own sequential-read
+//! perf trajectory across commits.
+//!
+//! Run from the repository root (or anywhere — the output path can be
+//! overridden):
+//!
+//! ```text
+//! cargo run --release -p gpufs_bench --bin fig4_json [OUT_PATH]
+//! ```
+//!
+//! Each record holds the GPUfs throughput sweep over page sizes at
+//! readahead windows 1 and 8, and the headline `speedup_64k` =
+//! `w8 / w1` at the 64 KB page size (the paper's random-read sweet spot
+//! and the page size EXPERIMENTS.md uses as the batching reference
+//! point).
+
+use std::io::Write;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use gpufs_bench::{fig4_gpufs_phase, PAGE_SIZES, SCALE};
+
+/// Paper file: 1.8 GB, scaled like the bench target.
+const FILE_BYTES: u64 = (1800 << 20) / SCALE;
+
+fn git_head() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Whether the working tree differs from HEAD — recorded so a
+/// measurement of uncommitted code is never mistaken for the revision
+/// it happens to sit on.
+fn git_dirty() -> bool {
+    Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_none_or(|o| !o.stdout.is_empty())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fig4.json".to_owned());
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let mut rows = Vec::new();
+    let mut speedup_64k = 0.0f64;
+    for &page in PAGE_SIZES {
+        let w1 = fig4_gpufs_phase(FILE_BYTES, page, 1);
+        let w8 = fig4_gpufs_phase(FILE_BYTES, page, 8);
+        if page == 64 << 10 {
+            speedup_64k = w8 / w1;
+        }
+        eprintln!(
+            "page {page:>9}: w1 {w1:>7.0} MB/s, w8 {w8:>7.0} MB/s ({:.2}x)",
+            w8 / w1
+        );
+        rows.push(format!(
+            "{{\"page\":{page},\"mb_s_w1\":{w1:.1},\"mb_s_w8\":{w8:.1}}}"
+        ));
+    }
+    let record = format!(
+        "{{\"bench\":\"fig4_seq_read\",\"unix_time\":{unix_time},\"git\":\"{}\",\
+         \"dirty\":{},\"scale\":{SCALE},\"file_bytes\":{FILE_BYTES},\
+         \"speedup_64k\":{speedup_64k:.3},\"sweep\":[{}]}}",
+        git_head(),
+        git_dirty(),
+        rows.join(",")
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .unwrap_or_else(|e| panic!("cannot open {out_path}: {e}"));
+    writeln!(f, "{record}").expect("write record");
+    println!("{record}");
+    eprintln!("appended to {out_path}");
+}

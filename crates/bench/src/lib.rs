@@ -9,10 +9,10 @@
 
 use std::sync::Arc;
 
-use gpufs::GpufsHost;
-use gpusim::{Gpu, GpuSpec};
+use gpufs::{GOpenMode, GpufsConfig, GpufsHost};
+use gpusim::{Gpu, GpuSpec, Grid};
 use hostfs::{HostFs, HostFsConfig};
-use simtime::{Nanos, Timings};
+use simtime::{throughput_mb_s, Nanos, Timings};
 
 /// Dataset scale-down factor relative to the paper's testbed.
 pub const SCALE: u64 = 16;
@@ -61,6 +61,50 @@ pub fn rig(n_gpus: usize, gpu_mem_bytes: usize, host_mem_bytes: u64, timings: &T
         .collect();
     let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
     Rig { fs, host, gpus }
+}
+
+/// The Figure 4 GPUfs phase: 28 threadblocks `gmmap` consecutive pages of
+/// a 1.8 GB (scaled) file with a warm host page cache, at a given buffer
+/// cache `page` size and readahead `window` (1 = the paper's strictly
+/// on-demand paging). Returns the achieved throughput in MB/s.
+///
+/// Shared between the `fig4_seq_read` bench target and the `fig4_json`
+/// perf-trajectory recorder so both measure the same thing.
+///
+/// # Panics
+///
+/// Panics if the rig cannot create or read the synthetic input file.
+#[must_use]
+pub fn fig4_gpufs_phase(file_bytes: u64, page: usize, window: usize) -> f64 {
+    let t = Timings::default();
+    let cache = (file_bytes as usize + 16 * page).next_power_of_two();
+    let r = rig(1, cache + (64 << 20), 8 << 30, &t);
+    r.fs.create_synthetic("/seq.bin", file_bytes, 4).unwrap();
+    // Warm host page cache, as the paper does; keep residency, reset time.
+    let _ = r.fs.read_whole("/seq.bin", 0).unwrap();
+    r.fs.reset_device_time();
+
+    let mount = r
+        .host
+        .mount(0, GpufsConfig::new(page, cache).with_readahead(window))
+        .unwrap();
+    let blocks = r.gpus[0].spec().concurrent_blocks(); // 28, as in the paper
+    let per_block = file_bytes / blocks as u64;
+    let res = r.gpus[0].launch(Grid::new(blocks, 256), 0, |blk| {
+        let fd = mount.open(blk, "/seq.bin", GOpenMode::ReadOnly).unwrap();
+        let base = blk.block_id() as u64 * per_block;
+        let mut off = 0u64;
+        // Map one page at a time until the block's range is fetched; the
+        // data itself is not touched (paper §5.1.1).
+        while off < per_block {
+            let map = mount.mmap(blk, &fd, base + off, page).unwrap();
+            let got = map.len() as u64;
+            mount.munmap(blk, map);
+            off += got;
+        }
+        mount.close(blk, fd).unwrap();
+    });
+    throughput_mb_s(file_bytes, res.elapsed())
 }
 
 /// Virtual nanoseconds → seconds.

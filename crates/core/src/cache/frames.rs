@@ -42,6 +42,9 @@ pub struct PFrame {
     /// Read-write files keep one so sync can diff working vs pristine
     /// (paper §3.1); write-once files diff against zeros instead.
     pub pristine: AtomicU64,
+    /// Set when readahead (not a demand miss) brought this page in; the
+    /// first pin consumes the flag so the mount can count readahead hits.
+    pub prefetched: AtomicBool,
 }
 
 impl PFrame {
@@ -53,6 +56,7 @@ impl PFrame {
             dirty: AtomicBool::new(false),
             ready_at: AtomicU64::new(0),
             pristine: AtomicU64::new(u64::from(NO_FRAME)),
+            prefetched: AtomicBool::new(false),
         }
     }
 
@@ -64,6 +68,7 @@ impl PFrame {
         self.dirty.store(false, Ordering::Relaxed);
         self.ready_at.store(0, Ordering::Relaxed);
         self.pristine.store(u64::from(NO_FRAME), Ordering::Relaxed);
+        self.prefetched.store(false, Ordering::Relaxed);
     }
 
     /// The pristine frame index, if any.
@@ -226,11 +231,13 @@ mod tests {
         pf.file_uid.store(9, Ordering::Relaxed);
         pf.dirty.store(true, Ordering::Relaxed);
         pf.set_pristine(Some(3));
+        pf.prefetched.store(true, Ordering::Relaxed);
         a.release(f);
         let pf = a.pframe(f);
         assert_eq!(pf.file_uid.load(Ordering::Relaxed), 0);
         assert!(!pf.dirty.load(Ordering::Relaxed));
         assert_eq!(pf.pristine_frame(), None);
+        assert!(!pf.prefetched.load(Ordering::Relaxed));
     }
 
     #[test]

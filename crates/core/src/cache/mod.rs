@@ -1,9 +1,13 @@
 //! The GPU buffer cache: raw data array, pframes, per-file radix trees,
-//! byte diffs, and activity counters (paper §3.3 and §4.2).
+//! byte diffs, activity counters, and the mount-facing paging, reclaim,
+//! and write-back layers (paper §3.3 and §4.2).
 
 pub mod diff;
 pub mod frames;
+pub(crate) mod paging;
 pub mod radix;
+pub(crate) mod reclaim;
+pub(crate) mod writeback;
 
 pub use diff::{diff_extents, extent_bytes, nonzero_extents, Extents};
 pub use frames::{FrameArena, FrameIdx, PFrame, NO_FRAME};
@@ -28,10 +32,22 @@ pub struct CacheCounters {
     pub pages_reclaimed: Counter,
     /// Lookups that found the page resident (cache hits).
     pub hits: Counter,
-    /// Lookups that had to fetch or zero-fill a page.
+    /// Lookups that had to fetch or zero-fill a page. Pages brought in by
+    /// readahead count here too (they are page initializations), which
+    /// keeps this equal to "unique pages faulted" at any window.
     pub misses: Counter,
     /// Pages written back to the host (eviction or sync).
     pub writebacks: Counter,
+    /// Pins that found their page already resident because readahead (not
+    /// a demand miss) had fetched it: the first pin of a prefetched page.
+    pub readahead_hits: Counter,
+    /// `ReadPages` RPCs issued with more than one page — a readahead
+    /// window, or a single multi-page `gread` batching its own span (a
+    /// demand miss with no batching is a batch of one and not counted).
+    pub batched_rpcs: Counter,
+    /// Total pages carried by those multi-page RPCs. Divide by
+    /// [`CacheCounters::batched_rpcs`] for the mean batch width.
+    pub pages_per_rpc: Counter,
 }
 
 impl CacheCounters {
@@ -49,6 +65,9 @@ impl CacheCounters {
         self.hits.take();
         self.misses.take();
         self.writebacks.take();
+        self.readahead_hits.take();
+        self.batched_rpcs.take();
+        self.pages_per_rpc.take();
     }
 }
 
@@ -61,8 +80,14 @@ mod tests {
         let c = CacheCounters::new();
         c.lockfree_accesses.add(5);
         c.pages_reclaimed.incr();
+        c.readahead_hits.add(3);
+        c.batched_rpcs.incr();
+        c.pages_per_rpc.add(8);
         c.reset();
         assert_eq!(c.lockfree_accesses.get(), 0);
         assert_eq!(c.pages_reclaimed.get(), 0);
+        assert_eq!(c.readahead_hits.get(), 0);
+        assert_eq!(c.batched_rpcs.get(), 0);
+        assert_eq!(c.pages_per_rpc.get(), 0);
     }
 }

@@ -1,0 +1,345 @@
+//! The reclaim layer: frame allocation, eviction, and discard
+//! (paper §4.2).
+//!
+//! There is no daemon thread on the GPU: when the raw data array runs
+//! dry, the *calling* threadblock reclaims frames, preferring closed
+//! files, then open read-only files, then writable ones. Dirty victims
+//! are written back through [`crate::cache::writeback`] before their
+//! frames are reused.
+
+use std::sync::atomic::Ordering;
+
+use gpusim::BlockCtx;
+
+use crate::cache::{FPage, FrameIdx, PageState};
+use crate::config::GOpenMode;
+use crate::error::{GpufsError, GpufsResult};
+use crate::mount::GpuFsMount;
+use crate::rpc::Request;
+use crate::table::GFile;
+
+/// Consecutive *zero-progress* reclaim rounds before a frame allocation
+/// gives up. Transient exhaustion — every frame momentarily pinned by
+/// concurrent faults, a convoy the OS scheduler can stretch out under
+/// load — resolves as soon as any pin drops, so only rounds that free
+/// nothing count toward giving up; genuinely wedged caches (all frames
+/// pinned indefinitely) still error out promptly.
+const RECLAIM_ROUNDS: usize = 4096;
+
+/// Zero-progress rounds spent busy-yielding before the allocation loop
+/// falls back to short sleeps (keeps the give-up latency for a genuinely
+/// wedged cache around 0.2 s while tolerating slow in-flight faults).
+const RECLAIM_SPIN_ROUNDS: usize = 128;
+
+/// Frames reclaimed per paging pass; small to keep the hijacked caller's
+/// detour short (the paper avoids variable-work replacement like clock).
+const RECLAIM_BATCH: usize = 8;
+
+impl GpuFsMount {
+    /// Allocate a frame, reclaiming pages when the raw data array is full.
+    pub(crate) fn alloc_frame(&self, blk: &mut BlockCtx<'_>) -> GpufsResult<FrameIdx> {
+        let (frame, _) = self.alloc_frames_reclaiming(blk, false)?;
+        Ok(frame)
+    }
+
+    /// Allocate a working/pristine frame pair **atomically**: either both
+    /// frames or neither. Read-write faults need two frames, and grabbing
+    /// them one at a time is a textbook hold-and-wait deadlock — with N
+    /// concurrent faults against N frames, every fault holds its working
+    /// frame while spinning for a pristine one and reclaim can free
+    /// nothing, so all of them starve out to `CacheExhausted`. Releasing
+    /// the first frame whenever the second is unavailable breaks the
+    /// circular wait: some fault always completes and its pages become
+    /// evictable.
+    pub(crate) fn alloc_frame_pair(
+        &self,
+        blk: &mut BlockCtx<'_>,
+    ) -> GpufsResult<(FrameIdx, FrameIdx)> {
+        let (frame, pristine) = self.alloc_frames_reclaiming(blk, true)?;
+        Ok((frame, pristine.expect("pair allocation returns two frames")))
+    }
+
+    fn alloc_frames_reclaiming(
+        &self,
+        blk: &mut BlockCtx<'_>,
+        pair: bool,
+    ) -> GpufsResult<(FrameIdx, Option<FrameIdx>)> {
+        let mut fruitless = 0usize;
+        while fruitless < RECLAIM_ROUNDS {
+            if let Some(first) = self.frames.alloc() {
+                if !pair {
+                    return Ok((first, None));
+                }
+                if let Some(second) = self.frames.alloc() {
+                    return Ok((first, Some(second)));
+                }
+                // All-or-nothing: never hold one frame while waiting for
+                // another (see `alloc_frame_pair`).
+                self.frames.release(first);
+            }
+            if self.reclaim(blk, RECLAIM_BATCH)? == 0 {
+                fruitless += 1;
+                if fruitless > RECLAIM_SPIN_ROUNDS {
+                    // Give in-flight faults (e.g. a readahead batch whose
+                    // frames are claimed across a host RPC) real time to
+                    // publish and become evictable before giving up.
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                } else {
+                    std::thread::yield_now();
+                }
+            } else {
+                // Progress was made (even if a concurrent fault won the
+                // race to the freed frame): keep going.
+                fruitless = 0;
+            }
+        }
+        Err(GpufsError::CacheExhausted {
+            requested: if pair { 2 } else { 1 },
+        })
+    }
+
+    /// Best-effort frame allocation for readahead: one reclaim attempt,
+    /// then give up. Readahead must never stall (or fail) the demand miss
+    /// it rides on, so it degrades to a narrower batch instead of spinning
+    /// on a loaded cache.
+    pub(crate) fn alloc_frame_opportunistic(&self, blk: &mut BlockCtx<'_>) -> Option<FrameIdx> {
+        if let Some(frame) = self.frames.alloc() {
+            return Some(frame);
+        }
+        // A write-back error here surfaces later on the demand path that
+        // touches the dirty page; readahead just narrows.
+        let _ = self.reclaim(blk, RECLAIM_BATCH);
+        self.frames.alloc()
+    }
+
+    /// Reclaim up to `want` frames, preferring closed files, then open
+    /// read-only files, then writable ones (paper §4.2).
+    pub(crate) fn reclaim(&self, blk: &mut BlockCtx<'_>, want: usize) -> GpufsResult<usize> {
+        let mut freed = 0usize;
+        let mut victims = self.tables.closed_files();
+        let closed_count = victims.len();
+        victims.extend(self.tables.open_files_by_eviction_priority());
+        for (i, victim) in victims.iter().enumerate() {
+            let mut err = None;
+            victim.tree().for_each_reclaim_candidate(|idx, fp| {
+                if freed >= want {
+                    return false;
+                }
+                match self.try_evict_page(blk, victim, idx, fp) {
+                    Ok(true) => freed += 1,
+                    Ok(false) => {}
+                    Err(e) => {
+                        err = Some(e);
+                        return false;
+                    }
+                }
+                true
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            // A closed file drained of pages can release its host fd and
+            // its table slot entirely.
+            if i < closed_count && victim.refcount() == 0 {
+                let mut resident = false;
+                victim.tree().for_each_page(|_, fp| {
+                    resident |= fp.state() != PageState::Empty;
+                });
+                if !resident && self.tables.remove_closed(victim) {
+                    let _ = self.rpc(
+                        blk,
+                        Request::Close {
+                            fd: victim.host_fd(),
+                        },
+                    )?;
+                }
+            }
+            if freed >= want {
+                break;
+            }
+        }
+        Ok(freed)
+    }
+
+    /// Try to evict one Ready, unpinned page; writes dirty data back for
+    /// syncing modes, discards it for `O_NOSYNC`.
+    fn try_evict_page(
+        &self,
+        blk: &mut BlockCtx<'_>,
+        file: &GFile,
+        page_idx: u64,
+        fp: &FPage,
+    ) -> GpufsResult<bool> {
+        if fp.state() != PageState::Ready || fp.refs() > 0 {
+            return Ok(false);
+        }
+        fp.lock();
+        if fp.state() != PageState::Ready || fp.refs() > 0 {
+            fp.unlock();
+            return Ok(false);
+        }
+        let frame = fp.frame().expect("ready page has a frame");
+        fp.begin_update();
+        fp.set_state(PageState::Initializing); // blocks new pins
+        fp.set_frame(None);
+        fp.end_update();
+        fp.unlock();
+
+        let pf = self.frames.pframe(frame);
+        // Everything except read-only data is written back before the
+        // frame is reused — including O_NOSYNC temporaries, which the
+        // paper spills to the host only "to reclaim GPU buffer cache
+        // space" (§3.2).
+        if pf.dirty.load(Ordering::Acquire) && file.mode() != GOpenMode::ReadOnly {
+            if let Err(e) = self.writeback_frame(blk, file, page_idx, frame) {
+                // Restore the page rather than lose data.
+                fp.lock();
+                fp.begin_update();
+                fp.set_frame(Some(frame));
+                fp.set_state(PageState::Ready);
+                fp.end_update();
+                fp.unlock();
+                return Err(e);
+            }
+        }
+        if let Some(pristine) = pf.pristine_frame() {
+            self.frames.release(pristine);
+        }
+        self.frames.release(frame);
+        fp.lock();
+        fp.begin_update();
+        fp.set_state(PageState::Empty);
+        fp.end_update();
+        fp.unlock();
+        self.counters.pages_reclaimed.incr();
+        Ok(true)
+    }
+
+    /// Drop a page without write-back (stale cache, unlink, temp close).
+    /// Pinned pages are skipped.
+    pub(crate) fn try_discard_page(&self, fp: &FPage) -> bool {
+        if fp.state() != PageState::Ready || fp.refs() > 0 {
+            return false;
+        }
+        fp.lock();
+        if fp.state() != PageState::Ready || fp.refs() > 0 {
+            fp.unlock();
+            return false;
+        }
+        let frame = fp.frame().expect("ready page has a frame");
+        fp.begin_update();
+        fp.set_frame(None);
+        fp.set_state(PageState::Empty);
+        fp.end_update();
+        fp.unlock();
+        let pf = self.frames.pframe(frame);
+        if let Some(pristine) = pf.pristine_frame() {
+            self.frames.release(pristine);
+        }
+        self.frames.release(frame);
+        true
+    }
+
+    /// Discard every unpinned cached page of `file`.
+    pub(crate) fn discard_file_cache(&self, file: &GFile) {
+        file.tree().for_each_page(|_, fp| {
+            self.try_discard_page(fp);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{GOpenMode, GpufsConfig};
+    use crate::testrig::{rig, run_block};
+    use gpusim::Grid;
+
+    #[test]
+    fn temp_files_spill_and_refetch_under_pressure() {
+        let r = rig(1);
+        // 8 frames of 4K: a 64K temp file cannot stay resident.
+        let mount = r.host.mount(0, GpufsConfig::new(4096, 8 * 4096)).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/tmp_scratch", GOpenMode::Temp).unwrap();
+            for page in 0..16u64 {
+                let payload = [page as u8 + 1; 4096];
+                mount.write(blk, &fd, page * 4096, &payload).unwrap();
+            }
+            // Read everything back: early pages were evicted to the host
+            // and must be refetched transparently.
+            for page in 0..16u64 {
+                let mut buf = [0u8; 4096];
+                let n = mount.read(blk, &fd, page * 4096, &mut buf).unwrap();
+                assert_eq!(n, 4096);
+                assert!(
+                    buf.iter().all(|&b| b == page as u8 + 1),
+                    "page {page} corrupted after spill/refetch"
+                );
+            }
+            mount.close(blk, fd).unwrap();
+        });
+        assert!(
+            mount.counters().pages_reclaimed.get() > 0,
+            "pressure must evict"
+        );
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let r = rig(1);
+        let mount = r.host.mount(0, GpufsConfig::new(4096, 4 * 4096)).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/big_out", GOpenMode::WriteOnce).unwrap();
+            for page in 0..12u64 {
+                mount.write(blk, &fd, page * 4096, &[0x5au8; 4096]).unwrap();
+            }
+            mount.fsync(blk, &fd).unwrap();
+            mount.close(blk, fd).unwrap();
+        });
+        let (data, _) = r.fs.read_whole("/big_out", 0).unwrap();
+        assert_eq!(data.len(), 12 * 4096);
+        assert!(data.iter().all(|&b| b == 0x5a));
+        assert!(mount.counters().pages_reclaimed.get() > 0);
+    }
+
+    #[test]
+    fn eviction_prefers_closed_files_over_open_ones() {
+        let r = rig(1);
+        r.fs.create("/closed.bin", &[1u8; 16 * 4096]).unwrap();
+        r.fs.create("/open.bin", &[2u8; 16 * 4096]).unwrap();
+        // 48 frames: both files fit, plus some slack to burn.
+        let mount = r.host.mount(0, GpufsConfig::new(4096, 48 * 4096)).unwrap();
+        r.gpus[0].launch_seeded(Grid::new(1, 32), 0, 1, |blk| {
+            // Cache and close the victim-to-be.
+            let fd = mount.open(blk, "/closed.bin", GOpenMode::ReadOnly).unwrap();
+            let mut buf = vec![0u8; 16 * 4096];
+            mount.read(blk, &fd, 0, &mut buf).unwrap();
+            mount.close(blk, fd).unwrap();
+            // Cache the protected open file.
+            let fd_open = mount.open(blk, "/open.bin", GOpenMode::ReadOnly).unwrap();
+            mount.read(blk, &fd_open, 0, &mut buf).unwrap();
+            let misses_open = mount.counters().misses.get();
+            // Exert pressure with a third file until reclaim kicks in.
+            let fd_t = mount.open(blk, "/burn.tmp", GOpenMode::Temp).unwrap();
+            for page in 0..24u64 {
+                mount.write(blk, &fd_t, page * 4096, &[9u8; 4096]).unwrap();
+            }
+            assert!(
+                mount.counters().pages_reclaimed.get() > 0,
+                "pressure reclaimed"
+            );
+            // Re-read the still-open file: every page must still be
+            // resident (closed file was sacrificed first).
+            let before = mount.counters().misses.get();
+            mount.read(blk, &fd_open, 0, &mut buf).unwrap();
+            assert_eq!(
+                mount.counters().misses.get(),
+                before,
+                "open file's pages must survive while a closed file exists"
+            );
+            let _ = misses_open;
+            mount.close(blk, fd_t).unwrap();
+            mount.close(blk, fd_open).unwrap();
+        });
+    }
+}

@@ -1,0 +1,308 @@
+//! The write-back layer: diff-based propagation of dirty pages to the
+//! host (paper §3.1).
+//!
+//! GPUfs never ships whole dirty pages: it computes the modified byte
+//! extents — against a pristine copy for read-write files, against zeros
+//! for `O_GWRONCE` — and sends only those, which is what lets concurrent
+//! writers of *disjoint* ranges of one page merge losslessly on the host.
+//! `gfsync`, `gmsync`, eviction, and the stale-reopen flush all funnel
+//! through here.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use gpusim::BlockCtx;
+use simtime::bw_time_ns;
+
+use crate::cache::{diff_extents, nonzero_extents, Extents, FrameIdx, PageState};
+use crate::config::GOpenMode;
+use crate::error::GpufsResult;
+use crate::mount::GpuFsMount;
+use crate::rpc::{Request, RespOk};
+use crate::table::GFile;
+
+/// Identical-byte gap below which adjacent dirty extents are merged into
+/// one host write.
+const DIFF_MERGE_GAP: usize = 64;
+
+impl GpuFsMount {
+    /// Write back every dirty, unpinned page of `file`.
+    pub(crate) fn flush_dirty(&self, blk: &mut BlockCtx<'_>, file: &Arc<GFile>) -> GpufsResult<()> {
+        let mut dirty_pages = Vec::new();
+        file.tree().for_each_page(|idx, fp| {
+            if fp.state() == PageState::Ready {
+                if let Some(frame) = fp.frame() {
+                    if self.frames.pframe(frame).dirty.load(Ordering::Acquire) {
+                        dirty_pages.push(idx);
+                    }
+                }
+            }
+        });
+        for idx in dirty_pages {
+            // Pin to hold the frame across the write-back.
+            let pin = self.pin_page(blk, file, idx)?;
+            self.writeback_frame(blk, file, idx, pin.frame())?;
+        }
+        Ok(())
+    }
+
+    /// Compute the modified extents of one page and ship them to the
+    /// host: a byte diff against the pristine copy for read-write files,
+    /// or against zeros for `O_GWRONCE` (paper §3.1).
+    pub(crate) fn writeback_frame(
+        &self,
+        blk: &mut BlockCtx<'_>,
+        file: &GFile,
+        page_idx: u64,
+        frame: FrameIdx,
+    ) -> GpufsResult<usize> {
+        let pf = self.frames.pframe(frame);
+        if !pf.dirty.load(Ordering::Acquire) {
+            return Ok(0);
+        }
+        // Clear the dirty flag *before* reading the bytes this sync will
+        // describe: a concurrent write landing afterwards re-arms the
+        // flag, so its bytes — whether or not this pass happens to carry
+        // them — are guaranteed a later write-back. Clearing after the
+        // scan instead would let a write that slipped in between be
+        // wiped from the flag without ever being shipped.
+        pf.dirty.store(false, Ordering::Release);
+        let ds = pf.data_size.load(Ordering::Acquire);
+        let ptr = self.frames.frame_ptr(frame);
+        // SAFETY: the caller holds a pin (or has detached the frame from
+        // its fpage), so the frame cannot be reused; concurrent writers
+        // to the same page must coordinate with sync, per Table 1.
+        let working = unsafe { self.gpu.global().slice(ptr, ds) };
+        // Snapshot of the working bytes the diff was computed over, taken
+        // for modes that refresh a pristine copy below. The diff and the
+        // pristine refresh must describe the *same instant*: refreshing
+        // from live working memory would absorb a concurrent writer's
+        // not-yet-synced bytes into the pristine copy, making that
+        // writer's own sync diff them away — a lost update.
+        let mut diffed: Option<Vec<u8>> = None;
+        let extents: Extents = match file.mode() {
+            GOpenMode::WriteOnce => {
+                blk.advance(bw_time_ns(ds as u64, self.timings.gpu_mem_mb_s));
+                nonzero_extents(working, DIFF_MERGE_GAP)
+            }
+            GOpenMode::ReadWrite => match pf.pristine_frame() {
+                Some(pristine_frame) => {
+                    let snapshot = working.to_vec();
+                    let pptr = self.frames.frame_ptr(pristine_frame);
+                    // SAFETY: pristine frames are only touched by sync
+                    // paths, serialized by the page pin / detachment above.
+                    let pristine = unsafe { self.gpu.global().slice(pptr, ds) };
+                    blk.advance(bw_time_ns(2 * ds as u64, self.timings.gpu_mem_mb_s));
+                    let extents = diff_extents(&snapshot, pristine, DIFF_MERGE_GAP);
+                    diffed = Some(snapshot);
+                    extents
+                }
+                None => {
+                    // A page that never existed on the host (beyond EOF at
+                    // open) has an implicitly all-zero pristine copy.
+                    blk.advance(bw_time_ns(ds as u64, self.timings.gpu_mem_mb_s));
+                    nonzero_extents(working, DIFF_MERGE_GAP)
+                }
+            },
+            // A spilled temporary page has no pristine copy and no
+            // written-zeros hazard to exploit: ship the whole valid prefix.
+            GOpenMode::Temp => vec![(0, ds as u32)],
+            GOpenMode::ReadOnly => Vec::new(),
+        };
+        if extents.is_empty() {
+            return Ok(0);
+        }
+        let resp = self.rpc(
+            blk,
+            Request::WriteExtents {
+                fd: file.host_fd(),
+                src: ptr,
+                page_offset: page_idx * self.config.page_size as u64,
+                extents,
+                gpu: self.gpu.id(),
+            },
+        );
+        let resp = match resp {
+            Ok(ok) => ok,
+            Err(e) => {
+                // Nothing was shipped: re-arm the dirty flag so a retried
+                // sync (or eviction) still knows the page holds unsynced
+                // data — otherwise one failed RPC silently marks the page
+                // clean and its bytes are lost.
+                pf.dirty.store(true, Ordering::Release);
+                return Err(e);
+            }
+        };
+        let RespOk::Wrote { n, generation } = resp else {
+            unreachable!("write answers Wrote")
+        };
+        self.counters.writebacks.incr();
+        let page_start = page_idx * self.config.page_size as u64;
+        file.mark_host_valid(page_start + ds as u64);
+        // Our own propagated writes bumped the host generation; observe it
+        // so they do not read as a foreign invalidation on reopen.
+        file.observe_generation(generation);
+        if let Some(snapshot) = diffed {
+            // Refresh the pristine copy: future diffs are relative to the
+            // state just propagated — the snapshot the diff ran over, not
+            // the live page, which concurrent writers may have moved on
+            // from (their bytes must stay "different from pristine" until
+            // their own sync sends them).
+            if let Some(pristine_frame) = pf.pristine_frame() {
+                self.gpu
+                    .global()
+                    .write(self.frames.frame_ptr(pristine_frame), &snapshot);
+                blk.advance(bw_time_ns(2 * ds as u64, self.timings.gpu_mem_mb_s));
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{GOpenMode, GpufsConfig};
+    use crate::error::GpufsError;
+    use crate::testrig::{rig, run_block};
+    use gpusim::Grid;
+
+    #[test]
+    fn write_once_diffs_against_zeros() {
+        let r = rig(1);
+        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/wonce", GOpenMode::WriteOnce).unwrap();
+            mount.write(blk, &fd, 10, b"abc").unwrap();
+            mount.write(blk, &fd, 100, b"xyz").unwrap();
+            // Reading a write-once file is forbidden.
+            let mut buf = [0u8; 4];
+            assert!(matches!(
+                mount.read(blk, &fd, 0, &mut buf),
+                Err(GpufsError::WriteOnce(_))
+            ));
+            mount.fsync(blk, &fd).unwrap();
+            mount.close(blk, fd).unwrap();
+        });
+        let (data, _) = r.fs.read_whole("/wonce", 0).unwrap();
+        assert_eq!(&data[10..13], b"abc");
+        assert_eq!(&data[100..103], b"xyz");
+        assert!(data[..10].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn gmsync_pushes_one_page() {
+        let r = rig(1);
+        r.fs.create("/ms", &[0u8; 8192]).unwrap();
+        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/ms", GOpenMode::ReadWrite).unwrap();
+            mount.write(blk, &fd, 0, &[1u8; 4096]).unwrap();
+            mount.write(blk, &fd, 4096, &[2u8; 4096]).unwrap();
+            mount.msync(blk, &fd, 0).unwrap(); // only page 0
+            mount.close(blk, fd).unwrap();
+        });
+        let (data, _) = r.fs.read_whole("/ms", 0).unwrap();
+        assert!(data[..4096].iter().all(|&b| b == 1), "page 0 synced");
+        assert!(data[4096..].iter().all(|&b| b == 0), "page 1 not synced");
+    }
+
+    #[test]
+    fn msync_rejects_temp_and_read_only_modes() {
+        let r = rig(1);
+        r.fs.create("/r", &[0u8; 64]).unwrap();
+        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
+        run_block(&r, |blk| {
+            let ro = mount.open(blk, "/r", GOpenMode::ReadOnly).unwrap();
+            assert!(matches!(
+                mount.msync(blk, &ro, 0),
+                Err(GpufsError::InvalidMode(_))
+            ));
+            mount.close(blk, ro).unwrap();
+            let tmp = mount.open(blk, "/t", GOpenMode::Temp).unwrap();
+            assert!(matches!(
+                mount.msync(blk, &tmp, 0),
+                Err(GpufsError::InvalidMode(_))
+            ));
+            mount.close(blk, tmp).unwrap();
+        });
+    }
+
+    #[test]
+    fn concurrent_blocks_write_disjoint_ranges_of_one_page() {
+        // False sharing within one page: 8 blocks write disjoint 512-byte
+        // slices of a single 4 KB page; the byte diff must merge all of
+        // them on the host (paper §3.1's motivating case).
+        let r = rig(1);
+        r.fs.create("/false_share", &[0u8; 4096]).unwrap();
+        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
+        r.gpus[0].launch(Grid::new(8, 32), 0, |blk| {
+            let fd = mount
+                .open(blk, "/false_share", GOpenMode::ReadWrite)
+                .unwrap();
+            let off = blk.block_id() as u64 * 512;
+            mount
+                .write(blk, &fd, off, &[blk.block_id() as u8 + 1; 512])
+                .unwrap();
+            mount.fsync(blk, &fd).unwrap();
+            mount.close(blk, fd).unwrap();
+        });
+        let (data, _) = r.fs.read_whole("/false_share", 0).unwrap();
+        for b in 0..8usize {
+            assert!(
+                data[b * 512..(b + 1) * 512]
+                    .iter()
+                    .all(|&x| x == b as u8 + 1),
+                "slice {b} lost to false sharing"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_writeback_rearms_dirty_for_retry() {
+        let mut r = rig(1);
+        r.fs.create("/rearm", &[0u8; 4096]).unwrap();
+        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/rearm", GOpenMode::ReadWrite).unwrap();
+            mount.write(blk, &fd, 0, b"keep me").unwrap();
+            mount.close(blk, fd).unwrap();
+        });
+        // Kill the daemon: every write-back RPC now fails. The reopen
+        // itself survives via closed-table revival (no RPC needed).
+        r.host.shutdown();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/rearm", GOpenMode::ReadWrite).unwrap();
+            assert!(mount.fsync(blk, &fd).is_err(), "daemon is down");
+            assert!(
+                mount.fsync(blk, &fd).is_err(),
+                "a failed write-back must leave the page dirty: a retried \
+                 fsync has to fail too, not silently report clean"
+            );
+        });
+    }
+
+    #[test]
+    fn read_write_pristine_diff_preserves_concurrent_host_bytes() {
+        // GPU writes bytes [0,4) of a page; meanwhile the host rewrites
+        // bytes [100,104). The GPU's diff-based sync must not revert the
+        // host's bytes with its stale pristine copy.
+        let r = rig(1);
+        r.fs.create("/fs_merge", &[0u8; 4096]).unwrap();
+        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/fs_merge", GOpenMode::ReadWrite).unwrap();
+            mount.write(blk, &fd, 0, &[7u8; 4]).unwrap();
+            // Host writes concurrently (before the GPU syncs).
+            let (hfd, t) =
+                r.fs.open("/fs_merge", hostfs::OpenFlags::read_write(), 0)
+                    .unwrap();
+            r.fs.pwrite(hfd, 100, &[9u8; 4], t).unwrap();
+            r.fs.close(hfd).unwrap();
+            mount.fsync(blk, &fd).unwrap();
+            mount.close(blk, fd).unwrap();
+        });
+        let (data, _) = r.fs.read_whole("/fs_merge", 0).unwrap();
+        assert_eq!(&data[0..4], &[7u8; 4], "gpu bytes written");
+        assert_eq!(&data[100..104], &[9u8; 4], "host bytes preserved by diff");
+    }
+}

@@ -82,6 +82,15 @@ pub struct GpufsConfig {
     /// even though the nondeterministic block scheduler may reopen the
     /// file moments later.
     pub sync_on_close: bool,
+    /// Readahead window: on a page miss during *sequential* access, up to
+    /// this many consecutive pages are fetched in a single batched
+    /// `ReadPages` RPC (one daemon round-trip, one scatter-gather DMA
+    /// charge) instead of one page per round-trip. `1` disables readahead
+    /// and reproduces the paper prototype's strictly on-demand paging;
+    /// random access is detected and never widened — a non-sequential
+    /// `gread` batches at most the pages it itself spans, so random
+    /// workloads fetch identical bytes at any window.
+    pub readahead_pages: usize,
 }
 
 impl Default for GpufsConfig {
@@ -93,6 +102,7 @@ impl Default for GpufsConfig {
             force_locked: false,
             disable_closed_table: false,
             sync_on_close: false,
+            readahead_pages: 1,
         }
     }
 }
@@ -127,6 +137,15 @@ impl GpufsConfig {
         self.cache_bytes / self.page_size
     }
 
+    /// Copy with the readahead window set to `pages` (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_readahead(self, pages: usize) -> Self {
+        Self {
+            readahead_pages: pages.max(1),
+            ..self
+        }
+    }
+
     /// A small configuration for unit tests: 4 KB pages, 16 frames.
     #[must_use]
     pub fn small_test() -> Self {
@@ -158,6 +177,19 @@ mod tests {
     fn config_frame_count() {
         let c = GpufsConfig::new(4096, 64 * 4096);
         assert_eq!(c.num_frames(), 64);
+    }
+
+    #[test]
+    fn readahead_defaults_off_and_clamps() {
+        assert_eq!(GpufsConfig::default().readahead_pages, 1);
+        assert_eq!(
+            GpufsConfig::small_test().with_readahead(8).readahead_pages,
+            8
+        );
+        assert_eq!(
+            GpufsConfig::small_test().with_readahead(0).readahead_pages,
+            1
+        );
     }
 
     #[test]

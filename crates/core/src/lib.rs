@@ -10,10 +10,15 @@
 //!
 //! ## Layers (paper Figure 2)
 //!
-//! * **GPU-side library** — [`GpuFsMount`] and the `g*` calls
-//!   ([`GpuFsMount::open`], [`GpuFsMount::read`], [`GpuFsMount::write`],
-//!   [`GpuFsMount::mmap`], [`GpuFsMount::fsync`], ...), the open/closed
-//!   file tables, and the buffer cache in [`cache`].
+//! The crate is organized module-per-layer (see ARCHITECTURE.md for the
+//! full map):
+//!
+//! * **GPU-side library** — [`GpuFsMount`] (composition glue) and the
+//!   `g*` calls ([`GpuFsMount::open`], [`GpuFsMount::read`],
+//!   [`GpuFsMount::write`], [`GpuFsMount::mmap`], [`GpuFsMount::fsync`],
+//!   ...), the open/closed file tables, and the buffer cache in
+//!   [`cache`] — paging (with batched multi-page readahead RPCs on
+//!   sequential access), reclaim, and diff-based write-back.
 //! * **Communication layer** — the RPC hub in [`rpc`] (write-shared
 //!   request queue, polling host daemon).
 //! * **Consistency layer** — generation-based lazy invalidation against
@@ -45,16 +50,21 @@
 //! });
 //! ```
 
+mod api;
 pub mod cache;
 mod config;
 mod daemon;
 mod error;
 mod mount;
+mod ofile;
 pub mod rpc;
 mod table;
+#[cfg(test)]
+pub(crate) mod testrig;
 
+pub use api::{GFd, GMap, GStat};
 pub use config::{GOpenMode, GpufsConfig};
 pub use daemon::{DaemonStats, GpufsHost};
 pub use error::{GpufsError, GpufsResult};
-pub use mount::{GFd, GMap, GStat, GpuFsMount};
+pub use mount::GpuFsMount;
 pub use table::{GFile, Tables};

@@ -1,8 +1,24 @@
-//! The GPU-side GPUfs library: one mount per GPU (paper §3–4).
+//! The GPU-side GPUfs mount: composition glue for the layered stack.
 //!
-//! A [`GpuFsMount`] owns the GPU's buffer cache (raw data array, pframes,
-//! per-file radix trees), the open/closed file tables, and the RPC client
-//! to the host daemon. Kernels call the `g*` API through the mount,
+//! A [`GpuFsMount`] owns one GPU's GPUfs instance and wires the paper's
+//! layers together (Figure 2):
+//!
+//! * the **API layer** in [`crate::api`] — `gopen`/`gread`/`gwrite`/
+//!   `gmmap`/`gfsync`/… entry points and the [`crate::GFd`] /
+//!   [`crate::GMap`] / [`crate::GStat`] handle types;
+//! * **open-file state** in [`crate::ofile`] — open/close coalescing and
+//!   the open/closed file tables of [`crate::table`];
+//! * the **buffer cache** in [`crate::cache`] — paging
+//!   ([`crate::cache::paging`]), frame reclaim
+//!   ([`crate::cache::reclaim`]), and diff-based write-back
+//!   ([`crate::cache::writeback`]) over the raw data array and per-file
+//!   radix trees;
+//! * the **RPC channel** in [`crate::rpc`] to the host daemon of
+//!   [`crate::daemon`].
+//!
+//! This file deliberately holds no file-system logic: only the struct,
+//! its constructor, read-only accessors, and the one RPC helper every
+//! layer above shares. Kernels call the `g*` API through the mount,
 //! passing their [`BlockCtx`] so GPUfs can charge virtual time and honour
 //! the prototype's threadblock-granularity calling convention: a call is
 //! made once per threadblock, at the same point, with the same arguments
@@ -12,179 +28,32 @@
 //! calling threadblock ("GPUfs code hijacking the calling thread to
 //! perform paging", §4.2), preserving the pay-as-you-go principle of §3.4.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use gpusim::{BlockCtx, Gpu};
-use simtime::{bw_time_ns, Timings};
+use simtime::Timings;
 
-use crate::cache::{
-    diff_extents, nonzero_extents, CacheCounters, Extents, FPage, FrameArena, FrameIdx, PageState,
-    Snapshot,
-};
-use crate::config::{GOpenMode, GpufsConfig};
+use crate::cache::{CacheCounters, FrameArena};
+use crate::config::GpufsConfig;
 use crate::daemon::GpufsHost;
-use crate::error::{GpufsError, GpufsResult};
+use crate::error::GpufsResult;
 use crate::rpc::{Request, RespOk, RpcHub};
-use crate::table::{GFile, Tables};
-
-/// Identical-byte gap below which adjacent dirty extents are merged into
-/// one host write.
-const DIFF_MERGE_GAP: usize = 64;
-
-/// Rounds of reclaim attempted before a frame allocation gives up.
-const RECLAIM_ROUNDS: usize = 256;
-
-/// Frames reclaimed per paging pass; small to keep the hijacked caller's
-/// detour short (the paper avoids variable-work replacement like clock).
-const RECLAIM_BATCH: usize = 8;
-
-/// A GPUfs file descriptor.
-///
-/// Descriptors "do not represent individual file opens but merely
-/// correspond directly to files" (paper §3.2): every threadblock opening
-/// the same path shares the same underlying file object, and `GFd` is a
-/// cheap clonable handle to it.
-#[derive(Debug, Clone)]
-pub struct GFd {
-    file: Arc<GFile>,
-}
-
-impl GFd {
-    /// Path this descriptor names.
-    #[must_use]
-    pub fn path(&self) -> &str {
-        self.file.path()
-    }
-
-    /// Open mode.
-    #[must_use]
-    pub fn mode(&self) -> GOpenMode {
-        self.file.mode()
-    }
-
-    pub(crate) fn file(&self) -> &Arc<GFile> {
-        &self.file
-    }
-}
-
-/// Metadata returned by [`GpuFsMount::fstat`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct GStat {
-    /// File size at the time of the first `gopen` (paper Table 1).
-    pub size: u64,
-    /// Host inode number.
-    pub ino: u64,
-}
-
-/// A pinned page: holds a reference that keeps the frame from eviction,
-/// plus the file itself so the fpage (which lives inside the file's radix
-/// tree) cannot be freed while pinned.
-struct PagePin {
-    file: Arc<GFile>,
-    fp: *const FPage,
-    frame: FrameIdx,
-}
-
-// SAFETY: the raw fpage pointer targets the radix tree owned by `file`,
-// which the pin keeps alive; FPage itself is Sync.
-unsafe impl Send for PagePin {}
-unsafe impl Sync for PagePin {}
-
-impl PagePin {
-    fn new(file: Arc<GFile>, fp: &FPage, frame: FrameIdx) -> Self {
-        Self {
-            file,
-            fp: fp as *const FPage,
-            frame,
-        }
-    }
-
-    fn fpage(&self) -> &FPage {
-        // SAFETY: see the Send/Sync justification above.
-        unsafe { &*self.fp }
-    }
-}
-
-impl Drop for PagePin {
-    fn drop(&mut self) {
-        let _keepalive = &self.file;
-        self.fpage().unpin();
-    }
-}
-
-/// A mapping produced by [`GpuFsMount::mmap`]: a window into one
-/// buffer-cache page, pinned for the mapping's lifetime.
-///
-/// Like the paper's `gmmap`, the mapping may cover only a prefix of the
-/// requested range (never more than one page), and it grants a direct
-/// pointer into the GPU buffer cache with no per-byte protection. The
-/// Rust port exposes the window read-only; writes go through
-/// [`GpuFsMount::write`], which preserves the same consistency semantics.
-pub struct GMap<'m> {
-    _pin: PagePin,
-    ptr: *const u8,
-    len: usize,
-    file_offset: u64,
-    _mount: std::marker::PhantomData<&'m GpuFsMount>,
-}
-
-// SAFETY: the data pointer targets GPU global memory owned by the mount's
-// Arc<Gpu>, outliving 'm; the pin prevents the frame from being reused.
-unsafe impl Send for GMap<'_> {}
-unsafe impl Sync for GMap<'_> {}
-
-impl std::fmt::Debug for GMap<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GMap")
-            .field("file_offset", &self.file_offset)
-            .field("len", &self.len)
-            .finish()
-    }
-}
-
-impl GMap<'_> {
-    /// The mapped bytes.
-    #[must_use]
-    pub fn bytes(&self) -> &[u8] {
-        // SAFETY: the pin keeps the frame attached for the mapping's
-        // lifetime and the mount (hence the GPU arena) outlives 'm.
-        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
-    }
-
-    /// Length of the successfully mapped prefix.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Whether the mapping is empty (never true: `gmmap` fails instead).
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// File offset of the first mapped byte.
-    #[must_use]
-    pub fn file_offset(&self) -> u64 {
-        self.file_offset
-    }
-}
+use crate::table::Tables;
 
 /// One GPU's GPUfs instance (see module docs).
 pub struct GpuFsMount {
-    gpu: Arc<Gpu>,
-    hub: Arc<RpcHub>,
-    timings: Timings,
-    config: GpufsConfig,
-    frames: FrameArena,
-    tables: Tables,
-    counters: CacheCounters,
+    pub(crate) gpu: Arc<Gpu>,
+    pub(crate) hub: Arc<RpcHub>,
+    pub(crate) timings: Timings,
+    pub(crate) config: GpufsConfig,
+    pub(crate) frames: FrameArena,
+    pub(crate) tables: Tables,
+    pub(crate) counters: CacheCounters,
     /// The consistency layer's per-file generation table, exported by the
     /// host into write-shared memory. Reading it costs one PCIe access
     /// and no daemon round-trip, which is what keeps closed-file-table
     /// revival cheap (paper §4.1: reopen must avoid CPU communication).
-    host_fs: Arc<hostfs::HostFs>,
+    pub(crate) host_fs: Arc<hostfs::HostFs>,
 }
 
 impl std::fmt::Debug for GpuFsMount {
@@ -247,1568 +116,13 @@ impl GpuFsMount {
         &self.gpu
     }
 
-    fn rpc(&self, blk: &mut BlockCtx<'_>, req: Request) -> GpufsResult<RespOk> {
+    /// Issue one RPC to the host daemon and synchronize the calling
+    /// threadblock's clock to the completion-visibility time.
+    pub(crate) fn rpc(&self, blk: &mut BlockCtx<'_>, req: Request) -> GpufsResult<RespOk> {
         let (ok, t) = self
             .hub
             .call(self.gpu.id(), blk.now(), &self.timings, req)?;
         blk.wait_until(t);
         Ok(ok)
-    }
-
-    // ==================================================================
-    // gopen / gclose
-    // ==================================================================
-
-    /// `gopen`: open `path` in `mode`, coalescing with concurrent and
-    /// prior opens of the same file.
-    ///
-    /// The first open forwards to the host; reopens of a file parked in
-    /// the closed-file table revive its cached pages when the host's
-    /// consistency generation still matches (lazy invalidation, §4.4).
-    ///
-    /// # Errors
-    ///
-    /// Fails if the host rejects the open, or if the file is already open
-    /// on this GPU in a different mode.
-    pub fn open(&self, blk: &mut BlockCtx<'_>, path: &str, mode: GOpenMode) -> GpufsResult<GFd> {
-        blk.advance(self.timings.gpufs_page_op_ns);
-        let plock = self.tables.path_lock(path);
-        let _guard = plock.lock();
-
-        if let Some(f) = self.tables.get_open(path) {
-            if f.mode() != mode {
-                return Err(GpufsError::InvalidMode(
-                    "file already open in a different mode",
-                ));
-            }
-            f.add_ref();
-            return Ok(GFd { file: f });
-        }
-
-        // Check the closed-file table *first* (paper §4.1): a parked cache
-        // whose consistency generation still matches the host revives with
-        // only a cheap staleness probe — crucially, no re-open and no
-        // re-truncation of files other blocks just produced.
-        if !self.config.disable_closed_table {
-            if let Some(ino) = self.tables.closed_ino_for_path(path) {
-                if let Some(parked) = self.tables.take_closed(ino) {
-                    let fresh = if parked.mode() == mode {
-                        // One read of the write-shared generation table: a
-                        // PCIe access, not a daemon RPC.
-                        blk.advance(self.timings.rpc_complete_ns);
-                        self.host_fs.consistency().generation(ino) == parked.generation()
-                    } else {
-                        false
-                    };
-                    if fresh {
-                        parked.revive();
-                        self.tables.insert_open(Arc::clone(&parked));
-                        return Ok(GFd { file: parked });
-                    }
-                    // Stale or mode-incompatible: hand it to the full-open
-                    // path below, which flushes and discards it.
-                    let _ = self.tables.park_closed(parked);
-                }
-            }
-        }
-
-        let create = matches!(mode, GOpenMode::WriteOnce | GOpenMode::Temp);
-        // O_GWRONCE "creates a new write-only file" but must NOT truncate
-        // an existing one: several GPUs co-producing disjoint ranges of
-        // one output file is the paper's §3.1 merge case, and a truncating
-        // reopen would destroy ranges other GPUs already synced.
-        let resp = self.rpc(
-            blk,
-            Request::Open {
-                path: path.to_owned(),
-                write: mode.writable(),
-                create,
-                truncate: false,
-            },
-        )?;
-        let RespOk::Opened {
-            fd: host_fd,
-            ino,
-            size,
-            generation,
-        } = resp
-        else {
-            unreachable!("open must answer Opened");
-        };
-
-        if let Some(parked) = self.tables.take_closed(ino) {
-            if parked.generation() == generation && parked.mode() == mode {
-                // Cache revival: keep the parked file (and its host fd),
-                // release the descriptor the probe open just created.
-                let _ = self.rpc(blk, Request::Close { fd: host_fd })?;
-                parked.revive();
-                self.tables.insert_open(Arc::clone(&parked));
-                return Ok(GFd { file: parked });
-            }
-            // Stale (or mode-incompatible) cached copy: drop it lazily,
-            // exactly at reopen time. Local writes that were never synced
-            // are flushed first through the byte diff, so they merge with
-            // whatever changed the file.
-            self.flush_dirty(blk, &parked)?;
-            self.discard_file_cache(&parked);
-            let _ = self.rpc(
-                blk,
-                Request::Close {
-                    fd: parked.host_fd(),
-                },
-            )?;
-        }
-
-        let file = Arc::new(GFile::new(
-            path.to_owned(),
-            mode,
-            host_fd,
-            ino,
-            size,
-            generation,
-        ));
-        self.tables.insert_open(Arc::clone(&file));
-        Ok(GFd { file })
-    }
-
-    /// `gclose`: drop this threadblock's reference. The last close parks
-    /// the file in the closed-file table **without** writing anything
-    /// back — synchronization is decoupled from close (paper §3.2) —
-    /// except `O_NOSYNC` temporaries, whose cache is discarded.
-    ///
-    /// # Errors
-    ///
-    /// Fails only if a required host interaction fails (temp-file close).
-    pub fn close(&self, blk: &mut BlockCtx<'_>, fd: GFd) -> GpufsResult<()> {
-        blk.advance(self.timings.gpufs_page_op_ns);
-        let file = fd.file;
-        if !file.drop_ref() {
-            return Ok(());
-        }
-        let plock = self.tables.path_lock(file.path());
-        let _guard = plock.lock();
-        if file.refcount() > 0 {
-            return Ok(()); // a concurrent gopen revived it first
-        }
-        if !self.tables.remove_open(&file) {
-            return Ok(()); // already superseded
-        }
-        if file.mode() == GOpenMode::Temp {
-            self.discard_file_cache(&file);
-            let _ = self.rpc(blk, Request::Close { fd: file.host_fd() })?;
-            return Ok(());
-        }
-        if self.config.sync_on_close {
-            // POSIX-close ablation: propagate everything now, paying the
-            // write-back storm the paper's decoupling avoids.
-            self.flush_dirty(blk, &file)?;
-        }
-        if self.config.disable_closed_table {
-            // No-closed-table ablation: the cache dies with the open.
-            self.flush_dirty(blk, &file)?;
-            self.discard_file_cache(&file);
-            let _ = self.rpc(blk, Request::Close { fd: file.host_fd() })?;
-            return Ok(());
-        }
-        if let Some(displaced) = self.tables.park_closed(Arc::clone(&file)) {
-            if !Arc::ptr_eq(&displaced, &file) {
-                // An older cached copy of the same inode: flush its dirty
-                // pages so no local writes are lost, then drop it.
-                self.flush_dirty(blk, &displaced)?;
-                self.discard_file_cache(&displaced);
-                let _ = self.rpc(
-                    blk,
-                    Request::Close {
-                        fd: displaced.host_fd(),
-                    },
-                )?;
-            }
-        }
-        Ok(())
-    }
-
-    // ==================================================================
-    // gread / gwrite
-    // ==================================================================
-
-    /// `gread`: read up to `dst.len()` bytes at the explicit `offset`
-    /// (GPUfs descriptors have no seek pointer; this is `pread`).
-    /// Returns the number of bytes read (short at end of file).
-    ///
-    /// # Errors
-    ///
-    /// Fails for `O_GWRONCE` files (never readable) or on host errors
-    /// while faulting pages in.
-    pub fn read(
-        &self,
-        blk: &mut BlockCtx<'_>,
-        fd: &GFd,
-        offset: u64,
-        dst: &mut [u8],
-    ) -> GpufsResult<usize> {
-        let file = fd.file();
-        if !file.mode().readable() {
-            return Err(GpufsError::WriteOnce(file.path().to_owned()));
-        }
-        let size = file.size();
-        if offset >= size || dst.is_empty() {
-            return Ok(0);
-        }
-        let want = dst.len().min((size - offset) as usize);
-        let ps = self.config.page_size as u64;
-        let mut done = 0usize;
-        while done < want {
-            let off = offset + done as u64;
-            let (page_idx, in_page) = (off / ps, (off % ps) as usize);
-            let pin = self.pin_page(blk, file, page_idx)?;
-            let n = (self.config.page_size - in_page).min(want - done);
-            self.gpu.global().read(
-                self.frames.frame_ptr(pin.frame) + in_page,
-                &mut dst[done..done + n],
-            );
-            blk.advance(
-                self.timings.gpu_mem_latency_ns + bw_time_ns(n as u64, self.timings.gpu_mem_mb_s),
-            );
-            done += n;
-        }
-        Ok(done)
-    }
-
-    /// `gwrite`: write `src` at the explicit `offset`, extending the file
-    /// locally. Data stays in the GPU buffer cache until `gfsync`,
-    /// `gmsync`, or eviction propagates it (paper §3.1–3.2). Ends with a
-    /// system memory fence as the paper's implementation does (§4.1).
-    ///
-    /// # Errors
-    ///
-    /// Fails for read-only descriptors or on host errors while faulting
-    /// pages in.
-    pub fn write(
-        &self,
-        blk: &mut BlockCtx<'_>,
-        fd: &GFd,
-        offset: u64,
-        src: &[u8],
-    ) -> GpufsResult<usize> {
-        let file = fd.file();
-        if !file.mode().writable() {
-            return Err(GpufsError::ReadOnly(file.path().to_owned()));
-        }
-        let ps = self.config.page_size as u64;
-        let mut done = 0usize;
-        while done < src.len() {
-            let off = offset + done as u64;
-            let (page_idx, in_page) = (off / ps, (off % ps) as usize);
-            let pin = self.pin_page(blk, file, page_idx)?;
-            let n = (self.config.page_size - in_page).min(src.len() - done);
-            self.gpu.global().write(
-                self.frames.frame_ptr(pin.frame) + in_page,
-                &src[done..done + n],
-            );
-            blk.advance(
-                self.timings.gpu_mem_latency_ns + bw_time_ns(n as u64, self.timings.gpu_mem_mb_s),
-            );
-            let pf = self.frames.pframe(pin.frame);
-            pf.data_size.fetch_max(in_page + n, Ordering::AcqRel);
-            pf.dirty.store(true, Ordering::Release);
-            done += n;
-        }
-        file.grow_to(offset + src.len() as u64);
-        blk.threadfence_system();
-        Ok(done)
-    }
-
-    // ==================================================================
-    // gmmap / gmsync
-    // ==================================================================
-
-    /// `gmmap`: map a read window starting at `offset`. As in the paper,
-    /// the mapping may cover only a prefix of the request — at most to
-    /// the end of the containing buffer-cache page — and points directly
-    /// into cache memory with zero copies.
-    ///
-    /// # Errors
-    ///
-    /// Fails on zero-length requests, offsets at or beyond end of file,
-    /// write-once files, or host errors while faulting the page in.
-    pub fn mmap<'m>(
-        &'m self,
-        blk: &mut BlockCtx<'_>,
-        fd: &GFd,
-        offset: u64,
-        len: usize,
-    ) -> GpufsResult<GMap<'m>> {
-        let file = fd.file();
-        if !file.mode().readable() {
-            return Err(GpufsError::WriteOnce(file.path().to_owned()));
-        }
-        let size = file.size();
-        if len == 0 || offset >= size {
-            return Err(GpufsError::EmptyMapping);
-        }
-        let ps = self.config.page_size as u64;
-        let (page_idx, in_page) = (offset / ps, (offset % ps) as usize);
-        let pin = self.pin_page(blk, file, page_idx)?;
-        let avail = (self.config.page_size - in_page)
-            .min(len)
-            .min((size - offset) as usize);
-        let ptr = self.frames.frame_ptr(pin.frame) + in_page;
-        // SAFETY: the pin blocks eviction and re-initialization; readers
-        // of an immutable mapping tolerate concurrent gwrites to other
-        // bytes exactly as the paper's relaxed gmmap does.
-        let bytes = unsafe { self.gpu.global().slice(ptr, avail) };
-        Ok(GMap {
-            _pin: pin,
-            ptr: bytes.as_ptr(),
-            len: avail,
-            file_offset: offset,
-            _mount: std::marker::PhantomData,
-        })
-    }
-
-    /// `gmunmap`: release a mapping. Equivalent to dropping it.
-    pub fn munmap(&self, blk: &mut BlockCtx<'_>, map: GMap<'_>) {
-        blk.advance(self.timings.gpufs_page_op_ns);
-        drop(map);
-    }
-
-    /// `gmsync`: write one page's modifications back to the host. The
-    /// application must coordinate with concurrent updates by other
-    /// threadblocks (paper Table 1).
-    ///
-    /// # Errors
-    ///
-    /// Fails for modes that never sync, or on host write errors.
-    pub fn msync(&self, blk: &mut BlockCtx<'_>, fd: &GFd, offset: u64) -> GpufsResult<()> {
-        let file = fd.file();
-        if !file.mode().syncs_to_host() {
-            return Err(GpufsError::InvalidMode("gmsync on a non-syncing open mode"));
-        }
-        let page_idx = offset / self.config.page_size as u64;
-        let pin = self.pin_page(blk, file, page_idx)?;
-        self.writeback_frame(blk, file, page_idx, pin.frame)?;
-        Ok(())
-    }
-
-    // ==================================================================
-    // gfsync / gunlink / gftruncate / gfstat
-    // ==================================================================
-
-    /// `gfsync`: synchronously write every dirty cached page of the file
-    /// back to the host page cache. Pages pinned by concurrent accesses
-    /// are skipped, as in the paper (Table 1).
-    ///
-    /// # Errors
-    ///
-    /// Fails on host write errors.
-    pub fn fsync(&self, blk: &mut BlockCtx<'_>, fd: &GFd) -> GpufsResult<()> {
-        let file = fd.file();
-        if !file.mode().syncs_to_host() {
-            return Ok(()); // read-only and O_NOSYNC files have nothing to sync
-        }
-        self.flush_dirty(blk, file)
-    }
-
-    /// `gfsync` followed by a host `fsync(2)`: force the file to stable
-    /// storage, the durability level of CPU `fsync` (paper §3.3).
-    ///
-    /// # Errors
-    ///
-    /// Fails on host write errors.
-    pub fn fsync_durable(&self, blk: &mut BlockCtx<'_>, fd: &GFd) -> GpufsResult<()> {
-        self.fsync(blk, fd)?;
-        if fd.file().mode().syncs_to_host() {
-            self.rpc(
-                blk,
-                Request::Fsync {
-                    fd: fd.file().host_fd(),
-                },
-            )?;
-        }
-        Ok(())
-    }
-
-    /// `gunlink`: remove the file on the host; any local buffer-cache
-    /// space is reclaimed immediately (paper Table 1).
-    ///
-    /// # Errors
-    ///
-    /// Fails if the host cannot resolve or unlink the path.
-    pub fn unlink(&self, blk: &mut BlockCtx<'_>, path: &str) -> GpufsResult<()> {
-        let resp = self.rpc(
-            blk,
-            Request::Stat {
-                path: path.to_owned(),
-            },
-        )?;
-        let RespOk::Stat { ino, .. } = resp else {
-            unreachable!("stat answers Stat")
-        };
-        self.rpc(
-            blk,
-            Request::Unlink {
-                path: path.to_owned(),
-            },
-        )?;
-        if let Some(open) = self.tables.get_open(path) {
-            self.discard_file_cache(&open);
-        }
-        if let Some(parked) = self.tables.take_closed(ino) {
-            self.discard_file_cache(&parked);
-            let _ = self.rpc(
-                blk,
-                Request::Close {
-                    fd: parked.host_fd(),
-                },
-            )?;
-        }
-        Ok(())
-    }
-
-    /// `gftruncate`: truncate to `size` on the host and drop any cached
-    /// pages beyond the new end.
-    ///
-    /// # Errors
-    ///
-    /// Fails for read-only descriptors or on host errors.
-    pub fn ftruncate(&self, blk: &mut BlockCtx<'_>, fd: &GFd, size: u64) -> GpufsResult<()> {
-        let file = fd.file();
-        if !file.mode().writable() {
-            return Err(GpufsError::ReadOnly(file.path().to_owned()));
-        }
-        self.rpc(
-            blk,
-            Request::Truncate {
-                fd: file.host_fd(),
-                size,
-            },
-        )?;
-        file.set_size(size);
-        let ps = self.config.page_size as u64;
-        let first_dropped = size.div_ceil(ps);
-        file.tree().for_each_page(|idx, fp| {
-            if idx >= first_dropped {
-                self.try_discard_page(fp);
-            } else if idx == size / ps && !size.is_multiple_of(ps) {
-                // Boundary page: clamp valid data and zero the tail so
-                // re-extension reads zeros.
-                if let Some(frame) = fp.frame() {
-                    let keep = (size % ps) as usize;
-                    let pf = self.frames.pframe(frame);
-                    let ds = pf.data_size.load(Ordering::Acquire);
-                    if ds > keep {
-                        self.gpu.global().zero(
-                            self.frames.frame_ptr(frame) + keep,
-                            self.config.page_size - keep,
-                        );
-                        pf.data_size.store(keep, Ordering::Release);
-                    }
-                }
-            }
-        });
-        Ok(())
-    }
-
-    /// `gfstat`: file metadata. The size reflects the file size at the
-    /// time of the first `gopen` (paper Table 1).
-    #[must_use]
-    pub fn fstat(&self, blk: &mut BlockCtx<'_>, fd: &GFd) -> GStat {
-        blk.advance(self.timings.gpufs_page_op_ns);
-        GStat {
-            size: fd.file().open_size(),
-            ino: fd.file().ino(),
-        }
-    }
-
-    // ==================================================================
-    // Page pinning, initialization, eviction, write-back.
-    // ==================================================================
-
-    /// Pin `page_idx` of `file`, faulting it in if absent.
-    ///
-    /// The lock-free fast path follows the paper's protocol: try the
-    /// seqlock-validated lookup, retry `lockfree_retries` times on
-    /// contention, then fall back to the fpage lock.
-    fn pin_page(
-        &self,
-        blk: &mut BlockCtx<'_>,
-        file: &Arc<GFile>,
-        page_idx: u64,
-    ) -> GpufsResult<PagePin> {
-        let fp = file.tree().get_or_insert(page_idx);
-        let mut failed_attempts = 0u32;
-        // An access that ever hit a concurrent update — a seqlock retry,
-        // the lock fallback, or an in-flight initialization/eviction —
-        // counts as contended; the paper's "locked accesses" column
-        // "also includes unlocked retries" (Table 2).
-        let mut contended = self.config.force_locked;
-        loop {
-            let mut via_lock = false;
-            let snap =
-                if !self.config.force_locked && failed_attempts <= self.config.lockfree_retries {
-                    match fp.try_pin_lockfree() {
-                        Ok(s) => s,
-                        Err(()) => {
-                            failed_attempts += 1;
-                            contended = true;
-                            continue;
-                        }
-                    }
-                } else {
-                    via_lock = true;
-                    contended = true;
-                    fp.pin_locked()
-                };
-            match snap {
-                Snapshot::Pinned(frame) => {
-                    if contended {
-                        self.counters.locked_accesses.incr();
-                    } else {
-                        self.counters.lockfree_accesses.incr();
-                    }
-                    self.counters.hits.incr();
-                    let pf = self.frames.pframe(frame);
-                    debug_assert_eq!(pf.file_uid.load(Ordering::Relaxed), file.tree().uid());
-                    debug_assert_eq!(pf.page_idx.load(Ordering::Relaxed), page_idx);
-                    blk.wait_until(pf.ready_at.load(Ordering::Acquire));
-                    if via_lock {
-                        // A locked traversal serializes on the tree lock.
-                        // Under the saturation of a data-parallel kernel
-                        // every acquisition waits out the convoy of all
-                        // concurrently resident blocks; charge that
-                        // analytically (the Figure 7 "locked" ablation).
-                        let convoy = self.timings.radix_lock_hold_ns
-                            * self.gpu.spec().concurrent_blocks() as u64;
-                        blk.advance(convoy);
-                    }
-                    blk.advance(self.timings.gpufs_hit_ns);
-                    return Ok(PagePin::new(Arc::clone(file), fp, frame));
-                }
-                Snapshot::Empty => {
-                    fp.lock();
-                    if fp.state() == PageState::Empty {
-                        fp.begin_update();
-                        fp.set_state(PageState::Initializing);
-                        fp.end_update();
-                        fp.unlock();
-                        return self.initialize_page(blk, file, page_idx, fp);
-                    }
-                    fp.unlock();
-                }
-                Snapshot::Initializing => {
-                    std::thread::yield_now();
-                    contended = true;
-                    failed_attempts = 0; // fresh page, start protocol over
-                }
-            }
-        }
-    }
-
-    /// Fault in one page: allocate a frame (reclaiming if needed), fetch
-    /// or zero-fill it, then publish it Ready. The caller has already
-    /// moved the fpage to `Initializing`.
-    fn initialize_page(
-        &self,
-        blk: &mut BlockCtx<'_>,
-        file: &Arc<GFile>,
-        page_idx: u64,
-        fp: &FPage,
-    ) -> GpufsResult<PagePin> {
-        self.counters.misses.incr();
-        // Initialization holds the fpage lock for its state transitions:
-        // it is a locked access in the paper's accounting.
-        self.counters.locked_accesses.incr();
-        let frame = match self.alloc_frame(blk) {
-            Ok(f) => f,
-            Err(e) => {
-                Self::abort_init(fp);
-                return Err(e);
-            }
-        };
-        let ps = self.config.page_size;
-        let offset = page_idx * ps as u64;
-        let ptr = self.frames.frame_ptr(frame);
-        let pf = self.frames.pframe(frame);
-        pf.file_uid.store(file.tree().uid(), Ordering::Release);
-        pf.page_idx.store(page_idx, Ordering::Release);
-
-        // O_NOSYNC temporaries refetch pages that eviction pushed to the
-        // host; O_GWRONCE never reads back (§3.2).
-        let fetch = (file.mode().fetches_pages() && offset < file.open_size())
-            || (file.mode() == GOpenMode::Temp && offset < file.host_valid());
-        if fetch {
-            let resp = self.rpc(
-                blk,
-                Request::ReadPage {
-                    fd: file.host_fd(),
-                    offset,
-                    len: ps,
-                    dst: ptr,
-                    gpu: self.gpu.id(),
-                },
-            );
-            let n = match resp {
-                Ok(RespOk::Read { n }) => n,
-                Ok(_) => unreachable!("read answers Read"),
-                Err(e) => {
-                    self.frames.release(frame);
-                    Self::abort_init(fp);
-                    return Err(e);
-                }
-            };
-            if n < ps {
-                self.gpu.global().zero(ptr + n, ps - n);
-            }
-            pf.data_size.store(n, Ordering::Release);
-            if file.mode().needs_pristine() {
-                let pristine = match self.alloc_frame(blk) {
-                    Ok(f) => f,
-                    Err(e) => {
-                        self.frames.release(frame);
-                        Self::abort_init(fp);
-                        return Err(e);
-                    }
-                };
-                self.gpu
-                    .global()
-                    .copy_within(ptr, self.frames.frame_ptr(pristine), ps);
-                blk.advance(bw_time_ns(2 * ps as u64, self.timings.gpu_mem_mb_s));
-                pf.set_pristine(Some(pristine));
-            }
-            pf.set_ready_at(blk.now());
-        } else {
-            // O_GWRONCE / O_NOSYNC / beyond-EOF pages: "GPUfs never reads
-            // pages of such files from the host ... the pristine copy of
-            // any file block is all zeros" (§3.1).
-            self.gpu.global().zero(ptr, ps);
-            blk.advance(bw_time_ns(ps as u64, self.timings.gpu_mem_mb_s));
-            pf.data_size.store(0, Ordering::Release);
-            // Zero content carries no data dependency: concurrent blocks
-            // sharing this page need not synchronize to the initializer's
-            // (possibly far-ahead) clock, only to the real mutual
-            // exclusion of the initialization itself.
-            pf.set_ready_at(0);
-        }
-
-        fp.lock();
-        fp.begin_update();
-        fp.set_frame(Some(frame));
-        fp.set_state(PageState::Ready);
-        fp.pin_direct();
-        fp.end_update();
-        fp.unlock();
-        blk.advance(self.timings.gpufs_page_op_ns);
-        Ok(PagePin::new(Arc::clone(file), fp, frame))
-    }
-
-    fn abort_init(fp: &FPage) {
-        fp.lock();
-        fp.begin_update();
-        fp.set_state(PageState::Empty);
-        fp.set_frame(None);
-        fp.end_update();
-        fp.unlock();
-    }
-
-    /// Allocate a frame, reclaiming pages when the raw data array is full.
-    fn alloc_frame(&self, blk: &mut BlockCtx<'_>) -> GpufsResult<FrameIdx> {
-        for _ in 0..RECLAIM_ROUNDS {
-            if let Some(frame) = self.frames.alloc() {
-                return Ok(frame);
-            }
-            if self.reclaim(blk, RECLAIM_BATCH)? == 0 {
-                std::thread::yield_now();
-            }
-        }
-        Err(GpufsError::CacheExhausted { requested: 1 })
-    }
-
-    /// Reclaim up to `want` frames, preferring closed files, then open
-    /// read-only files, then writable ones (paper §4.2).
-    fn reclaim(&self, blk: &mut BlockCtx<'_>, want: usize) -> GpufsResult<usize> {
-        let mut freed = 0usize;
-        let mut victims = self.tables.closed_files();
-        let closed_count = victims.len();
-        victims.extend(self.tables.open_files_by_eviction_priority());
-        for (i, victim) in victims.iter().enumerate() {
-            let mut err = None;
-            victim.tree().for_each_reclaim_candidate(|idx, fp| {
-                if freed >= want {
-                    return false;
-                }
-                match self.try_evict_page(blk, victim, idx, fp) {
-                    Ok(true) => freed += 1,
-                    Ok(false) => {}
-                    Err(e) => {
-                        err = Some(e);
-                        return false;
-                    }
-                }
-                true
-            });
-            if let Some(e) = err {
-                return Err(e);
-            }
-            // A closed file drained of pages can release its host fd and
-            // its table slot entirely.
-            if i < closed_count && victim.refcount() == 0 {
-                let mut resident = false;
-                victim.tree().for_each_page(|_, fp| {
-                    resident |= fp.state() != PageState::Empty;
-                });
-                if !resident && self.tables.remove_closed(victim) {
-                    let _ = self.rpc(
-                        blk,
-                        Request::Close {
-                            fd: victim.host_fd(),
-                        },
-                    )?;
-                }
-            }
-            if freed >= want {
-                break;
-            }
-        }
-        Ok(freed)
-    }
-
-    /// Try to evict one Ready, unpinned page; writes dirty data back for
-    /// syncing modes, discards it for `O_NOSYNC`.
-    fn try_evict_page(
-        &self,
-        blk: &mut BlockCtx<'_>,
-        file: &GFile,
-        page_idx: u64,
-        fp: &FPage,
-    ) -> GpufsResult<bool> {
-        if fp.state() != PageState::Ready || fp.refs() > 0 {
-            return Ok(false);
-        }
-        fp.lock();
-        if fp.state() != PageState::Ready || fp.refs() > 0 {
-            fp.unlock();
-            return Ok(false);
-        }
-        let frame = fp.frame().expect("ready page has a frame");
-        fp.begin_update();
-        fp.set_state(PageState::Initializing); // blocks new pins
-        fp.set_frame(None);
-        fp.end_update();
-        fp.unlock();
-
-        let pf = self.frames.pframe(frame);
-        // Everything except read-only data is written back before the
-        // frame is reused — including O_NOSYNC temporaries, which the
-        // paper spills to the host only "to reclaim GPU buffer cache
-        // space" (§3.2).
-        if pf.dirty.load(Ordering::Acquire) && file.mode() != GOpenMode::ReadOnly {
-            if let Err(e) = self.writeback_frame(blk, file, page_idx, frame) {
-                // Restore the page rather than lose data.
-                fp.lock();
-                fp.begin_update();
-                fp.set_frame(Some(frame));
-                fp.set_state(PageState::Ready);
-                fp.end_update();
-                fp.unlock();
-                return Err(e);
-            }
-        }
-        if let Some(pristine) = pf.pristine_frame() {
-            self.frames.release(pristine);
-        }
-        self.frames.release(frame);
-        fp.lock();
-        fp.begin_update();
-        fp.set_state(PageState::Empty);
-        fp.end_update();
-        fp.unlock();
-        self.counters.pages_reclaimed.incr();
-        Ok(true)
-    }
-
-    /// Drop a page without write-back (stale cache, unlink, temp close).
-    /// Pinned pages are skipped.
-    fn try_discard_page(&self, fp: &FPage) -> bool {
-        if fp.state() != PageState::Ready || fp.refs() > 0 {
-            return false;
-        }
-        fp.lock();
-        if fp.state() != PageState::Ready || fp.refs() > 0 {
-            fp.unlock();
-            return false;
-        }
-        let frame = fp.frame().expect("ready page has a frame");
-        fp.begin_update();
-        fp.set_frame(None);
-        fp.set_state(PageState::Empty);
-        fp.end_update();
-        fp.unlock();
-        let pf = self.frames.pframe(frame);
-        if let Some(pristine) = pf.pristine_frame() {
-            self.frames.release(pristine);
-        }
-        self.frames.release(frame);
-        true
-    }
-
-    fn discard_file_cache(&self, file: &GFile) {
-        file.tree().for_each_page(|_, fp| {
-            self.try_discard_page(fp);
-        });
-    }
-
-    /// Write back every dirty, unpinned page of `file`.
-    fn flush_dirty(&self, blk: &mut BlockCtx<'_>, file: &Arc<GFile>) -> GpufsResult<()> {
-        let mut dirty_pages = Vec::new();
-        file.tree().for_each_page(|idx, fp| {
-            if fp.state() == PageState::Ready {
-                if let Some(frame) = fp.frame() {
-                    if self.frames.pframe(frame).dirty.load(Ordering::Acquire) {
-                        dirty_pages.push(idx);
-                    }
-                }
-            }
-        });
-        for idx in dirty_pages {
-            // Pin to hold the frame across the write-back.
-            let pin = self.pin_page(blk, file, idx)?;
-            self.writeback_frame(blk, file, idx, pin.frame)?;
-        }
-        Ok(())
-    }
-
-    /// Compute the modified extents of one page and ship them to the
-    /// host: a byte diff against the pristine copy for read-write files,
-    /// or against zeros for `O_GWRONCE` (paper §3.1).
-    fn writeback_frame(
-        &self,
-        blk: &mut BlockCtx<'_>,
-        file: &GFile,
-        page_idx: u64,
-        frame: FrameIdx,
-    ) -> GpufsResult<usize> {
-        let pf = self.frames.pframe(frame);
-        if !pf.dirty.load(Ordering::Acquire) {
-            return Ok(0);
-        }
-        let ds = pf.data_size.load(Ordering::Acquire);
-        let ptr = self.frames.frame_ptr(frame);
-        // SAFETY: the caller holds a pin (or has detached the frame from
-        // its fpage), so the frame cannot be reused; concurrent writers
-        // to the same page must coordinate with sync, per Table 1.
-        let working = unsafe { self.gpu.global().slice(ptr, ds) };
-        let extents: Extents = match file.mode() {
-            GOpenMode::WriteOnce => {
-                blk.advance(bw_time_ns(ds as u64, self.timings.gpu_mem_mb_s));
-                nonzero_extents(working, DIFF_MERGE_GAP)
-            }
-            GOpenMode::ReadWrite => match pf.pristine_frame() {
-                Some(pristine_frame) => {
-                    let pptr = self.frames.frame_ptr(pristine_frame);
-                    // SAFETY: pristine frames are only touched by sync
-                    // paths, serialized by the page pin / detachment above.
-                    let pristine = unsafe { self.gpu.global().slice(pptr, ds) };
-                    blk.advance(bw_time_ns(2 * ds as u64, self.timings.gpu_mem_mb_s));
-                    diff_extents(working, pristine, DIFF_MERGE_GAP)
-                }
-                None => {
-                    // A page that never existed on the host (beyond EOF at
-                    // open) has an implicitly all-zero pristine copy.
-                    blk.advance(bw_time_ns(ds as u64, self.timings.gpu_mem_mb_s));
-                    nonzero_extents(working, DIFF_MERGE_GAP)
-                }
-            },
-            // A spilled temporary page has no pristine copy and no
-            // written-zeros hazard to exploit: ship the whole valid prefix.
-            GOpenMode::Temp => vec![(0, ds as u32)],
-            GOpenMode::ReadOnly => Vec::new(),
-        };
-        pf.dirty.store(false, Ordering::Release);
-        if extents.is_empty() {
-            return Ok(0);
-        }
-        let resp = self.rpc(
-            blk,
-            Request::WriteExtents {
-                fd: file.host_fd(),
-                src: ptr,
-                page_offset: page_idx * self.config.page_size as u64,
-                extents,
-                gpu: self.gpu.id(),
-            },
-        )?;
-        let RespOk::Wrote { n, generation } = resp else {
-            unreachable!("write answers Wrote")
-        };
-        self.counters.writebacks.incr();
-        let page_start = page_idx * self.config.page_size as u64;
-        file.mark_host_valid(page_start + ds as u64);
-        // Our own propagated writes bumped the host generation; observe it
-        // so they do not read as a foreign invalidation on reopen.
-        file.observe_generation(generation);
-        if file.mode() == GOpenMode::ReadWrite {
-            // Refresh the pristine copy: future diffs are relative to the
-            // state just propagated.
-            if let Some(pristine_frame) = pf.pristine_frame() {
-                self.gpu
-                    .global()
-                    .copy_within(ptr, self.frames.frame_ptr(pristine_frame), ds);
-                blk.advance(bw_time_ns(2 * ds as u64, self.timings.gpu_mem_mb_s));
-            }
-        }
-        Ok(n)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use gpusim::{GpuSpec, Grid};
-    use hostfs::{HostFs, HostFsConfig};
-
-    struct Rig {
-        fs: Arc<HostFs>,
-        host: GpufsHost,
-        gpus: Vec<Arc<Gpu>>,
-    }
-
-    fn rig(n_gpus: usize) -> Rig {
-        let fs = Arc::new(HostFs::new(HostFsConfig::default()));
-        let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
-            .map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test())))
-            .collect();
-        let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
-        Rig { fs, host, gpus }
-    }
-
-    /// Run `kernel` as a single threadblock on GPU 0.
-    fn run_block(r: &Rig, kernel: impl Fn(&mut BlockCtx<'_>) + Sync) {
-        r.gpus[0].launch(Grid::new(1, 32), 0, kernel);
-    }
-
-    #[test]
-    fn read_spanning_pages() {
-        let r = rig(1);
-        let content: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
-        r.fs.create("/f", &content).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap(); // 4K pages
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/f", GOpenMode::ReadOnly).unwrap();
-            let mut buf = vec![0u8; 20_000];
-            let n = mount.read(blk, &fd, 0, &mut buf).unwrap();
-            assert_eq!(n, 20_000);
-            assert_eq!(buf, content);
-            // Offset read crossing a page boundary.
-            let mut small = vec![0u8; 100];
-            let n = mount.read(blk, &fd, 4096 - 50, &mut small).unwrap();
-            assert_eq!(n, 100);
-            assert_eq!(small, content[4096 - 50..4096 + 50]);
-            mount.close(blk, fd).unwrap();
-        });
-    }
-
-    #[test]
-    fn read_past_eof_is_short() {
-        let r = rig(1);
-        r.fs.create("/f", &[9u8; 100]).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/f", GOpenMode::ReadOnly).unwrap();
-            let mut buf = [0u8; 64];
-            assert_eq!(mount.read(blk, &fd, 80, &mut buf).unwrap(), 20);
-            assert_eq!(mount.read(blk, &fd, 100, &mut buf).unwrap(), 0);
-            assert_eq!(mount.read(blk, &fd, 5000, &mut buf).unwrap(), 0);
-            mount.close(blk, fd).unwrap();
-        });
-    }
-
-    #[test]
-    fn close_is_decoupled_from_sync() {
-        let r = rig(1);
-        r.fs.create("/out", &[0u8; 64]).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/out", GOpenMode::ReadWrite).unwrap();
-            mount.write(blk, &fd, 0, b"dirty").unwrap();
-            mount.close(blk, fd).unwrap();
-        });
-        let (data, _) = r.fs.read_whole("/out", 0).unwrap();
-        assert_eq!(&data[..5], &[0u8; 5], "gclose must not write back");
-
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/out", GOpenMode::ReadWrite).unwrap();
-            mount.fsync(blk, &fd).unwrap();
-            mount.close(blk, fd).unwrap();
-        });
-        let (data, _) = r.fs.read_whole("/out", 0).unwrap();
-        assert_eq!(&data[..5], b"dirty", "gfsync propagates");
-    }
-
-    #[test]
-    fn closed_file_table_revives_cache_without_host_reads() {
-        let r = rig(1);
-        r.fs.create("/f", &[7u8; 8192]).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/f", GOpenMode::ReadOnly).unwrap();
-            let mut buf = [0u8; 8192];
-            mount.read(blk, &fd, 0, &mut buf).unwrap();
-            mount.close(blk, fd).unwrap();
-        });
-        let h2d_before = r.host.stats().bytes_h2d.get();
-        let misses_before = mount.counters().misses.get();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/f", GOpenMode::ReadOnly).unwrap();
-            let mut buf = [0u8; 8192];
-            mount.read(blk, &fd, 0, &mut buf).unwrap();
-            assert!(buf.iter().all(|&b| b == 7));
-            mount.close(blk, fd).unwrap();
-        });
-        assert_eq!(
-            r.host.stats().bytes_h2d.get(),
-            h2d_before,
-            "revived: no refetch"
-        );
-        assert_eq!(
-            mount.counters().misses.get(),
-            misses_before,
-            "all hits after revival"
-        );
-    }
-
-    #[test]
-    fn host_write_invalidates_closed_cache_lazily() {
-        let r = rig(1);
-        r.fs.create("/f", &[1u8; 4096]).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/f", GOpenMode::ReadOnly).unwrap();
-            let mut buf = [0u8; 16];
-            mount.read(blk, &fd, 0, &mut buf).unwrap();
-            mount.close(blk, fd).unwrap();
-        });
-        // A CPU process rewrites the file (bumps the generation).
-        let (hfd, t) = r.fs.open("/f", hostfs::OpenFlags::read_write(), 0).unwrap();
-        r.fs.pwrite(hfd, 0, &[2u8; 4096], t).unwrap();
-        r.fs.close(hfd).unwrap();
-        // Reopen on the GPU: stale cache must be dropped, fresh data read.
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/f", GOpenMode::ReadOnly).unwrap();
-            let mut buf = [0u8; 16];
-            mount.read(blk, &fd, 0, &mut buf).unwrap();
-            assert!(
-                buf.iter().all(|&b| b == 2),
-                "stale page served after host write"
-            );
-            mount.close(blk, fd).unwrap();
-        });
-    }
-
-    #[test]
-    fn write_once_diffs_against_zeros() {
-        let r = rig(1);
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/wonce", GOpenMode::WriteOnce).unwrap();
-            mount.write(blk, &fd, 10, b"abc").unwrap();
-            mount.write(blk, &fd, 100, b"xyz").unwrap();
-            // Reading a write-once file is forbidden.
-            let mut buf = [0u8; 4];
-            assert!(matches!(
-                mount.read(blk, &fd, 0, &mut buf),
-                Err(GpufsError::WriteOnce(_))
-            ));
-            mount.fsync(blk, &fd).unwrap();
-            mount.close(blk, fd).unwrap();
-        });
-        let (data, _) = r.fs.read_whole("/wonce", 0).unwrap();
-        assert_eq!(&data[10..13], b"abc");
-        assert_eq!(&data[100..103], b"xyz");
-        assert!(data[..10].iter().all(|&b| b == 0));
-    }
-
-    #[test]
-    fn concurrent_gpu_writers_merge_disjoint_ranges() {
-        // Two GPUs write disjoint halves of one page of a shared file via
-        // the diff-and-merge protocol (the paper's §3.1 extension).
-        let r = rig(2);
-        r.fs.create("/shared", &[0u8; 4096]).unwrap();
-        let m0 = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        let m1 = r.host.mount(1, GpufsConfig::small_test()).unwrap();
-        let work = |mount: &Arc<GpuFsMount>, off: u64, byte: u8| {
-            let mount = Arc::clone(mount);
-            move |blk: &mut BlockCtx<'_>| {
-                let fd = mount.open(blk, "/shared", GOpenMode::ReadWrite).unwrap();
-                mount.write(blk, &fd, off, &[byte; 1024]).unwrap();
-                mount.fsync(blk, &fd).unwrap();
-                mount.close(blk, fd).unwrap();
-            }
-        };
-        std::thread::scope(|s| {
-            let g0 = &r.gpus[0];
-            let g1 = &r.gpus[1];
-            let k0 = work(&m0, 0, 0xaa);
-            let k1 = work(&m1, 2048, 0xbb);
-            s.spawn(move || g0.launch(Grid::new(1, 32), 0, k0));
-            s.spawn(move || g1.launch(Grid::new(1, 32), 0, k1));
-        });
-        let (data, _) = r.fs.read_whole("/shared", 0).unwrap();
-        assert!(data[..1024].iter().all(|&b| b == 0xaa), "gpu0's half");
-        assert!(data[2048..3072].iter().all(|&b| b == 0xbb), "gpu1's half");
-        assert!(data[1024..2048].iter().all(|&b| b == 0), "untouched middle");
-    }
-
-    #[test]
-    fn temp_files_spill_and_refetch_under_pressure() {
-        let r = rig(1);
-        // 8 frames of 4K: a 64K temp file cannot stay resident.
-        let mount = r.host.mount(0, GpufsConfig::new(4096, 8 * 4096)).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/tmp_scratch", GOpenMode::Temp).unwrap();
-            for page in 0..16u64 {
-                let payload = [page as u8 + 1; 4096];
-                mount.write(blk, &fd, page * 4096, &payload).unwrap();
-            }
-            // Read everything back: early pages were evicted to the host
-            // and must be refetched transparently.
-            for page in 0..16u64 {
-                let mut buf = [0u8; 4096];
-                let n = mount.read(blk, &fd, page * 4096, &mut buf).unwrap();
-                assert_eq!(n, 4096);
-                assert!(
-                    buf.iter().all(|&b| b == page as u8 + 1),
-                    "page {page} corrupted after spill/refetch"
-                );
-            }
-            mount.close(blk, fd).unwrap();
-        });
-        assert!(
-            mount.counters().pages_reclaimed.get() > 0,
-            "pressure must evict"
-        );
-    }
-
-    #[test]
-    fn eviction_writes_back_dirty_pages() {
-        let r = rig(1);
-        let mount = r.host.mount(0, GpufsConfig::new(4096, 4 * 4096)).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/big_out", GOpenMode::WriteOnce).unwrap();
-            for page in 0..12u64 {
-                mount.write(blk, &fd, page * 4096, &[0x5au8; 4096]).unwrap();
-            }
-            mount.fsync(blk, &fd).unwrap();
-            mount.close(blk, fd).unwrap();
-        });
-        let (data, _) = r.fs.read_whole("/big_out", 0).unwrap();
-        assert_eq!(data.len(), 12 * 4096);
-        assert!(data.iter().all(|&b| b == 0x5a));
-        assert!(mount.counters().pages_reclaimed.get() > 0);
-    }
-
-    #[test]
-    fn mmap_returns_prefix_of_page() {
-        let r = rig(1);
-        let content: Vec<u8> = (0..8192u32).map(|i| (i % 250) as u8).collect();
-        r.fs.create("/m", &content).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/m", GOpenMode::ReadOnly).unwrap();
-            // Request 8K starting 100 bytes into page 0: only the page
-            // remainder maps.
-            let map = mount.mmap(blk, &fd, 100, 8192).unwrap();
-            assert_eq!(map.len(), 4096 - 100);
-            assert_eq!(map.file_offset(), 100);
-            assert_eq!(map.bytes(), &content[100..4096]);
-            mount.munmap(blk, map);
-            // Mapping beyond EOF fails.
-            assert!(matches!(
-                mount.mmap(blk, &fd, 10_000, 1),
-                Err(GpufsError::EmptyMapping)
-            ));
-            mount.close(blk, fd).unwrap();
-        });
-    }
-
-    #[test]
-    fn pinned_mapping_blocks_eviction() {
-        let r = rig(1);
-        r.fs.create("/pin", &[3u8; 4096]).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::new(4096, 2 * 4096)).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/pin", GOpenMode::ReadOnly).unwrap();
-            let map = mount.mmap(blk, &fd, 0, 4096).unwrap();
-            // Burn through the other frame repeatedly with a second file;
-            // the pinned page must survive.
-            let fd2 = mount.open(blk, "/pin2", GOpenMode::Temp).unwrap();
-            for page in 0..6u64 {
-                mount.write(blk, &fd2, page * 4096, &[9u8; 4096]).unwrap();
-            }
-            assert!(map.bytes().iter().all(|&b| b == 3));
-            mount.munmap(blk, map);
-            mount.close(blk, fd2).unwrap();
-            mount.close(blk, fd).unwrap();
-        });
-    }
-
-    #[test]
-    fn gmsync_pushes_one_page() {
-        let r = rig(1);
-        r.fs.create("/ms", &[0u8; 8192]).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/ms", GOpenMode::ReadWrite).unwrap();
-            mount.write(blk, &fd, 0, &[1u8; 4096]).unwrap();
-            mount.write(blk, &fd, 4096, &[2u8; 4096]).unwrap();
-            mount.msync(blk, &fd, 0).unwrap(); // only page 0
-            mount.close(blk, fd).unwrap();
-        });
-        let (data, _) = r.fs.read_whole("/ms", 0).unwrap();
-        assert!(data[..4096].iter().all(|&b| b == 1), "page 0 synced");
-        assert!(data[4096..].iter().all(|&b| b == 0), "page 1 not synced");
-    }
-
-    #[test]
-    fn unlink_reclaims_cache_immediately() {
-        let r = rig(1);
-        r.fs.create("/gone", &[1u8; 8192]).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/gone", GOpenMode::ReadOnly).unwrap();
-            let mut buf = [0u8; 8192];
-            mount.read(blk, &fd, 0, &mut buf).unwrap();
-            let free_before = mount.free_frames();
-            mount.unlink(blk, "/gone").unwrap();
-            assert!(
-                mount.free_frames() > free_before,
-                "buffer space reclaimed now"
-            );
-            mount.close(blk, fd).unwrap();
-        });
-        assert!(!r.fs.exists("/gone"));
-    }
-
-    #[test]
-    fn ftruncate_drops_tail_pages() {
-        let r = rig(1);
-        r.fs.create("/tr", &[5u8; 12288]).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/tr", GOpenMode::ReadWrite).unwrap();
-            let mut buf = [0u8; 12288];
-            mount.read(blk, &fd, 0, &mut buf).unwrap();
-            mount.ftruncate(blk, &fd, 6000).unwrap();
-            let mut buf = [0u8; 12288];
-            let n = mount.read(blk, &fd, 0, &mut buf).unwrap();
-            assert_eq!(n, 6000);
-            assert!(buf[..6000].iter().all(|&b| b == 5));
-            mount.close(blk, fd).unwrap();
-        });
-        assert_eq!(r.fs.stat("/tr").unwrap().size, 6000);
-    }
-
-    #[test]
-    fn fstat_reports_size_at_open() {
-        let r = rig(1);
-        r.fs.create("/st", &[1u8; 1000]).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/st", GOpenMode::ReadWrite).unwrap();
-            assert_eq!(mount.fstat(blk, &fd).size, 1000);
-            mount.write(blk, &fd, 2000, b"grow").unwrap();
-            assert_eq!(mount.fstat(blk, &fd).size, 1000, "gfstat is size-at-open");
-            mount.close(blk, fd).unwrap();
-        });
-    }
-
-    #[test]
-    fn conflicting_open_modes_error() {
-        let r = rig(1);
-        r.fs.create("/c", b"x").unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/c", GOpenMode::ReadOnly).unwrap();
-            assert!(matches!(
-                mount.open(blk, "/c", GOpenMode::ReadWrite),
-                Err(GpufsError::InvalidMode(_))
-            ));
-            mount.close(blk, fd).unwrap();
-        });
-    }
-
-    #[test]
-    fn write_to_read_only_fd_errors() {
-        let r = rig(1);
-        r.fs.create("/ro", b"x").unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/ro", GOpenMode::ReadOnly).unwrap();
-            assert!(matches!(
-                mount.write(blk, &fd, 0, b"y"),
-                Err(GpufsError::ReadOnly(_))
-            ));
-            mount.close(blk, fd).unwrap();
-        });
-    }
-
-    #[test]
-    fn many_blocks_share_one_descriptor_and_refcount() {
-        let r = rig(1);
-        r.fs.create("/many", &[1u8; 65536]).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::new(4096, 64 * 4096)).unwrap();
-        // 32 blocks open/read/close the same file concurrently.
-        r.gpus[0].launch(Grid::new(32, 64), 0, |blk| {
-            let fd = mount.open(blk, "/many", GOpenMode::ReadOnly).unwrap();
-            let off = (blk.block_id() as u64 * 2048) % 65536;
-            let mut buf = [0u8; 2048];
-            let n = mount.read(blk, &fd, off, &mut buf).unwrap();
-            assert_eq!(n, 2048);
-            assert!(buf.iter().all(|&b| b == 1));
-            mount.close(blk, fd).unwrap();
-        });
-        // All refs dropped: exactly one host open happened (coalescing),
-        // unless close raced a reopen (allowed), in which case opens are
-        // still far below the 32 a POSIX-per-thread model would issue.
-        assert!(
-            r.host.stats().opens.get() <= 4,
-            "opens = {}",
-            r.host.stats().opens.get()
-        );
-        assert!(mount.counters().lockfree_accesses.get() > 0);
-    }
-
-    #[test]
-    fn cache_exhaustion_is_reported_not_hung() {
-        let r = rig(1);
-        r.fs.create("/ex", &[1u8; 16384]).unwrap();
-        // Two frames only; pin both via mappings, then fault a third page.
-        let mount = r.host.mount(0, GpufsConfig::new(4096, 2 * 4096)).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/ex", GOpenMode::ReadOnly).unwrap();
-            let m1 = mount.mmap(blk, &fd, 0, 10).unwrap();
-            let m2 = mount.mmap(blk, &fd, 4096, 10).unwrap();
-            let err = mount.mmap(blk, &fd, 8192, 10);
-            assert!(matches!(err, Err(GpufsError::CacheExhausted { .. })));
-            mount.munmap(blk, m1);
-            mount.munmap(blk, m2);
-            // With the pins gone the same fault now succeeds.
-            let m3 = mount.mmap(blk, &fd, 8192, 10).unwrap();
-            assert_eq!(m3.bytes()[0], 1);
-            mount.munmap(blk, m3);
-            mount.close(blk, fd).unwrap();
-        });
-    }
-
-    #[test]
-    fn read_write_pristine_diff_preserves_concurrent_host_bytes() {
-        // GPU writes bytes [0,4) of a page; meanwhile the host rewrites
-        // bytes [100,104). The GPU's diff-based sync must not revert the
-        // host's bytes with its stale pristine copy.
-        let r = rig(1);
-        r.fs.create("/fs_merge", &[0u8; 4096]).unwrap();
-        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
-        run_block(&r, |blk| {
-            let fd = mount.open(blk, "/fs_merge", GOpenMode::ReadWrite).unwrap();
-            mount.write(blk, &fd, 0, &[7u8; 4]).unwrap();
-            // Host writes concurrently (before the GPU syncs).
-            let (hfd, t) =
-                r.fs.open("/fs_merge", hostfs::OpenFlags::read_write(), 0)
-                    .unwrap();
-            r.fs.pwrite(hfd, 100, &[9u8; 4], t).unwrap();
-            r.fs.close(hfd).unwrap();
-            mount.fsync(blk, &fd).unwrap();
-            mount.close(blk, fd).unwrap();
-        });
-        let (data, _) = r.fs.read_whole("/fs_merge", 0).unwrap();
-        assert_eq!(&data[0..4], &[7u8; 4], "gpu bytes written");
-        assert_eq!(&data[100..104], &[9u8; 4], "host bytes preserved by diff");
-    }
-}
-
-#[cfg(test)]
-mod policy_tests {
-    use super::*;
-    use gpusim::{GpuSpec, Grid};
-    use hostfs::{HostFs, HostFsConfig};
-
-    fn rig() -> (Arc<HostFs>, GpufsHost, Arc<Gpu>) {
-        let fs = Arc::new(HostFs::new(HostFsConfig::default()));
-        let gpu = Arc::new(Gpu::new(0, GpuSpec::small_test()));
-        let host = GpufsHost::new(Arc::clone(&fs), vec![Arc::clone(&gpu)]);
-        (fs, host, gpu)
-    }
-
-    #[test]
-    fn eviction_prefers_closed_files_over_open_ones() {
-        let (fs, host, gpu) = rig();
-        fs.create("/closed.bin", &[1u8; 16 * 4096]).unwrap();
-        fs.create("/open.bin", &[2u8; 16 * 4096]).unwrap();
-        // 48 frames: both files fit, plus some slack to burn.
-        let mount = host.mount(0, GpufsConfig::new(4096, 48 * 4096)).unwrap();
-        gpu.launch_seeded(Grid::new(1, 32), 0, 1, |blk| {
-            // Cache and close the victim-to-be.
-            let fd = mount.open(blk, "/closed.bin", GOpenMode::ReadOnly).unwrap();
-            let mut buf = vec![0u8; 16 * 4096];
-            mount.read(blk, &fd, 0, &mut buf).unwrap();
-            mount.close(blk, fd).unwrap();
-            // Cache the protected open file.
-            let fd_open = mount.open(blk, "/open.bin", GOpenMode::ReadOnly).unwrap();
-            mount.read(blk, &fd_open, 0, &mut buf).unwrap();
-            let misses_open = mount.counters().misses.get();
-            // Exert pressure with a third file until reclaim kicks in.
-            let fd_t = mount.open(blk, "/burn.tmp", GOpenMode::Temp).unwrap();
-            for page in 0..24u64 {
-                mount.write(blk, &fd_t, page * 4096, &[9u8; 4096]).unwrap();
-            }
-            assert!(
-                mount.counters().pages_reclaimed.get() > 0,
-                "pressure reclaimed"
-            );
-            // Re-read the still-open file: every page must still be
-            // resident (closed file was sacrificed first).
-            let before = mount.counters().misses.get();
-            mount.read(blk, &fd_open, 0, &mut buf).unwrap();
-            assert_eq!(
-                mount.counters().misses.get(),
-                before,
-                "open file's pages must survive while a closed file exists"
-            );
-            let _ = misses_open;
-            mount.close(blk, fd_t).unwrap();
-            mount.close(blk, fd_open).unwrap();
-        });
-    }
-
-    #[test]
-    fn ablation_sync_on_close_writes_back_eagerly() {
-        let (fs, host, gpu) = rig();
-        fs.create("/posix.out", &[0u8; 64]).unwrap();
-        let cfg = GpufsConfig {
-            sync_on_close: true,
-            ..GpufsConfig::small_test()
-        };
-        let mount = host.mount(0, cfg).unwrap();
-        gpu.launch(Grid::new(1, 32), 0, |blk| {
-            let fd = mount.open(blk, "/posix.out", GOpenMode::ReadWrite).unwrap();
-            mount.write(blk, &fd, 0, b"eager").unwrap();
-            mount.close(blk, fd).unwrap(); // no gfsync!
-        });
-        let (data, _) = fs.read_whole("/posix.out", 0).unwrap();
-        assert_eq!(&data[..5], b"eager", "POSIX ablation must sync on close");
-    }
-
-    #[test]
-    fn ablation_disable_closed_table_refetches() {
-        let (fs, host, gpu) = rig();
-        fs.create("/nct.bin", &[3u8; 8192]).unwrap();
-        let cfg = GpufsConfig {
-            disable_closed_table: true,
-            ..GpufsConfig::small_test()
-        };
-        let mount = host.mount(0, cfg).unwrap();
-        let run = |start| {
-            gpu.launch(Grid::new(1, 32), start, |blk| {
-                let fd = mount.open(blk, "/nct.bin", GOpenMode::ReadOnly).unwrap();
-                let mut buf = [0u8; 8192];
-                mount.read(blk, &fd, 0, &mut buf).unwrap();
-                assert!(buf.iter().all(|&b| b == 3));
-                mount.close(blk, fd).unwrap();
-            })
-        };
-        let k1 = run(0);
-        let h2d = host.stats().bytes_h2d.get();
-        run(k1.end);
-        assert!(
-            host.stats().bytes_h2d.get() > h2d,
-            "without the closed-file table the reopen must refetch"
-        );
-    }
-
-    #[test]
-    fn msync_rejects_temp_and_read_only_modes() {
-        let (fs, host, gpu) = rig();
-        fs.create("/r", &[0u8; 64]).unwrap();
-        let mount = host.mount(0, GpufsConfig::small_test()).unwrap();
-        gpu.launch(Grid::new(1, 32), 0, |blk| {
-            let ro = mount.open(blk, "/r", GOpenMode::ReadOnly).unwrap();
-            assert!(matches!(
-                mount.msync(blk, &ro, 0),
-                Err(GpufsError::InvalidMode(_))
-            ));
-            mount.close(blk, ro).unwrap();
-            let tmp = mount.open(blk, "/t", GOpenMode::Temp).unwrap();
-            assert!(matches!(
-                mount.msync(blk, &tmp, 0),
-                Err(GpufsError::InvalidMode(_))
-            ));
-            mount.close(blk, tmp).unwrap();
-        });
-    }
-
-    #[test]
-    fn concurrent_blocks_write_disjoint_ranges_of_one_page() {
-        // False sharing within one page: 8 blocks write disjoint 512-byte
-        // slices of a single 4 KB page; the byte diff must merge all of
-        // them on the host (paper §3.1's motivating case).
-        let (fs, host, gpu) = rig();
-        fs.create("/false_share", &[0u8; 4096]).unwrap();
-        let mount = host.mount(0, GpufsConfig::small_test()).unwrap();
-        gpu.launch(Grid::new(8, 32), 0, |blk| {
-            let fd = mount
-                .open(blk, "/false_share", GOpenMode::ReadWrite)
-                .unwrap();
-            let off = blk.block_id() as u64 * 512;
-            mount
-                .write(blk, &fd, off, &[blk.block_id() as u8 + 1; 512])
-                .unwrap();
-            mount.fsync(blk, &fd).unwrap();
-            mount.close(blk, fd).unwrap();
-        });
-        let (data, _) = fs.read_whole("/false_share", 0).unwrap();
-        for b in 0..8usize {
-            assert!(
-                data[b * 512..(b + 1) * 512]
-                    .iter()
-                    .all(|&x| x == b as u8 + 1),
-                "slice {b} lost to false sharing"
-            );
-        }
-    }
-
-    #[test]
-    fn stress_mixed_readers_and_writers_under_pressure() {
-        let (fs, host, gpu) = rig();
-        // First half of the file is read-shared; second half is written,
-        // one disjoint 4 KB region per block (concurrent access to
-        // disjoint ranges is the documented contract, as on real GPUs).
-        let base: Vec<u8> = (0..128 * 1024u32).map(|i| (i % 199) as u8).collect();
-        fs.create("/mix", &base).unwrap();
-        // 8 frames of 4 KB against a 128 KB file: constant eviction.
-        let mount = host.mount(0, GpufsConfig::new(4096, 8 * 4096)).unwrap();
-        gpu.launch(Grid::new(16, 32), 0, |blk| {
-            let fd = mount.open(blk, "/mix", GOpenMode::ReadWrite).unwrap();
-            let my = blk.block_id() as u64;
-            mount
-                .write(blk, &fd, (16 + my) * 4096, &[my as u8 + 100; 4096])
-                .unwrap();
-            let mut buf = vec![0u8; 2048];
-            for step in 0..8u64 {
-                let off = ((my + step) % 16) * 4096 + 1024;
-                let n = mount.read(blk, &fd, off, &mut buf).unwrap();
-                assert_eq!(n, 2048);
-                assert_eq!(&buf[..], &base[off as usize..off as usize + 2048]);
-            }
-            mount.fsync(blk, &fd).unwrap();
-            mount.close(blk, fd).unwrap();
-        });
-        let (data, _) = fs.read_whole("/mix", 0).unwrap();
-        for b in 0..16usize {
-            let off = (16 + b) * 4096;
-            assert!(
-                data[off..off + 4096].iter().all(|&x| x == b as u8 + 100),
-                "region {b} lost under eviction pressure"
-            );
-        }
-        assert!(mount.counters().pages_reclaimed.get() > 0);
     }
 }

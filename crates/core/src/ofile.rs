@@ -1,0 +1,343 @@
+//! Per-file open state: `gopen`/`gclose` and their interaction with the
+//! open and closed file tables (paper §3.2 and §4.1).
+//!
+//! This layer sits between the API entry points and the buffer cache. It
+//! owns the lifecycle decisions the paper's semantics hinge on: open
+//! coalescing (descriptors name files, not opens), closed-file-table
+//! revival with generation-based lazy invalidation, and the deliberate
+//! decoupling of `gclose` from write-back.
+
+use std::sync::Arc;
+
+use gpusim::BlockCtx;
+
+use crate::api::GFd;
+use crate::config::GOpenMode;
+use crate::error::{GpufsError, GpufsResult};
+use crate::mount::GpuFsMount;
+use crate::rpc::{Request, RespOk};
+use crate::table::GFile;
+
+impl GpuFsMount {
+    /// `gopen`: open `path` in `mode`, coalescing with concurrent and
+    /// prior opens of the same file.
+    ///
+    /// The first open forwards to the host; reopens of a file parked in
+    /// the closed-file table revive its cached pages when the host's
+    /// consistency generation still matches (lazy invalidation, §4.4).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the host rejects the open, or if the file is already open
+    /// on this GPU in a different mode.
+    pub fn open(&self, blk: &mut BlockCtx<'_>, path: &str, mode: GOpenMode) -> GpufsResult<GFd> {
+        blk.advance(self.timings.gpufs_page_op_ns);
+        let plock = self.tables.path_lock(path);
+        let _guard = plock.lock();
+
+        if let Some(f) = self.tables.get_open(path) {
+            if f.mode() != mode {
+                return Err(GpufsError::InvalidMode(
+                    "file already open in a different mode",
+                ));
+            }
+            f.add_ref();
+            return Ok(GFd { file: f });
+        }
+
+        // Check the closed-file table *first* (paper §4.1): a parked cache
+        // whose consistency generation still matches the host revives with
+        // only a cheap staleness probe — crucially, no re-open and no
+        // re-truncation of files other blocks just produced.
+        if !self.config.disable_closed_table {
+            if let Some(ino) = self.tables.closed_ino_for_path(path) {
+                if let Some(parked) = self.tables.take_closed(ino) {
+                    let fresh = if parked.mode() == mode {
+                        // One read of the write-shared generation table: a
+                        // PCIe access, not a daemon RPC.
+                        blk.advance(self.timings.rpc_complete_ns);
+                        self.host_fs.consistency().generation(ino) == parked.generation()
+                    } else {
+                        false
+                    };
+                    if fresh {
+                        parked.revive();
+                        self.tables.insert_open(Arc::clone(&parked));
+                        return Ok(GFd { file: parked });
+                    }
+                    // Stale or mode-incompatible: hand it to the full-open
+                    // path below, which flushes and discards it.
+                    let _ = self.tables.park_closed(parked);
+                }
+            }
+        }
+
+        let create = matches!(mode, GOpenMode::WriteOnce | GOpenMode::Temp);
+        // O_GWRONCE "creates a new write-only file" but must NOT truncate
+        // an existing one: several GPUs co-producing disjoint ranges of
+        // one output file is the paper's §3.1 merge case, and a truncating
+        // reopen would destroy ranges other GPUs already synced.
+        let resp = self.rpc(
+            blk,
+            Request::Open {
+                path: path.to_owned(),
+                write: mode.writable(),
+                create,
+                truncate: false,
+            },
+        )?;
+        let RespOk::Opened {
+            fd: host_fd,
+            ino,
+            size,
+            generation,
+        } = resp
+        else {
+            unreachable!("open must answer Opened");
+        };
+
+        if let Some(parked) = self.tables.take_closed(ino) {
+            if parked.generation() == generation && parked.mode() == mode {
+                // Cache revival: keep the parked file (and its host fd),
+                // release the descriptor the probe open just created.
+                let _ = self.rpc(blk, Request::Close { fd: host_fd })?;
+                parked.revive();
+                self.tables.insert_open(Arc::clone(&parked));
+                return Ok(GFd { file: parked });
+            }
+            // Stale (or mode-incompatible) cached copy: drop it lazily,
+            // exactly at reopen time. Local writes that were never synced
+            // are flushed first through the byte diff, so they merge with
+            // whatever changed the file.
+            self.flush_dirty(blk, &parked)?;
+            self.discard_file_cache(&parked);
+            let _ = self.rpc(
+                blk,
+                Request::Close {
+                    fd: parked.host_fd(),
+                },
+            )?;
+        }
+
+        let file = Arc::new(GFile::new(
+            path.to_owned(),
+            mode,
+            host_fd,
+            ino,
+            size,
+            generation,
+        ));
+        self.tables.insert_open(Arc::clone(&file));
+        Ok(GFd { file })
+    }
+
+    /// `gclose`: drop this threadblock's reference. The last close parks
+    /// the file in the closed-file table **without** writing anything
+    /// back — synchronization is decoupled from close (paper §3.2) —
+    /// except `O_NOSYNC` temporaries, whose cache is discarded.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if a required host interaction fails (temp-file close).
+    pub fn close(&self, blk: &mut BlockCtx<'_>, fd: GFd) -> GpufsResult<()> {
+        blk.advance(self.timings.gpufs_page_op_ns);
+        let file = fd.file;
+        if !file.drop_ref() {
+            return Ok(());
+        }
+        let plock = self.tables.path_lock(file.path());
+        let _guard = plock.lock();
+        if file.refcount() > 0 {
+            return Ok(()); // a concurrent gopen revived it first
+        }
+        if !self.tables.remove_open(&file) {
+            return Ok(()); // already superseded
+        }
+        if file.mode() == GOpenMode::Temp {
+            self.discard_file_cache(&file);
+            let _ = self.rpc(blk, Request::Close { fd: file.host_fd() })?;
+            return Ok(());
+        }
+        if self.config.sync_on_close {
+            // POSIX-close ablation: propagate everything now, paying the
+            // write-back storm the paper's decoupling avoids.
+            self.flush_dirty(blk, &file)?;
+        }
+        if self.config.disable_closed_table {
+            // No-closed-table ablation: the cache dies with the open.
+            self.flush_dirty(blk, &file)?;
+            self.discard_file_cache(&file);
+            let _ = self.rpc(blk, Request::Close { fd: file.host_fd() })?;
+            return Ok(());
+        }
+        if let Some(displaced) = self.tables.park_closed(Arc::clone(&file)) {
+            if !Arc::ptr_eq(&displaced, &file) {
+                // An older cached copy of the same inode: flush its dirty
+                // pages so no local writes are lost, then drop it.
+                self.flush_dirty(blk, &displaced)?;
+                self.discard_file_cache(&displaced);
+                let _ = self.rpc(
+                    blk,
+                    Request::Close {
+                        fd: displaced.host_fd(),
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpufsConfig;
+    use crate::testrig::{rig, run_block};
+    use gpusim::Grid;
+
+    #[test]
+    fn closed_file_table_revives_cache_without_host_reads() {
+        let r = rig(1);
+        r.fs.create("/f", &[7u8; 8192]).unwrap();
+        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/f", GOpenMode::ReadOnly).unwrap();
+            let mut buf = [0u8; 8192];
+            mount.read(blk, &fd, 0, &mut buf).unwrap();
+            mount.close(blk, fd).unwrap();
+        });
+        let h2d_before = r.host.stats().bytes_h2d.get();
+        let misses_before = mount.counters().misses.get();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/f", GOpenMode::ReadOnly).unwrap();
+            let mut buf = [0u8; 8192];
+            mount.read(blk, &fd, 0, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 7));
+            mount.close(blk, fd).unwrap();
+        });
+        assert_eq!(
+            r.host.stats().bytes_h2d.get(),
+            h2d_before,
+            "revived: no refetch"
+        );
+        assert_eq!(
+            mount.counters().misses.get(),
+            misses_before,
+            "all hits after revival"
+        );
+    }
+
+    #[test]
+    fn host_write_invalidates_closed_cache_lazily() {
+        let r = rig(1);
+        r.fs.create("/f", &[1u8; 4096]).unwrap();
+        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/f", GOpenMode::ReadOnly).unwrap();
+            let mut buf = [0u8; 16];
+            mount.read(blk, &fd, 0, &mut buf).unwrap();
+            mount.close(blk, fd).unwrap();
+        });
+        // A CPU process rewrites the file (bumps the generation).
+        let (hfd, t) = r.fs.open("/f", hostfs::OpenFlags::read_write(), 0).unwrap();
+        r.fs.pwrite(hfd, 0, &[2u8; 4096], t).unwrap();
+        r.fs.close(hfd).unwrap();
+        // Reopen on the GPU: stale cache must be dropped, fresh data read.
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/f", GOpenMode::ReadOnly).unwrap();
+            let mut buf = [0u8; 16];
+            mount.read(blk, &fd, 0, &mut buf).unwrap();
+            assert!(
+                buf.iter().all(|&b| b == 2),
+                "stale page served after host write"
+            );
+            mount.close(blk, fd).unwrap();
+        });
+    }
+
+    #[test]
+    fn conflicting_open_modes_error() {
+        let r = rig(1);
+        r.fs.create("/c", b"x").unwrap();
+        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/c", GOpenMode::ReadOnly).unwrap();
+            assert!(matches!(
+                mount.open(blk, "/c", GOpenMode::ReadWrite),
+                Err(GpufsError::InvalidMode(_))
+            ));
+            mount.close(blk, fd).unwrap();
+        });
+    }
+
+    #[test]
+    fn many_blocks_share_one_descriptor_and_refcount() {
+        let r = rig(1);
+        r.fs.create("/many", &[1u8; 65536]).unwrap();
+        let mount = r.host.mount(0, GpufsConfig::new(4096, 64 * 4096)).unwrap();
+        // 32 blocks open/read/close the same file concurrently.
+        r.gpus[0].launch(Grid::new(32, 64), 0, |blk| {
+            let fd = mount.open(blk, "/many", GOpenMode::ReadOnly).unwrap();
+            let off = (blk.block_id() as u64 * 2048) % 65536;
+            let mut buf = [0u8; 2048];
+            let n = mount.read(blk, &fd, off, &mut buf).unwrap();
+            assert_eq!(n, 2048);
+            assert!(buf.iter().all(|&b| b == 1));
+            mount.close(blk, fd).unwrap();
+        });
+        // All refs dropped: exactly one host open happened (coalescing),
+        // unless close raced a reopen (allowed), in which case opens are
+        // still far below the 32 a POSIX-per-thread model would issue.
+        assert!(
+            r.host.stats().opens.get() <= 4,
+            "opens = {}",
+            r.host.stats().opens.get()
+        );
+        assert!(mount.counters().lockfree_accesses.get() > 0);
+    }
+
+    #[test]
+    fn ablation_sync_on_close_writes_back_eagerly() {
+        let r = rig(1);
+        r.fs.create("/posix.out", &[0u8; 64]).unwrap();
+        let cfg = GpufsConfig {
+            sync_on_close: true,
+            ..GpufsConfig::small_test()
+        };
+        let mount = r.host.mount(0, cfg).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/posix.out", GOpenMode::ReadWrite).unwrap();
+            mount.write(blk, &fd, 0, b"eager").unwrap();
+            mount.close(blk, fd).unwrap(); // no gfsync!
+        });
+        let (data, _) = r.fs.read_whole("/posix.out", 0).unwrap();
+        assert_eq!(&data[..5], b"eager", "POSIX ablation must sync on close");
+    }
+
+    #[test]
+    fn ablation_disable_closed_table_refetches() {
+        let r = rig(1);
+        r.fs.create("/nct.bin", &[3u8; 8192]).unwrap();
+        let cfg = GpufsConfig {
+            disable_closed_table: true,
+            ..GpufsConfig::small_test()
+        };
+        let mount = r.host.mount(0, cfg).unwrap();
+        let run = |start| {
+            r.gpus[0].launch(Grid::new(1, 32), start, |blk| {
+                let fd = mount.open(blk, "/nct.bin", GOpenMode::ReadOnly).unwrap();
+                let mut buf = [0u8; 8192];
+                mount.read(blk, &fd, 0, &mut buf).unwrap();
+                assert!(buf.iter().all(|&b| b == 3));
+                mount.close(blk, fd).unwrap();
+            })
+        };
+        let k1 = run(0);
+        let h2d = r.host.stats().bytes_h2d.get();
+        run(k1.end);
+        assert!(
+            r.host.stats().bytes_h2d.get() > h2d,
+            "without the closed-file table the reopen must refetch"
+        );
+    }
+}

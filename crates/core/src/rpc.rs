@@ -19,6 +19,17 @@ use simtime::{Nanos, Timings};
 
 use crate::error::{GpufsError, GpufsResult};
 
+/// One page descriptor inside a [`Request::ReadPages`] batch.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRead {
+    /// File offset of the page.
+    pub offset: u64,
+    /// Bytes to read (one buffer-cache page or less).
+    pub len: usize,
+    /// Destination frame in GPU global memory.
+    pub dst: DevPtr,
+}
+
 /// A request from a GPU threadblock to the host daemon.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -38,17 +49,17 @@ pub enum Request {
         /// Host descriptor from a previous [`Request::Open`].
         fd: HostFd,
     },
-    /// Read up to `len` bytes at `offset` into GPU memory at `dst`
-    /// (the daemon preads into a staging buffer and DMAs it across).
-    ReadPage {
+    /// Read a batch of pages of one file into GPU memory in a single
+    /// daemon round-trip: the daemon preads every descriptor into staging
+    /// and ships the whole batch with *one* scatter-gather DMA charge.
+    /// A single page miss is the batch of one; readahead widens the batch
+    /// so host round-trips amortize over many pages (paper Fig. 4's
+    /// pread/DMA pipelining, taken one step further).
+    ReadPages {
         /// Host descriptor.
         fd: HostFd,
-        /// File offset of the page.
-        offset: u64,
-        /// Bytes to read (one buffer-cache page or less).
-        len: usize,
-        /// Destination frame in GPU global memory.
-        dst: DevPtr,
+        /// Pages to fetch, in ascending file order.
+        pages: Vec<PageRead>,
         /// Which GPU's DMA engine to use.
         gpu: GpuId,
     },
@@ -107,10 +118,11 @@ pub enum RespOk {
         /// Host consistency generation at open time.
         generation: u64,
     },
-    /// Bytes transferred by a read.
+    /// Per-page byte counts transferred by a [`Request::ReadPages`] batch.
     Read {
-        /// Bytes actually read (short at EOF).
-        n: usize,
+        /// Bytes actually read per descriptor, in request order (short at
+        /// EOF).
+        ns: Vec<usize>,
     },
     /// Bytes written back.
     Wrote {
@@ -256,6 +268,16 @@ mod tests {
         assert_eq!(visible, 1_100 + t.rpc_complete_ns);
         hub.close();
         daemon.join().unwrap();
+    }
+
+    #[test]
+    fn default_is_equivalent_to_new() {
+        // clippy::new_without_default compliance (audited for every
+        // `new()`-only type in this crate: RpcHub, Tables, CacheCounters,
+        // RadixTree all implement Default).
+        let hub = RpcHub::default();
+        assert!(!hub.is_closed());
+        assert!(!RpcHub::new().is_closed());
     }
 
     #[test]

@@ -19,6 +19,16 @@ use parking_lot::Mutex;
 use crate::cache::RadixTree;
 use crate::config::GOpenMode;
 
+/// Concurrent sequential streams the readahead detector can track per
+/// file; sized to the threadblock concurrency of the paper's GPUs.
+const SEQ_STREAMS: usize = 32;
+
+/// Stream-slot sentinel for "no stream tracked". Not a valid cursor (a
+/// cursor is an end offset of a real access), so a vacant slot can never
+/// spuriously classify an access — not even one at offset 0 — as
+/// sequential.
+const SEQ_VACANT: u64 = u64::MAX;
+
 /// One GPU-side open file: shared by every threadblock that opened it.
 #[derive(Debug)]
 pub struct GFile {
@@ -42,6 +52,17 @@ pub struct GFile {
     /// on the host and must be refetchable below this mark, even though
     /// the file logically lives only on the GPU (paper §3.2).
     host_valid: AtomicU64,
+    /// Sequential-stream table for readahead: each slot holds the byte
+    /// offset where one recent `gread`/`gmmap` stream ended. GPUfs
+    /// descriptors name files, not opens (§3.2), so many threadblocks
+    /// stream *disjoint* ranges of one shared file concurrently — one
+    /// cursor would see their interleaving as random. A small table of
+    /// relaxed words recognizes each stream independently (Linux keeps
+    /// per-open readahead state for the same reason); collisions only
+    /// narrow the readahead window, never corrupt data.
+    seq_streams: [AtomicU64; SEQ_STREAMS],
+    /// Round-robin victim pointer for claiming a stream slot.
+    seq_victim: AtomicU64,
     /// The file's page cache.
     tree: RadixTree,
 }
@@ -67,6 +88,8 @@ impl GFile {
             generation: AtomicU64::new(generation),
             refs: AtomicI64::new(1),
             host_valid: AtomicU64::new(0),
+            seq_streams: std::array::from_fn(|_| AtomicU64::new(SEQ_VACANT)),
+            seq_victim: AtomicU64::new(0),
             tree: RadixTree::new(),
         }
     }
@@ -143,6 +166,37 @@ impl GFile {
     #[must_use]
     pub fn tree(&self) -> &RadixTree {
         &self.tree
+    }
+
+    /// Record an access of `[offset, end)` and report whether it continues
+    /// one of the file's tracked sequential streams (picks up exactly
+    /// where that stream stopped). The *first* access of any stream —
+    /// including a scan from byte 0 — reads as random and claims a slot,
+    /// so its successors are recognized; this deliberately costs each
+    /// stream one unwidened miss rather than ever misclassifying a random
+    /// access as sequential.
+    pub fn note_sequential(&self, offset: u64, end: u64) -> bool {
+        for slot in &self.seq_streams {
+            if slot
+                .compare_exchange(offset, end, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+        // New stream: take a vacant slot if there is one, otherwise evict
+        // a victim round-robin.
+        for slot in &self.seq_streams {
+            if slot
+                .compare_exchange(SEQ_VACANT, end, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return false;
+            }
+        }
+        let victim = self.seq_victim.fetch_add(1, Ordering::Relaxed) as usize % SEQ_STREAMS;
+        self.seq_streams[victim].store(end, Ordering::Relaxed);
+        false
     }
 
     /// Current open count.
@@ -361,6 +415,42 @@ mod tests {
         let c = t.path_lock("/y");
         assert!(Arc::ptr_eq(&a, &b));
         assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn sequential_detector_follows_one_stream() {
+        let f = file("/s", 1, GOpenMode::ReadOnly);
+        assert!(
+            !f.note_sequential(0, 100),
+            "the first access — even at byte 0 — claims a stream, never widens"
+        );
+        assert!(f.note_sequential(100, 250), "continuation");
+        assert!(
+            !f.note_sequential(5000, 5100),
+            "far jump starts a new stream"
+        );
+        assert!(f.note_sequential(250, 300), "the original stream survives");
+        assert!(f.note_sequential(5100, 5200), "so does the new one");
+    }
+
+    #[test]
+    fn sequential_detector_tracks_concurrent_disjoint_streams() {
+        // Many threadblocks each stream their own region of one shared
+        // file (the Figure 4 access pattern): after its first access,
+        // every stream must be recognized as sequential.
+        let f = file("/s", 1, GOpenMode::ReadOnly);
+        let base = |b: u64| b * 1_000_000;
+        for b in 0..16u64 {
+            assert!(!f.note_sequential(base(b), base(b) + 4096));
+        }
+        for step in 1..4u64 {
+            for b in 0..16u64 {
+                assert!(
+                    f.note_sequential(base(b) + step * 4096, base(b) + (step + 1) * 4096),
+                    "stream {b} lost at step {step}"
+                );
+            }
+        }
     }
 
     #[test]

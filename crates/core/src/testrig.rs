@@ -1,0 +1,28 @@
+//! Shared unit-test fixture: a host file system, a daemon, and GPUs.
+
+use std::sync::Arc;
+
+use gpusim::{BlockCtx, Gpu, GpuSpec, Grid};
+use hostfs::{HostFs, HostFsConfig};
+
+use crate::daemon::GpufsHost;
+
+pub(crate) struct Rig {
+    pub fs: Arc<HostFs>,
+    pub host: GpufsHost,
+    pub gpus: Vec<Arc<Gpu>>,
+}
+
+pub(crate) fn rig(n_gpus: usize) -> Rig {
+    let fs = Arc::new(HostFs::new(HostFsConfig::default()));
+    let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
+        .map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test())))
+        .collect();
+    let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
+    Rig { fs, host, gpus }
+}
+
+/// Run `kernel` as a single threadblock on GPU 0.
+pub(crate) fn run_block(r: &Rig, kernel: impl Fn(&mut BlockCtx<'_>) + Sync) {
+    r.gpus[0].launch(Grid::new(1, 32), 0, kernel);
+}

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Record the Figure-4 sequential-read benchmark into BENCH_fig4.json
+# (one JSON object per line, appended — the repo's perf trajectory).
+#
+# Usage: scripts/bench_fig4.sh [OUT_PATH]   (default: BENCH_fig4.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p gpufs_bench --bin fig4_json -- "${1:-BENCH_fig4.json}"

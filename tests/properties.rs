@@ -297,3 +297,212 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Paging-layer invariants: the lock-free pin protocol against a model.
+// ---------------------------------------------------------------------
+
+/// The fpage lifecycle transitions the paging and reclaim layers perform,
+/// plus the two pin protocols whose agreement the paper's lock-free
+/// design depends on (§4.2).
+#[derive(Debug, Clone, Copy)]
+enum PageOp {
+    /// `Empty -> Initializing`: a miss claims the slot.
+    BeginInit,
+    /// `Initializing -> Ready(frame)`: the fault publishes a frame.
+    Publish(u32),
+    /// `Initializing -> Empty`: a failed fault backs out.
+    AbortInit,
+    /// `Ready -> (detached) -> Empty`: eviction, with the write-back
+    /// happening while the fpage is detached, exactly like
+    /// `try_evict_page`.
+    Evict,
+    /// One lock-free pin attempt.
+    PinLockfree,
+    /// One pin through the fpage lock.
+    PinLocked,
+    /// Drop one pin.
+    Unpin,
+}
+
+fn page_op() -> impl Strategy<Value = PageOp> {
+    prop_oneof![
+        (0u32..1).prop_map(|_| PageOp::BeginInit),
+        (0u32..8).prop_map(PageOp::Publish),
+        (0u32..1).prop_map(|_| PageOp::AbortInit),
+        (0u32..1).prop_map(|_| PageOp::Evict),
+        (0u32..1).prop_map(|_| PageOp::PinLockfree),
+        (0u32..1).prop_map(|_| PageOp::PinLocked),
+        (0u32..1).prop_map(|_| PageOp::Unpin),
+    ]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModelPage {
+    Empty,
+    Init,
+    Ready(u32),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of initialization, eviction (write-back), and
+    /// pinning on one page keeps the two pin protocols in agreement:
+    /// `try_pin_lockfree` and `pin_locked` observe the same snapshot, a
+    /// pinned frame is always the one the model says is installed, and
+    /// the pin count never drifts.
+    #[test]
+    fn fpage_lockfree_and_locked_pins_agree(
+        ops in proptest::collection::vec(page_op(), 1..300)
+    ) {
+        use gpufs::cache::Snapshot;
+
+        let tree = RadixTree::new();
+        let fp = tree.get_or_insert(0);
+        let mut model = ModelPage::Empty;
+        let mut pins: u32 = 0;
+        let lifecycle = |to_init: bool, frame: Option<u32>, to: PageState| {
+            fp.lock();
+            fp.begin_update();
+            if to_init {
+                fp.set_state(PageState::Initializing);
+            }
+            fp.set_frame(frame);
+            fp.set_state(to);
+            fp.end_update();
+            fp.unlock();
+        };
+        for op in ops {
+            match op {
+                PageOp::BeginInit => {
+                    if model == ModelPage::Empty {
+                        lifecycle(true, None, PageState::Initializing);
+                        model = ModelPage::Init;
+                    }
+                }
+                PageOp::Publish(frame) => {
+                    if model == ModelPage::Init {
+                        lifecycle(false, Some(frame), PageState::Ready);
+                        model = ModelPage::Ready(frame);
+                    }
+                }
+                PageOp::AbortInit => {
+                    if model == ModelPage::Init {
+                        lifecycle(false, None, PageState::Empty);
+                        model = ModelPage::Empty;
+                    }
+                }
+                PageOp::Evict => {
+                    if matches!(model, ModelPage::Ready(_)) && pins == 0 {
+                        // Detach (blocks new pins), "write back", free.
+                        lifecycle(true, None, PageState::Initializing);
+                        lifecycle(false, None, PageState::Empty);
+                        model = ModelPage::Empty;
+                    }
+                }
+                PageOp::PinLockfree | PageOp::PinLocked => {
+                    let snap = match op {
+                        PageOp::PinLockfree => fp
+                            .try_pin_lockfree()
+                            .expect("sequential schedule has no in-flight update"),
+                        _ => fp.pin_locked(),
+                    };
+                    match snap {
+                        Snapshot::Pinned(f) => {
+                            prop_assert_eq!(ModelPage::Ready(f), model, "pinned a stale frame");
+                            pins += 1;
+                        }
+                        Snapshot::Empty => prop_assert_eq!(ModelPage::Empty, model),
+                        Snapshot::Initializing => prop_assert_eq!(ModelPage::Init, model),
+                    }
+                }
+                PageOp::Unpin => {
+                    if pins > 0 {
+                        fp.unpin();
+                        pins -= 1;
+                    }
+                }
+            }
+            // Agreement after every step: both protocols see one truth.
+            let lockfree = fp.try_pin_lockfree().expect("quiescent seqlock");
+            let locked = fp.pin_locked();
+            prop_assert_eq!(lockfree, locked, "protocols disagree");
+            if matches!(lockfree, Snapshot::Pinned(_)) {
+                fp.unpin();
+                fp.unpin();
+            }
+            prop_assert_eq!(fp.refs(), pins, "pin count drifted");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Mount-level stress on a single shared page: concurrent threadblocks
+    /// interleave `pin_page` (reads and writes), `gmsync` write-back, and
+    /// eviction pressure. No write may be lost, every pin must be released
+    /// (free frames return to capacity once the cache is discarded), and
+    /// the access-accounting invariant `hits + misses =
+    /// lockfree + locked` must hold — every pin took exactly one of the
+    /// two protocols.
+    #[test]
+    fn one_page_survives_interleaved_pin_evict_writeback(
+        burn_pages in proptest::collection::vec(1u64..4, 4..5),
+        fill in 1u8..250
+    ) {
+        use gpufs::{GOpenMode, GpufsConfig, GpufsHost};
+        use gpusim::{Gpu, GpuSpec, Grid};
+
+        let fs = Arc::new(HostFs::new(HostFsConfig::default()));
+        fs.create("/prop_share", &[0u8; 4096]).unwrap();
+        let gpu = Arc::new(Gpu::new(0, GpuSpec::small_test()));
+        let host = GpufsHost::new(Arc::clone(&fs), vec![Arc::clone(&gpu)]);
+        // 6 frames: the shared page + its pristine copy + little slack, so
+        // the burn file's pages constantly evict the shared one.
+        let mount = host.mount(0, GpufsConfig::new(4096, 6 * 4096)).unwrap();
+        let burn_for_kernel = burn_pages.clone();
+        let kernel_mount = Arc::clone(&mount);
+        gpu.launch(Grid::new(4, 32), 0, move |blk| {
+            let mount = &kernel_mount;
+            let b = blk.block_id();
+            let fd = mount.open(blk, "/prop_share", GOpenMode::ReadWrite).unwrap();
+            let my = fill.wrapping_add(b as u8);
+            // Write my disjoint slice of the one page, then propagate it.
+            mount.write(blk, &fd, b as u64 * 1024, &[my; 1024]).unwrap();
+            mount.msync(blk, &fd, 0).unwrap();
+            // Interleave eviction pressure: a temp file large enough to
+            // need the shared page's frames.
+            let tmp = mount.open(blk, &format!("/burn{b}"), GOpenMode::Temp).unwrap();
+            for page in 0..burn_for_kernel[b] {
+                mount.write(blk, &tmp, page * 4096, &[9u8; 4096]).unwrap();
+            }
+            mount.close(blk, tmp).unwrap();
+            // Read my slice back through a fresh fault if it was evicted:
+            // the msync above makes it durable on the host.
+            let mut buf = [0u8; 1024];
+            let n = mount.read(blk, &fd, b as u64 * 1024, &mut buf).unwrap();
+            assert_eq!(n, 1024);
+            assert!(buf.iter().all(|&x| x == my), "block {b} lost its slice");
+            mount.close(blk, fd).unwrap();
+        });
+        // No write lost on the host after the msyncs.
+        let (data, _) = fs.read_whole("/prop_share", 0).unwrap();
+        for b in 0..4usize {
+            let my = fill.wrapping_add(b as u8);
+            prop_assert!(
+                data[b * 1024..(b + 1) * 1024].iter().all(|&x| x == my),
+                "slice {} lost through evict/writeback interleaving", b
+            );
+        }
+        // Every pin took exactly one of the two protocols, and nothing
+        // else touched the counters: the accounting identity holds.
+        let c = mount.counters();
+        prop_assert_eq!(
+            c.hits.get() + c.misses.get(),
+            c.lockfree_accesses.get() + c.locked_accesses.get(),
+            "every access is either lock-free or locked, never both or neither"
+        );
+    }
+}

@@ -25,6 +25,9 @@ const BENCHES: &[&str] = &[
     "table4_grep",
 ];
 
+/// Tooling binaries (perf-trajectory recorders driven by `scripts/`).
+const BINS: &[&str] = &["fig4_json"];
+
 fn cargo() -> Command {
     let mut cmd = Command::new(env!("CARGO"));
     cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
@@ -34,12 +37,12 @@ fn cargo() -> Command {
 #[test]
 fn all_examples_and_benches_compile() {
     let output = cargo()
-        .args(["build", "--examples", "--benches"])
+        .args(["build", "--examples", "--benches", "--bins"])
         .output()
         .expect("failed to spawn cargo");
     assert!(
         output.status.success(),
-        "`cargo build --examples --benches` failed:\n{}",
+        "`cargo build --examples --benches --bins` failed:\n{}",
         String::from_utf8_lossy(&output.stderr)
     );
 }
@@ -66,5 +69,9 @@ fn expected_target_set_is_declared() {
     for bench in BENCHES {
         let needle = format!("[\"bench\"],\"crate_types\":[\"bin\"],\"name\":\"{bench}\"");
         assert!(metadata.contains(&needle), "bench target {bench} missing");
+    }
+    for bin in BINS {
+        let needle = format!("[\"bin\"],\"crate_types\":[\"bin\"],\"name\":\"{bin}\"");
+        assert!(metadata.contains(&needle), "bin target {bin} missing");
     }
 }
