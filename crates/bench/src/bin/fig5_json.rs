@@ -1,0 +1,140 @@
+//! Append one Figure-5 measurement record to `BENCH_fig5.json` (JSONL:
+//! one JSON object per line, the same convention as `BENCH_fig4.json`),
+//! so the repo carries its own breakdown + write-back perf trajectory
+//! across commits.
+//!
+//! Run from the repository root (or anywhere — the output path can be
+//! overridden):
+//!
+//! ```text
+//! cargo run --release -p gpufs_bench --bin fig5_json [OUT_PATH]
+//! ```
+//!
+//! Each record holds two sweeps under a 2-worker/4-channel daemon pool:
+//!
+//! * the Figure-5 breakdown over page sizes (total, −DMA, −file I/O,
+//!   −both, in ms), with the headline `overlap_64k` = `total / (−DMA +
+//!   −file I/O)` at 64 KB pages — strictly below 1 when host file I/O
+//!   and DMA pipeline instead of adding up;
+//! * the write-back sweep at 64 KB pages — batched `WritePages` (cap 32
+//!   pages / 4 MB of span; at 64 KB the page count binds) vs per-page
+//!   write RPCs — with `write_speedup_64k` (MB/s ratio, ~2.7) and
+//!   `write_rpc_ratio_64k` (round-trip ratio; ≥ 2 is the acceptance bar,
+//!   ~18x measured).
+
+use std::io::Write;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use gpufs_bench::{fig5_phase, millis, write_phase, PAGE_SIZES, SCALE};
+use simtime::Timings;
+
+/// Paper file: 1.8 GB, scaled like the bench target.
+const FILE_BYTES: u64 = (1800 << 20) / SCALE;
+/// Write sweep file: 512 MB scaled, as in the `write_throughput` bench.
+const WRITE_BYTES: u64 = (512 << 20) / SCALE;
+const CHANNELS: usize = 4;
+const WORKERS: usize = 2;
+const WRITE_BATCH: usize = 32;
+
+fn git_head() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Whether the working tree differs from HEAD — recorded so a
+/// measurement of uncommitted code is never mistaken for the revision
+/// it happens to sit on.
+fn git_dirty() -> bool {
+    Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_none_or(|o| !o.stdout.is_empty())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fig5.json".to_owned());
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let base = Timings::default();
+    let mut rows = Vec::new();
+    let mut overlap_64k = 0.0f64;
+    for &page in PAGE_SIZES {
+        let total = fig5_phase(FILE_BYTES, page, &base, CHANNELS, WORKERS);
+        let no_dma = fig5_phase(FILE_BYTES, page, &base.without_dma(), CHANNELS, WORKERS);
+        let no_io = fig5_phase(FILE_BYTES, page, &base.without_host_io(), CHANNELS, WORKERS);
+        let bare = fig5_phase(
+            FILE_BYTES,
+            page,
+            &base.rpc_and_cache_only(),
+            CHANNELS,
+            WORKERS,
+        );
+        let overlap = total as f64 / (no_dma + no_io) as f64;
+        if page == 64 << 10 {
+            overlap_64k = overlap;
+        }
+        eprintln!(
+            "page {page:>9}: total {:>8.1} ms, -dma {:>8.1}, -io {:>8.1}, bare {:>7.2}, overlap {overlap:.2}",
+            millis(total),
+            millis(no_dma),
+            millis(no_io),
+            millis(bare),
+        );
+        rows.push(format!(
+            "{{\"page\":{page},\"total_ms\":{:.2},\"no_dma_ms\":{:.2},\"no_io_ms\":{:.2},\"bare_ms\":{:.2}}}",
+            millis(total),
+            millis(no_dma),
+            millis(no_io),
+            millis(bare),
+        ));
+    }
+
+    let wpage = 64 << 10;
+    let w1 = write_phase(WRITE_BYTES, wpage, 1, CHANNELS, WORKERS);
+    let wb = write_phase(WRITE_BYTES, wpage, WRITE_BATCH, CHANNELS, WORKERS);
+    eprintln!(
+        "write 64K: b=1 {:.0} MB/s / {} rpcs, b={WRITE_BATCH} {:.0} MB/s / {} rpcs",
+        w1.mb_s, w1.write_rpcs, wb.mb_s, wb.write_rpcs
+    );
+
+    let record = format!(
+        "{{\"bench\":\"fig5_breakdown\",\"unix_time\":{unix_time},\"git\":\"{}\",\
+         \"dirty\":{},\"scale\":{SCALE},\"file_bytes\":{FILE_BYTES},\
+         \"channels\":{CHANNELS},\"workers\":{WORKERS},\
+         \"overlap_64k\":{overlap_64k:.3},\
+         \"write\":{{\"page\":{wpage},\"file_bytes\":{WRITE_BYTES},\
+         \"mb_s_b1\":{:.1},\"rpcs_b1\":{},\"mb_s_b{WRITE_BATCH}\":{:.1},\"rpcs_b{WRITE_BATCH}\":{},\
+         \"write_speedup_64k\":{:.3},\"write_rpc_ratio_64k\":{:.1}}},\
+         \"sweep\":[{}]}}",
+        git_head(),
+        git_dirty(),
+        w1.mb_s,
+        w1.write_rpcs,
+        wb.mb_s,
+        wb.write_rpcs,
+        wb.mb_s / w1.mb_s,
+        w1.write_rpcs as f64 / wb.write_rpcs.max(1) as f64,
+        rows.join(",")
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .unwrap_or_else(|e| panic!("cannot open {out_path}: {e}"));
+    writeln!(f, "{record}").expect("write record");
+    println!("{record}");
+    eprintln!("appended to {out_path}");
+}

@@ -46,6 +46,20 @@ pub struct Rig {
 /// `host_mem_bytes` of host RAM (page cache + pinned pool), and `timings`.
 #[must_use]
 pub fn rig(n_gpus: usize, gpu_mem_bytes: usize, host_mem_bytes: u64, timings: &Timings) -> Rig {
+    rig_pool(n_gpus, gpu_mem_bytes, host_mem_bytes, timings, 1, 1)
+}
+
+/// [`rig`] with the daemon concurrency knobs: `channels` independent RPC
+/// channels served by `workers` daemon threads.
+#[must_use]
+pub fn rig_pool(
+    n_gpus: usize,
+    gpu_mem_bytes: usize,
+    host_mem_bytes: u64,
+    timings: &Timings,
+    channels: usize,
+    workers: usize,
+) -> Rig {
     let fs = Arc::new(HostFs::new(HostFsConfig {
         timings: timings.clone(),
         host_mem_bytes,
@@ -59,7 +73,7 @@ pub fn rig(n_gpus: usize, gpu_mem_bytes: usize, host_mem_bytes: u64, timings: &T
     let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
         .map(|i| Arc::new(Gpu::with_timings(i, spec.clone(), timings)))
         .collect();
-    let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
+    let host = GpufsHost::with_concurrency(Arc::clone(&fs), gpus.clone(), channels, workers);
     Rig { fs, host, gpus }
 }
 
@@ -105,6 +119,119 @@ pub fn fig4_gpufs_phase(file_bytes: u64, page: usize, window: usize) -> f64 {
         mount.close(blk, fd).unwrap();
     });
     throughput_mb_s(file_bytes, res.elapsed())
+}
+
+/// The Figure 5 workload: the Figure 4 sequential read re-run under a
+/// daemon pool of `workers` threads over `channels` RPC channels, with
+/// whatever timing components `timings` has surgically removed. Returns
+/// the elapsed virtual time.
+///
+/// Shared between the `fig5_breakdown` bench target and the `fig5_json`
+/// perf-trajectory recorder so both measure the same thing.
+///
+/// # Panics
+///
+/// Panics if the rig cannot create or read the synthetic input file.
+#[must_use]
+pub fn fig5_phase(
+    file_bytes: u64,
+    page: usize,
+    timings: &Timings,
+    channels: usize,
+    workers: usize,
+) -> Nanos {
+    let cache = (file_bytes as usize + 16 * page).next_power_of_two();
+    let r = rig_pool(1, cache + (64 << 20), 8 << 30, timings, channels, workers);
+    r.fs.create_synthetic("/seq.bin", file_bytes, 4).unwrap();
+    let _ = r.fs.read_whole("/seq.bin", 0).unwrap();
+    r.fs.reset_device_time();
+
+    let mount = r
+        .host
+        .mount(
+            0,
+            GpufsConfig::new(page, cache).with_concurrency(channels, workers),
+        )
+        .unwrap();
+    let blocks = r.gpus[0].spec().concurrent_blocks();
+    let per_block = file_bytes / blocks as u64;
+    let res = r.gpus[0].launch(Grid::new(blocks, 256), 0, |blk| {
+        let fd = mount.open(blk, "/seq.bin", GOpenMode::ReadOnly).unwrap();
+        let base = blk.block_id() as u64 * per_block;
+        let mut off = 0u64;
+        while off < per_block {
+            let map = mount.mmap(blk, &fd, base + off, page).unwrap();
+            let got = map.len() as u64;
+            mount.munmap(blk, map);
+            off += got;
+        }
+        mount.close(blk, fd).unwrap();
+    });
+    res.elapsed()
+}
+
+/// Outcome of one [`write_phase`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct WritePhase {
+    /// Achieved write-back throughput in MB/s.
+    pub mb_s: f64,
+    /// `WritePages` round-trips the mount issued.
+    pub write_rpcs: u64,
+    /// Total pages those round-trips carried.
+    pub pages_per_write_rpc: u64,
+}
+
+/// The write-throughput sweep workload: the Figure 4 geometry inverted —
+/// 28 threadblocks `gwrite` disjoint regions of one fresh `O_GWRONCE`
+/// output file, then `gfsync` it, at a given buffer-cache `page` size and
+/// write-back batch cap (`write_batch = 1` is the original per-page
+/// write-back RPC). Returns the achieved throughput and RPC counts.
+///
+/// # Panics
+///
+/// Panics if the rig cannot serve the workload.
+#[must_use]
+pub fn write_phase(
+    file_bytes: u64,
+    page: usize,
+    write_batch: usize,
+    channels: usize,
+    workers: usize,
+) -> WritePhase {
+    let t = Timings::default();
+    // Cache holds the whole file: this measures the write-back path, not
+    // eviction.
+    let cache = (file_bytes as usize + 16 * page).next_power_of_two();
+    let r = rig_pool(1, cache + (64 << 20), 8 << 30, &t, channels, workers);
+    let mount = r
+        .host
+        .mount(
+            0,
+            GpufsConfig::new(page, cache)
+                .with_concurrency(channels, workers)
+                .with_write_batch(write_batch),
+        )
+        .unwrap();
+    let blocks = r.gpus[0].spec().concurrent_blocks(); // 28, as in the paper
+    let per_block = file_bytes / blocks as u64;
+    let payload = vec![0xa5u8; page];
+    let res = r.gpus[0].launch(Grid::new(blocks, 256), 0, |blk| {
+        let fd = mount.open(blk, "/out.bin", GOpenMode::WriteOnce).unwrap();
+        let base = blk.block_id() as u64 * per_block;
+        let mut off = 0u64;
+        while off < per_block {
+            let n = (per_block - off).min(page as u64) as usize;
+            mount.write(blk, &fd, base + off, &payload[..n]).unwrap();
+            off += n as u64;
+        }
+        mount.fsync(blk, &fd).unwrap();
+        mount.close(blk, fd).unwrap();
+    });
+    WritePhase {
+        mb_s: throughput_mb_s(file_bytes, res.elapsed()),
+        write_rpcs: mount.counters().write_rpcs.get(),
+        pages_per_write_rpc: mount.counters().pages_per_write_rpc.get(),
+    }
 }
 
 /// Virtual nanoseconds → seconds.

@@ -737,6 +737,54 @@ mod tests {
     }
 
     #[test]
+    fn stress_mixed_readers_and_writers_over_multi_channel_pool() {
+        // The same mixed workload as below, but through 4 RPC channels
+        // served by 3 daemon workers: results, accounting invariant, and
+        // file contents must be indistinguishable from the single-FIFO
+        // rig (the concurrency knobs change scheduling, never bytes).
+        use crate::testrig::rig_pool;
+        let r = rig_pool(1, 4, 3);
+        let base: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 211) as u8).collect();
+        r.fs.create("/mc", &base).unwrap();
+        let cfg = GpufsConfig::new(4096, 8 * 4096)
+            .with_concurrency(4, 3)
+            .with_write_batch(4);
+        let mount = r.host.mount(0, cfg).unwrap();
+        r.gpus[0].launch(Grid::new(8, 32), 0, |blk| {
+            let fd = mount.open(blk, "/mc", GOpenMode::ReadWrite).unwrap();
+            let my = blk.block_id() as u64;
+            mount
+                .write(blk, &fd, (8 + my) * 4096, &[my as u8 + 50; 4096])
+                .unwrap();
+            let mut buf = vec![0u8; 1024];
+            for step in 0..6u64 {
+                let off = ((my + step) % 8) * 4096 + 512;
+                let n = mount.read(blk, &fd, off, &mut buf).unwrap();
+                assert_eq!(n, 1024);
+                assert_eq!(&buf[..], &base[off as usize..off as usize + 1024]);
+            }
+            mount.fsync(blk, &fd).unwrap();
+            mount.close(blk, fd).unwrap();
+        });
+        let c = mount.counters();
+        assert_eq!(
+            c.hits.get() + c.misses.get(),
+            c.lockfree_accesses.get() + c.locked_accesses.get(),
+            "page-lookup accounting must balance across channels"
+        );
+        let (data, _) = r.fs.read_whole("/mc", 0).unwrap();
+        assert_eq!(&data[..8 * 4096], &base[..8 * 4096], "read half untouched");
+        for b in 0..8usize {
+            let off = (8 + b) * 4096;
+            assert!(
+                data[off..off + 4096].iter().all(|&x| x == b as u8 + 50),
+                "region {b} lost under cross-channel concurrency"
+            );
+        }
+        assert!(c.write_rpcs.get() > 0, "writes went through WritePages");
+    }
+
+    #[test]
     fn stress_mixed_readers_and_writers_under_pressure() {
         let r = rig(1);
         // First half of the file is read-shared; second half is written,

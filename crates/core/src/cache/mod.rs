@@ -48,6 +48,14 @@ pub struct CacheCounters {
     /// Total pages carried by those multi-page RPCs. Divide by
     /// [`CacheCounters::batched_rpcs`] for the mean batch width.
     pub pages_per_rpc: Counter,
+    /// `WritePages` RPCs issued, of any width — the write-side round-trip
+    /// count. With batching off (`write_batch_pages = 1`) this equals
+    /// [`CacheCounters::writebacks`]; batching drives it down toward
+    /// `writebacks / write_batch_pages`.
+    pub write_rpcs: Counter,
+    /// Total pages carried by those write RPCs. Divide by
+    /// [`CacheCounters::write_rpcs`] for the mean write-batch width.
+    pub pages_per_write_rpc: Counter,
 }
 
 impl CacheCounters {
@@ -68,6 +76,8 @@ impl CacheCounters {
         self.readahead_hits.take();
         self.batched_rpcs.take();
         self.pages_per_rpc.take();
+        self.write_rpcs.take();
+        self.pages_per_write_rpc.take();
     }
 }
 
@@ -83,11 +93,15 @@ mod tests {
         c.readahead_hits.add(3);
         c.batched_rpcs.incr();
         c.pages_per_rpc.add(8);
+        c.write_rpcs.incr();
+        c.pages_per_write_rpc.add(4);
         c.reset();
         assert_eq!(c.lockfree_accesses.get(), 0);
         assert_eq!(c.pages_reclaimed.get(), 0);
         assert_eq!(c.readahead_hits.get(), 0);
         assert_eq!(c.batched_rpcs.get(), 0);
         assert_eq!(c.pages_per_rpc.get(), 0);
+        assert_eq!(c.write_rpcs.get(), 0);
+        assert_eq!(c.pages_per_write_rpc.get(), 0);
     }
 }

@@ -101,6 +101,46 @@ impl GpuFsMount {
         self.pin_page_windowed(blk, file, page_idx, 1, page_idx)
     }
 
+    /// Pin `page_idx` only if it is (or becomes) resident: waits out an
+    /// in-flight initialization or eviction, but **never faults the page
+    /// in** — an `Empty` page returns `None`.
+    ///
+    /// The write-back flush pins whole batches with this: a sync pass
+    /// holding several pins must never allocate frames, or it would
+    /// reintroduce the hold-and-wait interlock `alloc_frame_pair` exists
+    /// to prevent (flusher holds most frames pinned, its re-fault needs
+    /// frames, reclaim finds nothing evictable). A page that went `Empty`
+    /// since the dirty scan was evicted — and eviction writes dirty data
+    /// back before releasing the frame — so there is nothing left to
+    /// flush and re-reading it from the host would be pure waste. An
+    /// `Initializing` page resolves in bounded time: its owner either
+    /// publishes it `Ready` or backs out to `Empty` (a frame-starved
+    /// initializer gives up with `CacheExhausted` on its own call site).
+    ///
+    /// This is an internal sync-path pin, not an application page access:
+    /// it deliberately leaves the hit/miss and lock-free/locked counters
+    /// untouched on both sides of the accounting invariant.
+    pub(crate) fn pin_page_resident(
+        &self,
+        blk: &mut BlockCtx<'_>,
+        file: &Arc<GFile>,
+        page_idx: u64,
+    ) -> Option<PagePin> {
+        let fp = file.tree().get_or_insert(page_idx);
+        loop {
+            match fp.pin_locked() {
+                Snapshot::Pinned(frame) => {
+                    let pf = self.frames.pframe(frame);
+                    blk.wait_until(pf.ready_at.load(Ordering::Acquire));
+                    blk.advance(self.timings.gpufs_hit_ns);
+                    return Some(PagePin::new(Arc::clone(file), fp, frame));
+                }
+                Snapshot::Empty => return None,
+                Snapshot::Initializing => std::thread::yield_now(),
+            }
+        }
+    }
+
     /// Pin `page_idx` of `file`, faulting in up to `window` consecutive
     /// pages in one batched RPC if it is absent. Batched pages up to and
     /// including `demand_through` are part of the caller's own request

@@ -35,6 +35,22 @@ const RECLAIM_SPIN_ROUNDS: usize = 128;
 /// detour short (the paper avoids variable-work replacement like clock).
 const RECLAIM_BATCH: usize = 8;
 
+/// One page detached from its fpage for eviction: the fpage is
+/// `Initializing` (blocking new pins) and `frame` still holds the data.
+struct Detached {
+    page_idx: u64,
+    frame: FrameIdx,
+    fp: *const FPage,
+}
+
+impl Detached {
+    fn fpage(&self) -> &FPage {
+        // SAFETY: the caller holds the victim file's Arc for the whole
+        // reclaim pass; the fpage lives in its radix tree.
+        unsafe { &*self.fp }
+    }
+}
+
 impl GpuFsMount {
     /// Allocate a frame, reclaiming pages when the raw data array is full.
     pub(crate) fn alloc_frame(&self, blk: &mut BlockCtx<'_>) -> GpufsResult<FrameIdx> {
@@ -113,30 +129,72 @@ impl GpuFsMount {
     }
 
     /// Reclaim up to `want` frames, preferring closed files, then open
-    /// read-only files, then writable ones (paper §4.2).
+    /// read-only files, then writable ones (paper §4.2). The dirty pages
+    /// of each victim file are written back in batched `WritePages` RPCs
+    /// (shared with `gfsync`, see [`crate::cache::writeback`]) rather
+    /// than one round-trip per page.
     pub(crate) fn reclaim(&self, blk: &mut BlockCtx<'_>, want: usize) -> GpufsResult<usize> {
         let mut freed = 0usize;
         let mut victims = self.tables.closed_files();
         let closed_count = victims.len();
         victims.extend(self.tables.open_files_by_eviction_priority());
         for (i, victim) in victims.iter().enumerate() {
-            let mut err = None;
+            // Detach up to `want - freed` evictable pages: each leaves its
+            // fpage `Initializing` (blocking new pins) with the frame
+            // still holding the data, exactly as single-page eviction did.
+            let mut detached: Vec<Detached> = Vec::new();
             victim.tree().for_each_reclaim_candidate(|idx, fp| {
-                if freed >= want {
+                if freed + detached.len() >= want {
                     return false;
                 }
-                match self.try_evict_page(blk, victim, idx, fp) {
-                    Ok(true) => freed += 1,
-                    Ok(false) => {}
-                    Err(e) => {
-                        err = Some(e);
-                        return false;
-                    }
+                if let Some(frame) = Self::try_detach_page(fp) {
+                    detached.push(Detached {
+                        page_idx: idx,
+                        frame,
+                        fp: fp as *const FPage,
+                    });
                 }
                 true
             });
-            if let Some(e) = err {
-                return Err(e);
+            if !detached.is_empty() {
+                // Everything except read-only data is written back before
+                // the frames are reused — including O_NOSYNC temporaries,
+                // which the paper spills to the host only "to reclaim GPU
+                // buffer cache space" (§3.2) — as one batched write-back.
+                if victim.mode() != GOpenMode::ReadOnly {
+                    let dirty: Vec<(u64, FrameIdx)> = detached
+                        .iter()
+                        .filter(|d| self.frames.pframe(d.frame).dirty.load(Ordering::Acquire))
+                        .map(|d| (d.page_idx, d.frame))
+                        .collect();
+                    if !dirty.is_empty() {
+                        if let Err(e) = self.writeback_frames(blk, victim, &dirty) {
+                            // Restore every detached page rather than lose
+                            // data: already-shipped batches are clean and
+                            // simply stay cached; the failed batch keeps
+                            // its re-armed dirty flags.
+                            for d in &detached {
+                                Self::reattach_page(d.fpage(), d.frame);
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+                for d in &detached {
+                    let pf = self.frames.pframe(d.frame);
+                    if let Some(pristine) = pf.pristine_frame() {
+                        self.frames.release(pristine);
+                    }
+                    self.frames.release(d.frame);
+                    let fp = d.fpage();
+                    fp.lock();
+                    fp.begin_update();
+                    fp.set_state(PageState::Empty);
+                    fp.end_update();
+                    fp.unlock();
+                    self.counters.pages_reclaimed.incr();
+                    freed += 1;
+                }
             }
             // A closed file drained of pages can release its host fd and
             // its table slot entirely.
@@ -161,22 +219,17 @@ impl GpuFsMount {
         Ok(freed)
     }
 
-    /// Try to evict one Ready, unpinned page; writes dirty data back for
-    /// syncing modes, discards it for `O_NOSYNC`.
-    fn try_evict_page(
-        &self,
-        blk: &mut BlockCtx<'_>,
-        file: &GFile,
-        page_idx: u64,
-        fp: &FPage,
-    ) -> GpufsResult<bool> {
+    /// Try to detach one Ready, unpinned page from its frame: the fpage
+    /// moves to `Initializing` (blocking new pins) and the frame — data
+    /// intact — is returned for write-back and release.
+    fn try_detach_page(fp: &FPage) -> Option<FrameIdx> {
         if fp.state() != PageState::Ready || fp.refs() > 0 {
-            return Ok(false);
+            return None;
         }
         fp.lock();
         if fp.state() != PageState::Ready || fp.refs() > 0 {
             fp.unlock();
-            return Ok(false);
+            return None;
         }
         let frame = fp.frame().expect("ready page has a frame");
         fp.begin_update();
@@ -184,35 +237,17 @@ impl GpuFsMount {
         fp.set_frame(None);
         fp.end_update();
         fp.unlock();
+        Some(frame)
+    }
 
-        let pf = self.frames.pframe(frame);
-        // Everything except read-only data is written back before the
-        // frame is reused — including O_NOSYNC temporaries, which the
-        // paper spills to the host only "to reclaim GPU buffer cache
-        // space" (§3.2).
-        if pf.dirty.load(Ordering::Acquire) && file.mode() != GOpenMode::ReadOnly {
-            if let Err(e) = self.writeback_frame(blk, file, page_idx, frame) {
-                // Restore the page rather than lose data.
-                fp.lock();
-                fp.begin_update();
-                fp.set_frame(Some(frame));
-                fp.set_state(PageState::Ready);
-                fp.end_update();
-                fp.unlock();
-                return Err(e);
-            }
-        }
-        if let Some(pristine) = pf.pristine_frame() {
-            self.frames.release(pristine);
-        }
-        self.frames.release(frame);
+    /// Undo [`Self::try_detach_page`] after a failed write-back.
+    fn reattach_page(fp: &FPage, frame: FrameIdx) {
         fp.lock();
         fp.begin_update();
-        fp.set_state(PageState::Empty);
+        fp.set_frame(Some(frame));
+        fp.set_state(PageState::Ready);
         fp.end_update();
         fp.unlock();
-        self.counters.pages_reclaimed.incr();
-        Ok(true)
     }
 
     /// Drop a page without write-back (stale cache, unlink, temp close).

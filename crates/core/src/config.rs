@@ -91,6 +91,29 @@ pub struct GpufsConfig {
     /// `gread` batches at most the pages it itself spans, so random
     /// workloads fetch identical bytes at any window.
     pub readahead_pages: usize,
+    /// Upper bound on the dirty pages of one file that `gfsync`, the
+    /// stale-reopen flush, and eviction gather into a single batched
+    /// `WritePages` RPC (one round-trip, one scatter-gather D2H DMA
+    /// charge). `1` reproduces the original one-RPC-per-page write-back.
+    /// Unlike readahead, batching never changes *which* bytes are written
+    /// — only how many round-trips carry them — so it defaults on.
+    /// Batches are additionally capped at 4 MB of page span (the measured
+    /// optimum; see `cache/writeback.rs`).
+    pub write_batch_pages: usize,
+    /// Independent RPC channels between this GPU and the host daemon
+    /// (paper §4.3: "multiple asynchronous CPU-GPU channels"). Each
+    /// threadblock slot posts to `slot % rpc_channels`, so independent
+    /// blocks queue independently. `1` is the original single FIFO.
+    /// Host-side state: consumed by [`crate::GpufsHost::with_config`],
+    /// and `mount` rejects a config whose value disagrees with the
+    /// daemon it is mounted on (never a silent no-op).
+    pub rpc_channels: usize,
+    /// Threads in the host daemon's worker pool serving those channels
+    /// (paper §4.3: a multi-threaded daemon overlapping host file I/O
+    /// with DMA). `1` is the original single-threaded event loop.
+    /// Host-side state, validated at `mount` like
+    /// [`GpufsConfig::rpc_channels`].
+    pub daemon_workers: usize,
 }
 
 impl Default for GpufsConfig {
@@ -103,6 +126,9 @@ impl Default for GpufsConfig {
             disable_closed_table: false,
             sync_on_close: false,
             readahead_pages: 1,
+            write_batch_pages: 32,
+            rpc_channels: 1,
+            daemon_workers: 1,
         }
     }
 }
@@ -142,6 +168,29 @@ impl GpufsConfig {
     pub fn with_readahead(self, pages: usize) -> Self {
         Self {
             readahead_pages: pages.max(1),
+            ..self
+        }
+    }
+
+    /// Copy with the write-back batch cap set to `pages` (clamped to ≥ 1;
+    /// `1` = the original per-page write-back RPCs).
+    #[must_use]
+    pub fn with_write_batch(self, pages: usize) -> Self {
+        Self {
+            write_batch_pages: pages.max(1),
+            ..self
+        }
+    }
+
+    /// Copy with the host-side concurrency knobs set: `channels`
+    /// independent RPC channels served by `workers` daemon threads (both
+    /// clamped to ≥ 1; `1, 1` = the original single FIFO and
+    /// single-threaded event loop).
+    #[must_use]
+    pub fn with_concurrency(self, channels: usize, workers: usize) -> Self {
+        Self {
+            rpc_channels: channels.max(1),
+            daemon_workers: workers.max(1),
             ..self
         }
     }
@@ -189,6 +238,30 @@ mod tests {
         assert_eq!(
             GpufsConfig::small_test().with_readahead(0).readahead_pages,
             1
+        );
+    }
+
+    #[test]
+    fn concurrency_defaults_to_paper_prototype_and_clamps() {
+        let c = GpufsConfig::default();
+        assert_eq!(c.rpc_channels, 1, "single FIFO by default");
+        assert_eq!(c.daemon_workers, 1, "single-threaded daemon by default");
+        assert!(c.write_batch_pages > 1, "bulk write-back defaults on");
+        let c = GpufsConfig::small_test().with_concurrency(0, 0);
+        assert_eq!((c.rpc_channels, c.daemon_workers), (1, 1));
+        let c = GpufsConfig::small_test().with_concurrency(4, 3);
+        assert_eq!((c.rpc_channels, c.daemon_workers), (4, 3));
+        assert_eq!(
+            GpufsConfig::small_test()
+                .with_write_batch(0)
+                .write_batch_pages,
+            1
+        );
+        assert_eq!(
+            GpufsConfig::small_test()
+                .with_write_batch(8)
+                .write_batch_pages,
+            8
         );
     }
 

@@ -18,9 +18,13 @@
 //!   [`GpuFsMount::write`], [`GpuFsMount::mmap`], [`GpuFsMount::fsync`],
 //!   ...), the open/closed file tables, and the buffer cache in
 //!   [`cache`] — paging (with batched multi-page readahead RPCs on
-//!   sequential access), reclaim, and diff-based write-back.
-//! * **Communication layer** — the RPC hub in [`rpc`] (write-shared
-//!   request queue, polling host daemon).
+//!   sequential access), reclaim, and diff-based bulk write-back
+//!   (batched multi-page `WritePages` RPCs, the write-side mirror).
+//! * **Communication layer** — the RPC hub in [`rpc`] (N independent
+//!   write-shared request channels, GPU as client) served by the host
+//!   daemon's dispatcher + worker pool in the [`GpufsHost`]
+//!   (`GpufsConfig::rpc_channels` / `daemon_workers`; `1/1` is the paper
+//!   prototype's single FIFO and single-threaded event loop).
 //! * **Consistency layer** — generation-based lazy invalidation against
 //!   the WRAPFS-like registry in [`hostfs`].
 //!

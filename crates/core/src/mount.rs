@@ -74,8 +74,22 @@ impl GpufsHost {
     ///
     /// # Errors
     ///
-    /// Fails if the GPU cannot hold the configured buffer cache.
+    /// Fails if the GPU cannot hold the configured buffer cache, or if
+    /// the mount's concurrency knobs ([`GpufsConfig::rpc_channels`] /
+    /// [`GpufsConfig::daemon_workers`]) disagree with the daemon this
+    /// host was started with — the channels and workers are host-side
+    /// state, so a config that names different values would be a silent
+    /// no-op; build the host with [`GpufsHost::with_config`] (or
+    /// matching [`GpufsHost::with_concurrency`] values) instead.
     pub fn mount(&self, gpu_id: usize, config: GpufsConfig) -> GpufsResult<Arc<GpuFsMount>> {
+        if config.rpc_channels.max(1) != self.hub().num_channels()
+            || config.daemon_workers.max(1) != self.daemon_workers()
+        {
+            return Err(crate::error::GpufsError::InvalidMode(
+                "mount rpc_channels/daemon_workers do not match the host daemon \
+                 (build the host with GpufsHost::with_config)",
+            ));
+        }
         let gpu = Arc::clone(&self.gpus()[gpu_id]);
         let frames = FrameArena::new(gpu.global(), config.page_size, config.num_frames())?;
         Ok(Arc::new(GpuFsMount {
@@ -116,12 +130,18 @@ impl GpuFsMount {
         &self.gpu
     }
 
-    /// Issue one RPC to the host daemon and synchronize the calling
-    /// threadblock's clock to the completion-visibility time.
+    /// Issue one RPC to the host daemon on the calling threadblock's
+    /// channel and synchronize the block's clock to the
+    /// completion-visibility time.
+    ///
+    /// Channel assignment is static per threadblock slot (`block id mod
+    /// channels`, paper §4.3): blocks resident on different slots post to
+    /// independent queues and can have requests in flight simultaneously,
+    /// while one block's own synchronous calls stay FIFO.
     pub(crate) fn rpc(&self, blk: &mut BlockCtx<'_>, req: Request) -> GpufsResult<RespOk> {
-        let (ok, t) = self
-            .hub
-            .call(self.gpu.id(), blk.now(), &self.timings, req)?;
+        let (ok, t) =
+            self.hub
+                .call(blk.block_id(), self.gpu.id(), blk.now(), &self.timings, req)?;
         blk.wait_until(t);
         Ok(ok)
     }

@@ -1,15 +1,34 @@
 //! GPU→CPU remote procedure calls (paper §4.3).
 //!
-//! The GPU is the *client*: threadblocks post requests into a FIFO queue
+//! The GPU is the *client*: threadblocks post requests into FIFO queues
 //! in write-shared memory and spin until the host daemon acknowledges
 //! completion — reversing the usual GPU-as-coprocessor roles. The host
 //! cannot be signalled (no GPU-initiated interrupts, no PCIe atomics), so
 //! the daemon polls; we model the poll latency on arrival and the
 //! completion-visibility latency on the way back, while using an OS
 //! condition variable to avoid burning a real core.
+//!
+//! The hub holds **N independent channels** (the paper's daemon "uses
+//! multiple asynchronous CPU-GPU channels to utilize full-duplex DMA"):
+//! each threadblock slot is statically assigned a channel by
+//! `slot % channels`, so independent blocks can have requests in flight
+//! simultaneously without queueing behind one another, while one block's
+//! own requests — which are synchronous — stay FIFO on its channel.
+//! `channels = 1` is the original single-FIFO hub. Claims are handed to
+//! the daemon's worker pool by a fair round-robin scan over the channels
+//! (see `RpcHub::next`).
+//!
+//! ## Shutdown protocol
+//!
+//! Posting a request and closing the hub are serialized on one lock, so
+//! every call lands on exactly one side of the close: posted before it —
+//! and then the worker pool is guaranteed to claim and serve it before
+//! exiting — or after it, and rejected immediately with
+//! [`GpufsError::DaemonStopped`]. A spinning threadblock can never be
+//! stranded mid-shutdown with an envelope nobody will answer.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use gpusim::{DevPtr, GpuId};
@@ -28,6 +47,20 @@ pub struct PageRead {
     pub len: usize,
     /// Destination frame in GPU global memory.
     pub dst: DevPtr,
+}
+
+/// One page descriptor inside a [`Request::WritePages`] batch: the dirty
+/// byte extents of one buffer-cache page, produced by the GPU-side diff
+/// (against the pristine copy, or against zeros for `O_GWRONCE` files),
+/// so only modified bytes travel (paper §3.1).
+#[derive(Debug, Clone)]
+pub struct PageWrite {
+    /// Source frame in GPU global memory (page base).
+    pub src: DevPtr,
+    /// File offset of the page start.
+    pub page_offset: u64,
+    /// Modified extents, as `(offset_in_page, len)` pairs.
+    pub extents: Vec<(u32, u32)>,
 }
 
 /// A request from a GPU threadblock to the host daemon.
@@ -63,19 +96,17 @@ pub enum Request {
         /// Which GPU's DMA engine to use.
         gpu: GpuId,
     },
-    /// Write the given byte extents of one page back to the host. The
-    /// extents are produced by the GPU-side diff (against the pristine
-    /// copy, or against zeros for `O_GWRONCE` files), so only modified
-    /// bytes travel (paper §3.1).
-    WriteExtents {
+    /// Write the dirty extents of a batch of pages of one file back to
+    /// the host in a single daemon round-trip: all extents are gathered
+    /// with *one* scatter-gather D2H DMA charge, then written to the host
+    /// file. The write-back mirror of [`Request::ReadPages`] — a single
+    /// page sync is the batch of one; `gfsync`/eviction widen the batch
+    /// (the paper's diff-based *bulk* write-back, §3.1/§4.3).
+    WritePages {
         /// Host descriptor.
         fd: HostFd,
-        /// Source frame in GPU global memory.
-        src: DevPtr,
-        /// File offset of the page start.
-        page_offset: u64,
-        /// Modified extents, as `(offset_in_page, len)` pairs.
-        extents: Vec<(u32, u32)>,
+        /// Pages to write back, in ascending file order.
+        pages: Vec<PageWrite>,
         /// Which GPU's DMA engine to use.
         gpu: GpuId,
     },
@@ -165,48 +196,89 @@ impl std::fmt::Debug for Envelope {
     }
 }
 
-/// The write-shared request queue polled by the host daemon.
+/// The write-shared request queues polled by the host daemon.
 ///
-/// One hub serves all GPUs (the paper's daemon is a single-threaded event
-/// loop on one CPU); per-GPU FIFO order is preserved because each
-/// threadblock's requests are pushed in issue order.
-#[derive(Debug, Default)]
+/// One hub serves all GPUs; per-threadblock FIFO order is preserved
+/// because each block's requests are synchronous and land on one channel.
+#[derive(Debug)]
 pub struct RpcHub {
-    queue: Mutex<VecDeque<Envelope>>,
+    /// Independent request FIFOs; a block posts to `slot % channels.len()`.
+    channels: Vec<Mutex<VecDeque<Envelope>>>,
+    /// Count of queued-but-unclaimed envelopes across all channels. Posts,
+    /// claims, and the close all serialize on this lock (see the module
+    /// docs for the shutdown protocol); the condvar wakes sleeping
+    /// workers.
+    pending: Mutex<usize>,
     ready: Condvar,
+    /// Round-robin scan cursor so no channel is starved by the workers.
+    scan: AtomicUsize,
     closed: AtomicBool,
 }
 
+impl Default for RpcHub {
+    fn default() -> Self {
+        Self::with_channels(1)
+    }
+}
+
 impl RpcHub {
-    /// An open, empty hub.
+    /// An open, empty, single-channel hub (the original FIFO).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Post a request and block until the daemon completes it.
+    /// An open, empty hub with `n` independent channels (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_channels(n: usize) -> Self {
+        Self {
+            channels: (0..n.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: Mutex::new(0),
+            ready: Condvar::new(),
+            scan: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of independent request channels.
+    #[must_use]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Post a request on the channel of threadblock slot `slot` and block
+    /// until the daemon completes it.
     ///
     /// `issue` is the client's virtual time when the slot was filled. The
     /// returned time is when the completion became visible to the GPU.
     pub(crate) fn call(
         &self,
+        slot: usize,
         gpu: GpuId,
         issue: Nanos,
         timings: &Timings,
         req: Request,
     ) -> GpufsResult<(RespOk, Nanos)> {
-        if self.closed.load(Ordering::Acquire) {
-            return Err(GpufsError::DaemonStopped);
-        }
         let (tx, rx) = mpsc::sync_channel(1);
         {
-            let mut q = self.queue.lock();
-            q.push_back(Envelope {
-                req,
-                gpu,
-                issue,
-                tx,
-            });
+            // The closed check and the post are one critical section on
+            // the pending lock: a request is either posted strictly before
+            // the hub closes — and then the worker pool drains it before
+            // exiting — or rejected here. There is no in-between where an
+            // envelope could be queued with nobody left to answer it.
+            let mut pending = self.pending.lock();
+            if self.closed.load(Ordering::Acquire) {
+                return Err(GpufsError::DaemonStopped);
+            }
+            self.channels[slot % self.channels.len()]
+                .lock()
+                .push_back(Envelope {
+                    req,
+                    gpu,
+                    issue,
+                    tx,
+                });
+            *pending += 1;
             self.ready.notify_one();
         }
         let (result, end) = rx.recv().map_err(|_| GpufsError::DaemonStopped)?;
@@ -217,24 +289,47 @@ impl RpcHub {
         }
     }
 
-    /// Daemon side: wait for the next request, or `None` after shutdown.
+    /// Daemon side: claim the next request from any channel, or `None`
+    /// after shutdown once every queued request has been claimed.
+    ///
+    /// This is the dispatcher of the daemon's worker pool: workers park on
+    /// one condvar, claims are handed out one per wakeup, and the claimed
+    /// envelope is found by scanning the channels round-robin from a
+    /// shared cursor so a busy channel cannot starve the others.
     pub(crate) fn next(&self) -> Option<Envelope> {
-        let mut q = self.queue.lock();
+        let mut pending = self.pending.lock();
         loop {
-            if let Some(env) = q.pop_front() {
-                return Some(env);
+            if *pending > 0 {
+                *pending -= 1;
+                drop(pending);
+                // A claim corresponds to an envelope already pushed (the
+                // counter is incremented after the push, under the same
+                // lock), so the scan must eventually find one; concurrent
+                // claimants each take exactly one.
+                let n = self.channels.len();
+                let start = self.scan.fetch_add(1, Ordering::Relaxed);
+                loop {
+                    for i in 0..n {
+                        if let Some(env) = self.channels[(start + i) % n].lock().pop_front() {
+                            return Some(env);
+                        }
+                    }
+                    std::thread::yield_now();
+                }
             }
             if self.closed.load(Ordering::Acquire) {
                 return None;
             }
-            self.ready.wait(&mut q);
+            self.ready.wait(&mut pending);
         }
     }
 
-    /// Mark the hub closed and wake the daemon so it can drain and exit.
+    /// Mark the hub closed and wake every worker so the pool can drain
+    /// the queued requests and exit. Serialized with `RpcHub::call` on
+    /// the pending lock (see the module docs).
     pub(crate) fn close(&self) {
+        let _pending = self.pending.lock();
         self.closed.store(true, Ordering::Release);
-        let _q = self.queue.lock();
         self.ready.notify_all();
     }
 
@@ -250,19 +345,23 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    #[test]
-    fn call_roundtrips_through_a_fake_daemon() {
-        let hub = Arc::new(RpcHub::new());
-        let daemon_hub = Arc::clone(&hub);
-        let daemon = std::thread::spawn(move || {
+    fn spawn_fake_daemon(hub: &Arc<RpcHub>) -> std::thread::JoinHandle<()> {
+        let daemon_hub = Arc::clone(hub);
+        std::thread::spawn(move || {
             while let Some(env) = daemon_hub.next() {
                 let end = env.issue + 100;
                 env.tx.send((Ok(RespOk::Done), end)).unwrap();
             }
-        });
+        })
+    }
+
+    #[test]
+    fn call_roundtrips_through_a_fake_daemon() {
+        let hub = Arc::new(RpcHub::new());
+        let daemon = spawn_fake_daemon(&hub);
         let t = Timings::default();
         let (ok, visible) = hub
-            .call(0, 1_000, &t, Request::Fsync { fd: 3 })
+            .call(0, 0, 1_000, &t, Request::Fsync { fd: 3 })
             .expect("call should succeed");
         assert!(matches!(ok, RespOk::Done));
         assert_eq!(visible, 1_100 + t.rpc_complete_ns);
@@ -277,30 +376,98 @@ mod tests {
         // RadixTree all implement Default).
         let hub = RpcHub::default();
         assert!(!hub.is_closed());
+        assert_eq!(hub.num_channels(), 1);
         assert!(!RpcHub::new().is_closed());
+    }
+
+    #[test]
+    fn channel_count_clamps_to_one() {
+        assert_eq!(RpcHub::with_channels(0).num_channels(), 1);
+        assert_eq!(RpcHub::with_channels(7).num_channels(), 7);
+    }
+
+    #[test]
+    fn slots_spread_over_channels_and_all_roundtrip() {
+        let hub = Arc::new(RpcHub::with_channels(4));
+        let daemons: Vec<_> = (0..3).map(|_| spawn_fake_daemon(&hub)).collect();
+        std::thread::scope(|s| {
+            for slot in 0..16usize {
+                let hub = &hub;
+                s.spawn(move || {
+                    let t = Timings::default();
+                    for _ in 0..8 {
+                        let (ok, _) = hub
+                            .call(slot, 0, 0, &t, Request::Fsync { fd: slot as u64 })
+                            .unwrap();
+                        assert!(matches!(ok, RespOk::Done));
+                    }
+                });
+            }
+        });
+        hub.close();
+        for d in daemons {
+            d.join().unwrap();
+        }
     }
 
     #[test]
     fn closed_hub_rejects_calls() {
         let hub = RpcHub::new();
         hub.close();
-        let err = hub.call(0, 0, &Timings::default(), Request::Fsync { fd: 1 });
+        let err = hub.call(0, 0, 0, &Timings::default(), Request::Fsync { fd: 1 });
         assert!(matches!(err, Err(GpufsError::DaemonStopped)));
     }
 
     #[test]
     fn next_returns_none_after_close_and_drain() {
-        let hub = RpcHub::new();
+        let hub = RpcHub::with_channels(2);
         let (tx, _rx) = mpsc::sync_channel(1);
-        hub.queue.lock().push_back(Envelope {
+        hub.channels[1].lock().push_back(Envelope {
             req: Request::Unlink { path: "/x".into() },
             gpu: 0,
             issue: 0,
             tx,
         });
+        *hub.pending.lock() = 1;
         hub.close();
         assert!(hub.next().is_some(), "queued request drains first");
         assert!(hub.next().is_none());
+    }
+
+    #[test]
+    fn calls_racing_shutdown_complete_or_error_but_never_hang() {
+        // Callers hammer the hub while it closes mid-flight. Every call
+        // must resolve — served by the draining worker or rejected by the
+        // post/close serialization — and the worker must exit.
+        for _ in 0..20 {
+            let hub = Arc::new(RpcHub::with_channels(3));
+            let daemon = spawn_fake_daemon(&hub);
+            let callers: Vec<_> = (0..8)
+                .map(|i| {
+                    let hub = Arc::clone(&hub);
+                    std::thread::spawn(move || {
+                        let t = Timings::default();
+                        let mut outcomes = Vec::new();
+                        for _ in 0..16 {
+                            outcomes.push(hub.call(i, 0, 0, &t, Request::Fsync { fd: 1 }));
+                        }
+                        outcomes
+                    })
+                })
+                .collect();
+            hub.close();
+            daemon.join().unwrap();
+            for c in callers {
+                for r in c.join().unwrap() {
+                    assert!(
+                        matches!(r, Ok((RespOk::Done, _)) | Err(GpufsError::DaemonStopped)),
+                        "call must complete or error, got {r:?}"
+                    );
+                }
+            }
+            assert_eq!(*hub.pending.lock(), 0, "drain accounting balanced");
+            assert!(hub.channels.iter().all(|c| c.lock().is_empty()));
+        }
     }
 
     #[test]
@@ -315,6 +482,7 @@ mod tests {
             }
         });
         let err = hub.call(
+            0,
             0,
             0,
             &Timings::default(),

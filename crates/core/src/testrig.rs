@@ -14,11 +14,16 @@ pub(crate) struct Rig {
 }
 
 pub(crate) fn rig(n_gpus: usize) -> Rig {
+    rig_pool(n_gpus, 1, 1)
+}
+
+/// A rig whose daemon runs `workers` threads over `channels` RPC channels.
+pub(crate) fn rig_pool(n_gpus: usize, channels: usize, workers: usize) -> Rig {
     let fs = Arc::new(HostFs::new(HostFsConfig::default()));
     let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
         .map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test())))
         .collect();
-    let host = GpufsHost::new(Arc::clone(&fs), gpus.clone());
+    let host = GpufsHost::with_concurrency(Arc::clone(&fs), gpus.clone(), channels, workers);
     Rig { fs, host, gpus }
 }
 

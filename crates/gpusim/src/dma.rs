@@ -52,6 +52,13 @@ impl DmaEngines {
         self.h2d.transfer_scattered(earliest, extent_bytes)
     }
 
+    /// Reserve the device-to-host direction for one scatter-gather
+    /// transaction over the given extents — the write-back mirror of
+    /// [`DmaEngines::reserve_h2d_scattered`].
+    pub fn reserve_d2h_scattered(&self, earliest: Nanos, extent_bytes: &[u64]) -> Reservation {
+        self.d2h.transfer_scattered(earliest, extent_bytes)
+    }
+
     /// Forget queued work in both directions (between benchmark phases).
     pub fn reset(&self) {
         self.h2d.reset();
@@ -97,6 +104,28 @@ impl Gpu {
             extent_bytes.push(src.len() as u64);
         }
         self.dma().reserve_h2d_scattered(earliest, &extent_bytes)
+    }
+
+    /// DMA several device extents into host buffers as one scatter-gather
+    /// transaction: every extent is copied, but the device-to-host
+    /// direction is charged a single setup cost for the whole batch. This
+    /// is the timing model behind the batched multi-page `WritePages`
+    /// write-back RPC, mirroring [`Gpu::dma_h2d_scattered`] on reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source range is out of bounds.
+    pub fn dma_d2h_scattered(
+        &self,
+        parts: &mut [(DevPtr, &mut [u8])],
+        earliest: Nanos,
+    ) -> Reservation {
+        let mut extent_bytes = Vec::with_capacity(parts.len());
+        for (src, dst) in parts.iter_mut() {
+            self.global().read(*src, dst);
+            extent_bytes.push(dst.len() as u64);
+        }
+        self.dma().reserve_d2h_scattered(earliest, &extent_bytes)
     }
 }
 
@@ -165,6 +194,35 @@ mod tests {
         let saved = serial - scattered.busy();
         let setup = gpu.dma().timings().dma_setup_ns;
         // Modulo per-extent integer rounding of the bandwidth term.
+        assert!(
+            (setup..=setup + 2).contains(&saved),
+            "batch pays setup once: saved {saved}, setup {setup}"
+        );
+    }
+
+    #[test]
+    fn scattered_d2h_moves_all_extents_for_one_setup() {
+        let gpu = Gpu::new(0, GpuSpec::small_test());
+        let src = gpu.global().alloc(3 << 20).unwrap();
+        gpu.global().write(src, &vec![7u8; 1 << 20]);
+        gpu.global().write(src + (2 << 20), &vec![8u8; 1 << 20]);
+        let mut a = vec![0u8; 1 << 20];
+        let mut b = vec![0u8; 1 << 20];
+        let scattered = {
+            let mut parts: Vec<(DevPtr, &mut [u8])> =
+                vec![(src, a.as_mut_slice()), (src + (2 << 20), b.as_mut_slice())];
+            gpu.dma_d2h_scattered(&mut parts, 0)
+        };
+        assert!(a.iter().all(|&x| x == 7));
+        assert!(b.iter().all(|&x| x == 8));
+        // Same bytes as two singleton DMAs, minus one setup charge.
+        let gpu2 = Gpu::new(1, GpuSpec::small_test());
+        let src2 = gpu2.global().alloc(2 << 20).unwrap();
+        let mut sink = vec![0u8; 1 << 20];
+        let r1 = gpu2.dma_d2h(src2, &mut sink, 0);
+        let r2 = gpu2.dma_d2h(src2 + (1 << 20), &mut sink, 0);
+        let saved = r1.busy() + r2.busy() - scattered.busy();
+        let setup = gpu.dma().timings().dma_setup_ns;
         assert!(
             (setup..=setup + 2).contains(&saved),
             "batch pays setup once: saved {saved}, setup {setup}"

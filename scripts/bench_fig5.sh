@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Record the Figure-5 breakdown + write-back sweep into BENCH_fig5.json
+# (one JSON object per line, appended — the repo's perf trajectory).
+#
+# Usage: scripts/bench_fig5.sh [OUT_PATH]   (default: BENCH_fig5.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p gpufs_bench --bin fig5_json -- "${1:-BENCH_fig5.json}"

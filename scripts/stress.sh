@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repeat-run the cross-channel concurrency stress suite (tests/stress.rs).
+#
+# Each test process already runs 10 internal rounds; repeating the whole
+# binary re-rolls thread scheduling, block dispatch seeds, and channel
+# claim order across processes, which is what shakes out the rare
+# interleavings (the PR-2 concurrency bugs reproduced about once in seven
+# full-suite runs).
+#
+# Usage: scripts/stress.sh [RUNS]   (default: 10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+runs="${1:-10}"
+cargo build -q --release --test stress
+for i in $(seq 1 "$runs"); do
+  echo "== stress run $i/$runs =="
+  cargo test -q --release --test stress
+done
+echo "all $runs stress runs green"

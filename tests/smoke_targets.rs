@@ -23,10 +23,11 @@ const BENCHES: &[&str] = &[
     "table2_cache_size",
     "table3_imgmatch",
     "table4_grep",
+    "write_throughput",
 ];
 
 /// Tooling binaries (perf-trajectory recorders driven by `scripts/`).
-const BINS: &[&str] = &["fig4_json"];
+const BINS: &[&str] = &["fig4_json", "fig5_json"];
 
 fn cargo() -> Command {
     let mut cmd = Command::new(env!("CARGO"));

@@ -1,0 +1,124 @@
+//! Cross-channel concurrency stress (repeat-run target of
+//! `scripts/stress.sh`).
+//!
+//! Multiple threadblocks mix reads and writes of one shared file through
+//! a multi-channel RPC hub served by a daemon worker pool, under constant
+//! eviction pressure (the cache holds a third of the touched pages), with
+//! batched write-back enabled. Each round asserts the paper's page-lookup
+//! accounting invariant (`hits + misses == lockfree + locked`, Table 2's
+//! columns) and byte-exact file contents; the test repeats the round ten
+//! times so rare interleavings — block dispatch order, channel claims,
+//! worker scheduling, eviction races — get fresh dice every time. CI runs
+//! the whole binary repeatedly on top via `scripts/stress.sh`.
+
+use std::sync::Arc;
+
+use gpufs::{GOpenMode, GpufsConfig, GpufsHost};
+use gpusim::{Gpu, GpuSpec, Grid};
+use hostfs::{HostFs, HostFsConfig};
+
+/// Rounds per test-process run (each with a fresh rig and RNG seed from
+/// the shuffled block dispatch).
+const ROUNDS: usize = 10;
+
+const BLOCKS: usize = 8;
+const PAGE: usize = 4096;
+/// Pages 0..8 are read-shared; pages 8..16 are written, one per block.
+const READ_PAGES: usize = BLOCKS;
+
+fn one_round(channels: usize, workers: usize, write_batch: usize) {
+    let fs = Arc::new(HostFs::new(HostFsConfig::default()));
+    let base: Vec<u8> = (0..(2 * READ_PAGES * PAGE) as u32)
+        .map(|i| (i % 239) as u8)
+        .collect();
+    fs.create("/stress.bin", &base).unwrap();
+    let gpu = Arc::new(Gpu::new(0, GpuSpec::small_test()));
+    let host =
+        GpufsHost::with_concurrency(Arc::clone(&fs), vec![Arc::clone(&gpu)], channels, workers);
+    // 8 frames against 16+ touched pages: constant reclaim, so eviction's
+    // batched write-back and the fault path race on every channel.
+    let cfg = GpufsConfig::new(PAGE, 8 * PAGE)
+        .with_concurrency(channels, workers)
+        .with_write_batch(write_batch)
+        .with_readahead(2);
+    let mount = host.mount(0, cfg).unwrap();
+
+    gpu.launch(Grid::new(BLOCKS, 64), 0, |blk| {
+        let fd = mount
+            .open(blk, "/stress.bin", GOpenMode::ReadWrite)
+            .unwrap();
+        let my = blk.block_id();
+        // Write this block's private page in two halves (two dirtyings).
+        let off = ((READ_PAGES + my) * PAGE) as u64;
+        mount
+            .write(blk, &fd, off, &[my as u8 + 1; PAGE / 2])
+            .unwrap();
+        mount
+            .write(
+                blk,
+                &fd,
+                off + (PAGE / 2) as u64,
+                &[my as u8 + 101; PAGE / 2],
+            )
+            .unwrap();
+        // Interleave shared reads across the read half.
+        let mut buf = vec![0u8; PAGE / 2];
+        for step in 0..8usize {
+            let roff = (((my + step) % READ_PAGES) * PAGE + PAGE / 4) as u64;
+            let n = mount.read(blk, &fd, roff, &mut buf).unwrap();
+            assert_eq!(n, PAGE / 2);
+            assert_eq!(&buf[..], &base[roff as usize..roff as usize + PAGE / 2]);
+        }
+        mount.fsync(blk, &fd).unwrap();
+        mount.close(blk, fd).unwrap();
+    });
+
+    let c = mount.counters();
+    assert_eq!(
+        c.hits.get() + c.misses.get(),
+        c.lockfree_accesses.get() + c.locked_accesses.get(),
+        "page-lookup accounting invariant violated"
+    );
+    assert!(c.pages_reclaimed.get() > 0, "round must run under pressure");
+    assert!(c.write_rpcs.get() > 0, "writes batched through WritePages");
+
+    // Byte-exact contents: read half untouched, each written page holds
+    // exactly its block's two half-page patterns.
+    let (data, _) = fs.read_whole("/stress.bin", 0).unwrap();
+    assert_eq!(
+        &data[..READ_PAGES * PAGE],
+        &base[..READ_PAGES * PAGE],
+        "read-shared half corrupted"
+    );
+    for b in 0..BLOCKS {
+        let off = (READ_PAGES + b) * PAGE;
+        assert!(
+            data[off..off + PAGE / 2].iter().all(|&x| x == b as u8 + 1),
+            "block {b} first half lost"
+        );
+        assert!(
+            data[off + PAGE / 2..off + PAGE]
+                .iter()
+                .all(|&x| x == b as u8 + 101),
+            "block {b} second half lost"
+        );
+    }
+}
+
+#[test]
+fn stress_cross_channel_mixed_read_write() {
+    for round in 0..ROUNDS {
+        one_round(4, 3, 4);
+        let _ = round;
+    }
+}
+
+#[test]
+fn stress_single_fifo_baseline_matches() {
+    // The same workload through the original single-FIFO, single-worker,
+    // per-page-write-back shape: the concurrency and batching knobs must
+    // never change correctness, only scheduling.
+    for _ in 0..ROUNDS {
+        one_round(1, 1, 1);
+    }
+}
