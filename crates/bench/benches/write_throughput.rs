@@ -21,9 +21,10 @@ fn main() {
         "Write-back sweep — batched WritePages vs per-page write RPCs",
         &format!(
             "file = {} MB (scale 1/{SCALE}); 28 blocks gwrite disjoint regions, then gfsync;\n\
-             daemon pool: {WORKERS} workers over {CHANNELS} channels; the b={BATCH} column is\n\
-             additionally span-capped at 4 MB per batch, so its effective width shrinks above\n\
-             128K pages (16 at 256K, 8 at 512K, 4 at 1M, ...)",
+             daemon pool: {WORKERS} workers over {CHANNELS} channels; under the default\n\
+             pipelined engine the b={BATCH} column is page-count-capped only (the 4 MB span\n\
+             cap applies to the serialized engine, io_chunk_pages = 0, whose single\n\
+             gather-then-pwrite sequence it works around)",
             FILE_BYTES >> 20
         ),
     );

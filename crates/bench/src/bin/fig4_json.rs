@@ -10,16 +10,23 @@
 //! ```
 //!
 //! Each record holds the GPUfs throughput sweep over page sizes at
-//! readahead windows 1 and 8, and the headline `speedup_64k` =
-//! `w8 / w1` at the 64 KB page size (the paper's random-read sweet spot
-//! and the page size EXPERIMENTS.md uses as the batching reference
-//! point).
+//! readahead windows 1 and 8 under the default (pipelined) daemon I/O
+//! engine, the headline `speedup_64k` = `w8 / w1` at the 64 KB page
+//! size, and a `compat` block re-measured with the serialized engine
+//! (`io_chunk_pages = 0`) — the PR-3 configuration — so every record
+//! proves the compat setting still reproduces the recorded baseline
+//! (w1@64K 1798.2 MB/s, w8@64K 4378.2 MB/s at scale 16).
+//!
+//! Set `GPUFS_BENCH_SMOKE=1` to run a tiny-scale smoke sweep (small
+//! file, truncated page axis) — used by CI to keep this bin from
+//! rotting; smoke records should be written to a scratch path, never to
+//! the repo's BENCH file.
 
 use std::io::Write;
 use std::process::Command;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use gpufs_bench::{fig4_gpufs_phase, PAGE_SIZES, SCALE};
+use gpufs_bench::{fig4_gpufs_phase, fig4_gpufs_phase_chunk, PAGE_SIZES, SCALE};
 
 /// Paper file: 1.8 GB, scaled like the bench target.
 const FILE_BYTES: u64 = (1800 << 20) / SCALE;
@@ -50,6 +57,13 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_fig4.json".to_owned());
+    let smoke = std::env::var("GPUFS_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let file_bytes = if smoke { FILE_BYTES / 16 } else { FILE_BYTES };
+    let pages: Vec<usize> = PAGE_SIZES
+        .iter()
+        .copied()
+        .filter(|&p| !smoke || p as u64 <= file_bytes / 8)
+        .collect();
     let unix_time = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -57,9 +71,9 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut speedup_64k = 0.0f64;
-    for &page in PAGE_SIZES {
-        let w1 = fig4_gpufs_phase(FILE_BYTES, page, 1);
-        let w8 = fig4_gpufs_phase(FILE_BYTES, page, 8);
+    for &page in &pages {
+        let w1 = fig4_gpufs_phase(file_bytes, page, 1);
+        let w8 = fig4_gpufs_phase(file_bytes, page, 8);
         if page == 64 << 10 {
             speedup_64k = w8 / w1;
         }
@@ -71,10 +85,19 @@ fn main() {
             "{{\"page\":{page},\"mb_s_w1\":{w1:.1},\"mb_s_w8\":{w8:.1}}}"
         ));
     }
+
+    // Serialized-engine compat probe at the 64 KB reference point: these
+    // two numbers must keep matching the recorded pre-pipeline baseline.
+    let compat_w1 = fig4_gpufs_phase_chunk(file_bytes, 64 << 10, 1, Some(0));
+    let compat_w8 = fig4_gpufs_phase_chunk(file_bytes, 64 << 10, 8, Some(0));
+    eprintln!("compat (io_chunk=0) 64K: w1 {compat_w1:.1} MB/s, w8 {compat_w8:.1} MB/s");
+
     let record = format!(
         "{{\"bench\":\"fig4_seq_read\",\"unix_time\":{unix_time},\"git\":\"{}\",\
-         \"dirty\":{},\"scale\":{SCALE},\"file_bytes\":{FILE_BYTES},\
-         \"speedup_64k\":{speedup_64k:.3},\"sweep\":[{}]}}",
+         \"dirty\":{},\"scale\":{SCALE},\"file_bytes\":{file_bytes},\"smoke\":{smoke},\
+         \"speedup_64k\":{speedup_64k:.3},\
+         \"compat\":{{\"io_chunk\":0,\"mb_s_w1_64k\":{compat_w1:.1},\"mb_s_w8_64k\":{compat_w8:.1}}},\
+         \"sweep\":[{}]}}",
         git_head(),
         git_dirty(),
         rows.join(",")

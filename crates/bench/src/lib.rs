@@ -60,6 +60,26 @@ pub fn rig_pool(
     channels: usize,
     workers: usize,
 ) -> Rig {
+    rig_cfg(
+        n_gpus,
+        gpu_mem_bytes,
+        host_mem_bytes,
+        timings,
+        &GpufsConfig::default().with_concurrency(channels, workers),
+    )
+}
+
+/// [`rig`] whose daemon takes *all* host-side knobs (channels, workers,
+/// I/O-engine chunk size) from `config` — the config later passed to
+/// `mount` must agree with it.
+#[must_use]
+pub fn rig_cfg(
+    n_gpus: usize,
+    gpu_mem_bytes: usize,
+    host_mem_bytes: u64,
+    timings: &Timings,
+    config: &GpufsConfig,
+) -> Rig {
     let fs = Arc::new(HostFs::new(HostFsConfig {
         timings: timings.clone(),
         host_mem_bytes,
@@ -73,7 +93,7 @@ pub fn rig_pool(
     let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
         .map(|i| Arc::new(Gpu::with_timings(i, spec.clone(), timings)))
         .collect();
-    let host = GpufsHost::with_concurrency(Arc::clone(&fs), gpus.clone(), channels, workers);
+    let host = GpufsHost::with_config(Arc::clone(&fs), gpus.clone(), config);
     Rig { fs, host, gpus }
 }
 
@@ -90,18 +110,36 @@ pub fn rig_pool(
 /// Panics if the rig cannot create or read the synthetic input file.
 #[must_use]
 pub fn fig4_gpufs_phase(file_bytes: u64, page: usize, window: usize) -> f64 {
+    fig4_gpufs_phase_chunk(file_bytes, page, window, None)
+}
+
+/// [`fig4_gpufs_phase`] with the daemon's I/O-engine chunk size pinned:
+/// `Some(0)` is the serialized engine (the PR-3 compat baseline), `None`
+/// the config default.
+///
+/// # Panics
+///
+/// Panics if the rig cannot create or read the synthetic input file.
+#[must_use]
+pub fn fig4_gpufs_phase_chunk(
+    file_bytes: u64,
+    page: usize,
+    window: usize,
+    io_chunk: Option<usize>,
+) -> f64 {
     let t = Timings::default();
     let cache = (file_bytes as usize + 16 * page).next_power_of_two();
-    let r = rig(1, cache + (64 << 20), 8 << 30, &t);
+    let mut cfg = GpufsConfig::new(page, cache).with_readahead(window);
+    if let Some(chunk) = io_chunk {
+        cfg = cfg.with_io_chunk(chunk);
+    }
+    let r = rig_cfg(1, cache + (64 << 20), 8 << 30, &t, &cfg);
     r.fs.create_synthetic("/seq.bin", file_bytes, 4).unwrap();
     // Warm host page cache, as the paper does; keep residency, reset time.
     let _ = r.fs.read_whole("/seq.bin", 0).unwrap();
     r.fs.reset_device_time();
 
-    let mount = r
-        .host
-        .mount(0, GpufsConfig::new(page, cache).with_readahead(window))
-        .unwrap();
+    let mount = r.host.mount(0, cfg).unwrap();
     let blocks = r.gpus[0].spec().concurrent_blocks(); // 28, as in the paper
     let per_block = file_bytes / blocks as u64;
     let res = r.gpus[0].launch(Grid::new(blocks, 256), 0, |blk| {
@@ -170,6 +208,51 @@ pub fn fig5_phase(
     res.elapsed()
 }
 
+/// The per-stream pipeline breakdown workload behind the fig5 JSONL
+/// record's `pipe` sweep: **one** threadblock streams a file
+/// sequentially at readahead `window`, so every `ReadPages` RPC is a
+/// full batch and the measurement isolates what the daemon's I/O engine
+/// does *inside* one RPC — with 28 saturating blocks the shared PCIe
+/// direction hides it. `io_chunk` pins the engine (`Some(0)` =
+/// serialized, `None` = default). Returns the elapsed virtual time; run
+/// with component-excluded [`Timings`] copies for the breakdown.
+///
+/// # Panics
+///
+/// Panics if the rig cannot create or read the synthetic input file.
+#[must_use]
+pub fn fig5_pipe_phase(
+    file_bytes: u64,
+    page: usize,
+    timings: &Timings,
+    window: usize,
+    io_chunk: Option<usize>,
+) -> Nanos {
+    let cache = (file_bytes as usize + 16 * page).next_power_of_two();
+    let mut cfg = GpufsConfig::new(page, cache).with_readahead(window);
+    if let Some(chunk) = io_chunk {
+        cfg = cfg.with_io_chunk(chunk);
+    }
+    let r = rig_cfg(1, cache + (64 << 20), 8 << 30, timings, &cfg);
+    r.fs.create_synthetic("/seq.bin", file_bytes, 4).unwrap();
+    let _ = r.fs.read_whole("/seq.bin", 0).unwrap();
+    r.fs.reset_device_time();
+
+    let mount = r.host.mount(0, cfg).unwrap();
+    let res = r.gpus[0].launch(Grid::new(1, 256), 0, |blk| {
+        let fd = mount.open(blk, "/seq.bin", GOpenMode::ReadOnly).unwrap();
+        let mut off = 0u64;
+        while off < file_bytes {
+            let map = mount.mmap(blk, &fd, off, page).unwrap();
+            let got = map.len() as u64;
+            mount.munmap(blk, map);
+            off += got;
+        }
+        mount.close(blk, fd).unwrap();
+    });
+    res.elapsed()
+}
+
 /// Outcome of one [`write_phase`] run.
 #[derive(Debug, Clone, Copy)]
 pub struct WritePhase {
@@ -198,20 +281,36 @@ pub fn write_phase(
     channels: usize,
     workers: usize,
 ) -> WritePhase {
+    write_phase_chunk(file_bytes, page, write_batch, channels, workers, None)
+}
+
+/// [`write_phase`] with the daemon's I/O-engine chunk size pinned
+/// (`Some(0)` = the serialized engine, `None` = the config default).
+///
+/// # Panics
+///
+/// Panics if the rig cannot serve the workload.
+#[must_use]
+pub fn write_phase_chunk(
+    file_bytes: u64,
+    page: usize,
+    write_batch: usize,
+    channels: usize,
+    workers: usize,
+    io_chunk: Option<usize>,
+) -> WritePhase {
     let t = Timings::default();
     // Cache holds the whole file: this measures the write-back path, not
     // eviction.
     let cache = (file_bytes as usize + 16 * page).next_power_of_two();
-    let r = rig_pool(1, cache + (64 << 20), 8 << 30, &t, channels, workers);
-    let mount = r
-        .host
-        .mount(
-            0,
-            GpufsConfig::new(page, cache)
-                .with_concurrency(channels, workers)
-                .with_write_batch(write_batch),
-        )
-        .unwrap();
+    let mut cfg = GpufsConfig::new(page, cache)
+        .with_concurrency(channels, workers)
+        .with_write_batch(write_batch);
+    if let Some(chunk) = io_chunk {
+        cfg = cfg.with_io_chunk(chunk);
+    }
+    let r = rig_cfg(1, cache + (64 << 20), 8 << 30, &t, &cfg);
+    let mount = r.host.mount(0, cfg).unwrap();
     let blocks = r.gpus[0].spec().concurrent_blocks(); // 28, as in the paper
     let per_block = file_bytes / blocks as u64;
     let payload = vec![0xa5u8; page];

@@ -41,6 +41,11 @@ pub struct CacheCounters {
     /// Pins that found their page already resident because readahead (not
     /// a demand miss) had fetched it: the first pin of a prefetched page.
     pub readahead_hits: Counter,
+    /// `ReadPages` RPCs issued, of any width — the read-side round-trip
+    /// count. Smaller than [`CacheCounters::misses`] when batching rides
+    /// extra pages along, and also excludes misses that never touch the
+    /// host (`O_GWRONCE` / beyond-EOF zero-fills).
+    pub read_rpcs: Counter,
     /// `ReadPages` RPCs issued with more than one page — a readahead
     /// window, or a single multi-page `gread` batching its own span (a
     /// demand miss with no batching is a batch of one and not counted).
@@ -74,6 +79,7 @@ impl CacheCounters {
         self.misses.take();
         self.writebacks.take();
         self.readahead_hits.take();
+        self.read_rpcs.take();
         self.batched_rpcs.take();
         self.pages_per_rpc.take();
         self.write_rpcs.take();
@@ -91,6 +97,7 @@ mod tests {
         c.lockfree_accesses.add(5);
         c.pages_reclaimed.incr();
         c.readahead_hits.add(3);
+        c.read_rpcs.incr();
         c.batched_rpcs.incr();
         c.pages_per_rpc.add(8);
         c.write_rpcs.incr();
@@ -99,6 +106,7 @@ mod tests {
         assert_eq!(c.lockfree_accesses.get(), 0);
         assert_eq!(c.pages_reclaimed.get(), 0);
         assert_eq!(c.readahead_hits.get(), 0);
+        assert_eq!(c.read_rpcs.get(), 0);
         assert_eq!(c.batched_rpcs.get(), 0);
         assert_eq!(c.pages_per_rpc.get(), 0);
         assert_eq!(c.write_rpcs.get(), 0);

@@ -210,6 +210,10 @@ impl GpuFsMount {
                             fd: victim.host_fd(),
                         },
                     )?;
+                    // Nothing of the file is cached here any more.
+                    self.host_fs
+                        .consistency()
+                        .unregister_gpu_cache(victim.ino(), self.gpu.id());
                 }
             }
             if freed >= want {
@@ -275,11 +279,16 @@ impl GpuFsMount {
         true
     }
 
-    /// Discard every unpinned cached page of `file`.
+    /// Discard every unpinned cached page of `file` and unregister this
+    /// GPU from the file's consistency-layer cache registry (a caller
+    /// that keeps a newer copy of the same inode cached re-registers).
     pub(crate) fn discard_file_cache(&self, file: &GFile) {
         file.tree().for_each_page(|_, fp| {
             self.try_discard_page(fp);
         });
+        self.host_fs
+            .consistency()
+            .unregister_gpu_cache(file.ino(), self.gpu.id());
     }
 }
 

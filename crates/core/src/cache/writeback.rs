@@ -29,16 +29,26 @@ use crate::table::GFile;
 /// one host write.
 const DIFF_MERGE_GAP: usize = 64;
 
-/// Upper bound on the page span one `WritePages` batch may cover,
-/// whatever the configured [`crate::GpufsConfig::write_batch_pages`] —
-/// the same pipelining argument as the read path's 8 MB readahead cap: a
-/// batch is one gather-then-pwrite sequence, and an over-large batch
-/// trades away the overlap that separate in-flight requests get.
-/// Measured on the write-throughput sweep, 2–4 MB spans are the optimum
-/// (4 MB keeps the full default window at 128 KB pages and is within a
-/// few percent of peak everywhere below 1 MB); wider spans start losing
-/// the D2H/pwrite interleaving that separate round-trips retain.
+/// Upper bound on the page span one `WritePages` batch may cover under
+/// the *serialized* daemon engine (`io_chunk_pages = 0`), whatever the
+/// configured [`crate::GpufsConfig::write_batch_pages`] — the same
+/// pipelining argument as the read path's 8 MB readahead cap: a
+/// serialized batch is one gather-then-pwrite sequence, and an
+/// over-large batch trades away the overlap that separate in-flight
+/// requests get. Measured on the write-throughput sweep, 2–4 MB spans
+/// are the optimum (4 MB keeps the full default window at 128 KB pages
+/// and is within a few percent of peak everywhere below 1 MB); wider
+/// spans start losing the D2H/pwrite interleaving that separate
+/// round-trips retain.
 const WRITEBACK_MAX_BATCH_BYTES: usize = 4 << 20;
+
+/// The same bound under the *pipelined* engine, whose chunked gathers
+/// overlap each chunk's `pwrite`s — the serialization the 4 MB cap
+/// worked around. Measured on the write sweep, a full 32-page batch at
+/// large pages now matches or beats the span-capped split, so the cap is
+/// raised until [`crate::GpufsConfig::write_batch_pages`] is the only
+/// binding limit at every paper page size.
+const WRITEBACK_MAX_BATCH_BYTES_PIPELINED: usize = 512 << 20;
 
 /// One page whose modified extents have been computed (and whose dirty
 /// flag has been cleared), awaiting shipment in a batch.
@@ -92,9 +102,14 @@ impl GpuFsMount {
 
     /// Largest number of pages one `WritePages` batch may carry.
     pub(crate) fn write_batch_cap(&self) -> usize {
+        let cap_bytes = if self.config.io_chunk_pages == 0 {
+            WRITEBACK_MAX_BATCH_BYTES
+        } else {
+            WRITEBACK_MAX_BATCH_BYTES_PIPELINED
+        };
         self.config
             .write_batch_pages
-            .min((WRITEBACK_MAX_BATCH_BYTES / self.config.page_size).max(1))
+            .min((cap_bytes / self.config.page_size).max(1))
             .max(1)
     }
 
@@ -185,13 +200,17 @@ impl GpuFsMount {
         let RespOk::Wrote { n, generation } = resp else {
             unreachable!("write answers Wrote")
         };
+        // Our own propagated writes bumped the host generation; observe
+        // it (and refresh this GPU's consistency registration, which is
+        // monotonic, so a lagging batch can never regress it) so they do
+        // not read as a foreign invalidation on reopen.
+        file.observe_generation(generation);
+        self.host_fs
+            .consistency()
+            .register_gpu_cache(file.ino(), self.gpu.id(), generation);
         for g in &gathered {
             self.counters.writebacks.incr();
             file.mark_host_valid(g.page_idx * ps + g.ds as u64);
-            // Our own propagated writes bumped the host generation;
-            // observe it so they do not read as a foreign invalidation on
-            // reopen.
-            file.observe_generation(generation);
             if let Some(snapshot) = &g.snapshot {
                 // Refresh the pristine copy: future diffs are relative to
                 // the state just propagated — the snapshot the diff ran
@@ -406,6 +425,53 @@ mod tests {
                  fsync has to fail too, not silently report clean"
             );
         });
+    }
+
+    #[test]
+    fn failed_chunked_batch_rearms_dirty_on_every_page() {
+        // A multi-page batch that the pipelined engine would stream in
+        // several chunks fails as a whole RPC: every page the batch
+        // carried — not just the chunk that errored — must come back
+        // dirty, or a retried sync would silently lose the rest.
+        use std::sync::atomic::Ordering;
+        let mut r = rig(1);
+        r.fs.create("/rearm_batch", &[0u8; 6 * 4096]).unwrap();
+        assert!(
+            GpufsConfig::default().io_chunk_pages > 0 && GpufsConfig::default().io_chunk_pages < 6,
+            "the 6-page batch must span several pipeline chunks"
+        );
+        let cfg = GpufsConfig::new(4096, 32 * 4096).with_write_batch(8);
+        let mount = r.host.mount(0, cfg).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount
+                .open(blk, "/rearm_batch", GOpenMode::ReadWrite)
+                .unwrap();
+            for page in 0..6u64 {
+                mount
+                    .write(blk, &fd, page * 4096, &[page as u8 + 1; 4096])
+                    .unwrap();
+            }
+            // Keep the file open (and its pages resident) across the
+            // daemon's death; no fsync yet.
+            std::mem::forget(fd);
+        });
+        r.host.shutdown();
+        let file = mount.tables.get_open("/rearm_batch").expect("still open");
+        run_block(&r, |blk| {
+            assert!(
+                mount.flush_dirty(blk, &file).is_err(),
+                "daemon is down: the whole batch must fail"
+            );
+        });
+        let mut dirty = 0;
+        file.tree().for_each_page(|_, fp| {
+            if let Some(frame) = fp.frame() {
+                if mount.frames.pframe(frame).dirty.load(Ordering::Acquire) {
+                    dirty += 1;
+                }
+            }
+        });
+        assert_eq!(dirty, 6, "every page of the failed batch re-armed");
     }
 
     #[test]

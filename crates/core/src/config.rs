@@ -97,9 +97,29 @@ pub struct GpufsConfig {
     /// charge). `1` reproduces the original one-RPC-per-page write-back.
     /// Unlike readahead, batching never changes *which* bytes are written
     /// — only how many round-trips carry them — so it defaults on.
-    /// Batches are additionally capped at 4 MB of page span (the measured
-    /// optimum; see `cache/writeback.rs`).
+    /// Under the *serialized* daemon engine ([`GpufsConfig::io_chunk_pages`]
+    /// `= 0`) batches are additionally capped at 4 MB of page span — the
+    /// measured optimum there; the pipelined default overlaps each
+    /// chunk's gather with the previous chunk's `pwrite`s, so the span
+    /// cap relaxes and this page count is the binding limit (see
+    /// `cache/writeback.rs`).
     pub write_batch_pages: usize,
+    /// Chunk size, in buffer-cache pages, of the daemon's pipelined I/O
+    /// engine. A batched `ReadPages`/`WritePages` RPC is streamed through
+    /// the daemon in chunks of this many pages so the host file I/O of
+    /// chunk *k+1* overlaps the DMA of chunk *k* (reads: pread ahead of
+    /// the in-flight scatter DMA; writes: D2H gather ahead of the
+    /// in-flight `pwrite`s). The whole batch stays one scatter-gather DMA
+    /// transaction — setup is paid once, on the first chunk; each extra
+    /// chunk costs only a cheap CPU-side submit
+    /// ([`simtime::Timings::dma_chunk_ns`]).
+    ///
+    /// `0` (or any value at least the batch width) disables the pipeline
+    /// and reproduces the serialized engine exactly: all preads, then one
+    /// DMA (and the inverse for writes). Host-side state like
+    /// [`GpufsConfig::daemon_workers`]: consumed by
+    /// [`crate::GpufsHost::with_config`] and validated at `mount`.
+    pub io_chunk_pages: usize,
     /// Independent RPC channels between this GPU and the host daemon
     /// (paper §4.3: "multiple asynchronous CPU-GPU channels"). Each
     /// threadblock slot posts to `slot % rpc_channels`, so independent
@@ -127,6 +147,7 @@ impl Default for GpufsConfig {
             sync_on_close: false,
             readahead_pages: 1,
             write_batch_pages: 32,
+            io_chunk_pages: 2,
             rpc_channels: 1,
             daemon_workers: 1,
         }
@@ -178,6 +199,17 @@ impl GpufsConfig {
     pub fn with_write_batch(self, pages: usize) -> Self {
         Self {
             write_batch_pages: pages.max(1),
+            ..self
+        }
+    }
+
+    /// Copy with the daemon's pipelined-I/O chunk size set to `pages`
+    /// (`0` = the serialized engine: all file I/O of a batch, then one
+    /// DMA).
+    #[must_use]
+    pub fn with_io_chunk(self, pages: usize) -> Self {
+        Self {
+            io_chunk_pages: pages,
             ..self
         }
     }
@@ -263,6 +295,20 @@ mod tests {
                 .write_batch_pages,
             8
         );
+    }
+
+    #[test]
+    fn io_chunk_defaults_to_pipelined_and_zero_means_serialized() {
+        assert!(
+            GpufsConfig::default().io_chunk_pages > 0,
+            "the pipelined engine defaults on"
+        );
+        assert_eq!(
+            GpufsConfig::small_test().with_io_chunk(0).io_chunk_pages,
+            0,
+            "0 is the serialized-compat setting, never clamped away"
+        );
+        assert_eq!(GpufsConfig::small_test().with_io_chunk(7).io_chunk_pages, 7);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Per-request handlers of the daemon worker pool.
+//!
+//! [`serve`] is the dispatch point a worker enters with a claimed
+//! envelope: metadata operations (open/close/fsync/unlink/truncate/stat)
+//! are handled inline here against the host file system's cost model,
+//! while the two bulk-data requests — `ReadPages` and `WritePages` —
+//! delegate to the staged, chunked engine in [`super::pipeline`].
+
+use std::sync::Arc;
+
+use gpusim::Gpu;
+use hostfs::{FsError, HostFs, OpenFlags};
+use simtime::{Clock, Nanos};
+
+use super::pipeline;
+use super::DaemonStats;
+use crate::rpc::{Request, RespOk};
+
+/// Serve one request. Returns the response and the virtual time at which
+/// the requester may proceed (which, for reads, includes DMA the worker
+/// itself does not wait for).
+pub(super) fn serve(
+    fs: &HostFs,
+    gpus: &[Arc<Gpu>],
+    stats: &DaemonStats,
+    clock: &mut Clock,
+    io_chunk_pages: usize,
+    _gpu: usize,
+    req: &Request,
+) -> (Result<RespOk, FsError>, Nanos) {
+    let now = clock.now();
+    match req {
+        Request::Open {
+            path,
+            write,
+            create,
+            truncate,
+        } => {
+            stats.opens.incr();
+            let flags = OpenFlags {
+                read: true,
+                write: *write,
+                create: *create,
+                truncate: *truncate,
+            };
+            match fs.open(path, flags, now) {
+                Ok((fd, t)) => {
+                    clock.wait_until(t);
+                    let meta = fs.fstat(fd).expect("fresh fd");
+                    let generation = fs.consistency().generation(meta.ino);
+                    (
+                        Ok(RespOk::Opened {
+                            fd,
+                            ino: meta.ino,
+                            size: meta.size,
+                            generation,
+                        }),
+                        clock.now(),
+                    )
+                }
+                Err(e) => (Err(e), clock.now()),
+            }
+        }
+        Request::Close { fd } => {
+            let r = fs.close(*fd).map(|()| RespOk::Done);
+            (r, clock.now())
+        }
+        Request::ReadPages { fd, pages, gpu } => {
+            pipeline::read_pages(fs, &gpus[*gpu], stats, clock, io_chunk_pages, *fd, pages)
+        }
+        Request::WritePages { fd, pages, gpu } => {
+            pipeline::write_pages(fs, &gpus[*gpu], stats, clock, io_chunk_pages, *fd, pages)
+        }
+        Request::Fsync { fd } => match fs.fsync(*fd, now) {
+            Ok(t) => {
+                clock.wait_until(t);
+                (Ok(RespOk::Done), clock.now())
+            }
+            Err(e) => (Err(e), clock.now()),
+        },
+        Request::Unlink { path } => match fs.unlink(path, now) {
+            Ok(t) => {
+                clock.wait_until(t);
+                (Ok(RespOk::Done), clock.now())
+            }
+            Err(e) => (Err(e), clock.now()),
+        },
+        Request::Truncate { fd, size } => match fs.ftruncate(*fd, *size, now) {
+            Ok(t) => {
+                clock.wait_until(t);
+                (Ok(RespOk::Done), clock.now())
+            }
+            Err(e) => (Err(e), clock.now()),
+        },
+        Request::Stat { path } => {
+            let r = fs.stat(path).map(|m| RespOk::Stat {
+                ino: m.ino,
+                size: m.size,
+                writable: m.writable,
+                generation: fs.consistency().generation(m.ino),
+            });
+            (r, clock.now())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{call, host};
+    use crate::rpc::{PageRead, PageWrite, Request, RespOk};
+    use hostfs::FsError;
+
+    #[test]
+    fn open_read_close_via_rpc() {
+        let h = host();
+        h.fs().create("/f", b"hello world").unwrap();
+        let (ok, t_open) = call(
+            &h,
+            Request::Open {
+                path: "/f".into(),
+                write: false,
+                create: false,
+                truncate: false,
+            },
+        )
+        .unwrap();
+        let RespOk::Opened { fd, size, .. } = ok else {
+            panic!("expected Opened")
+        };
+        assert_eq!(size, 11);
+        assert!(t_open > 0);
+
+        let dst = h.gpus()[0].global().alloc(4096).unwrap();
+        let (ok, t_read) = call(
+            &h,
+            Request::ReadPages {
+                fd,
+                pages: vec![PageRead {
+                    offset: 0,
+                    len: 4096,
+                    dst,
+                }],
+                gpu: 0,
+            },
+        )
+        .unwrap();
+        let RespOk::Read { ns } = ok else {
+            panic!("expected Read")
+        };
+        assert_eq!(ns, vec![11]);
+        assert!(t_read > t_open, "read completion includes pread + DMA");
+        let mut out = vec![0u8; 11];
+        h.gpus()[0].global().read(dst, &mut out);
+        assert_eq!(&out, b"hello world");
+
+        let (ok, _) = call(&h, Request::Close { fd }).unwrap();
+        assert!(matches!(ok, RespOk::Done));
+    }
+
+    #[test]
+    fn write_pages_touch_only_modified_bytes() {
+        let h = host();
+        h.fs().create("/f", &[0xaau8; 64]).unwrap();
+        let (ok, _) = call(
+            &h,
+            Request::Open {
+                path: "/f".into(),
+                write: true,
+                create: false,
+                truncate: false,
+            },
+        )
+        .unwrap();
+        let RespOk::Opened { fd, .. } = ok else {
+            panic!()
+        };
+        let src = h.gpus()[0].global().alloc(64).unwrap();
+        h.gpus()[0].global().write(src, &[0x55u8; 64]);
+        // Diff says only bytes [8,12) and [40,44) changed.
+        let (ok, _) = call(
+            &h,
+            Request::WritePages {
+                fd,
+                pages: vec![PageWrite {
+                    src,
+                    page_offset: 0,
+                    extents: vec![(8, 4), (40, 4)],
+                }],
+                gpu: 0,
+            },
+        )
+        .unwrap();
+        let RespOk::Wrote { n, .. } = ok else {
+            panic!()
+        };
+        assert_eq!(n, 8);
+        let (data, _) = h.fs().read_whole("/f", 0).unwrap();
+        assert_eq!(&data[..8], &[0xaa; 8], "unmodified prefix preserved");
+        assert_eq!(&data[8..12], &[0x55; 4]);
+        assert_eq!(
+            &data[12..40],
+            &[0xaa; 28],
+            "bytes between extents preserved"
+        );
+        assert_eq!(&data[40..44], &[0x55; 4]);
+        assert_eq!(
+            h.stats().batched_write_rpcs.get(),
+            0,
+            "a single-page sync is a batch of one, not counted"
+        );
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let h = host();
+        let err = call(
+            &h,
+            Request::Open {
+                path: "/missing".into(),
+                write: false,
+                create: false,
+                truncate: false,
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(crate::error::GpufsError::Host(FsError::NotFound(_)))
+        ));
+    }
+
+    #[test]
+    fn stat_and_unlink() {
+        let h = host();
+        h.fs().create("/s", &[1u8; 100]).unwrap();
+        let (ok, _) = call(&h, Request::Stat { path: "/s".into() }).unwrap();
+        let RespOk::Stat { size, .. } = ok else {
+            panic!()
+        };
+        assert_eq!(size, 100);
+        call(&h, Request::Unlink { path: "/s".into() }).unwrap();
+        assert!(!h.fs().exists("/s"));
+    }
+}

@@ -24,7 +24,10 @@
 //!   write-shared request channels, GPU as client) served by the host
 //!   daemon's dispatcher + worker pool in the [`GpufsHost`]
 //!   (`GpufsConfig::rpc_channels` / `daemon_workers`; `1/1` is the paper
-//!   prototype's single FIFO and single-threaded event loop).
+//!   prototype's single FIFO and single-threaded event loop), whose
+//!   staged I/O engine streams each batched RPC in chunks so host file
+//!   I/O overlaps the in-flight DMA (`GpufsConfig::io_chunk_pages`; `0`
+//!   is the serialized engine).
 //! * **Consistency layer** — generation-based lazy invalidation against
 //!   the WRAPFS-like registry in [`hostfs`].
 //!

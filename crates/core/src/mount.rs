@@ -75,19 +75,20 @@ impl GpufsHost {
     /// # Errors
     ///
     /// Fails if the GPU cannot hold the configured buffer cache, or if
-    /// the mount's concurrency knobs ([`GpufsConfig::rpc_channels`] /
-    /// [`GpufsConfig::daemon_workers`]) disagree with the daemon this
-    /// host was started with — the channels and workers are host-side
-    /// state, so a config that names different values would be a silent
-    /// no-op; build the host with [`GpufsHost::with_config`] (or
+    /// the mount's host-side knobs ([`GpufsConfig::rpc_channels`],
+    /// [`GpufsConfig::daemon_workers`], [`GpufsConfig::io_chunk_pages`])
+    /// disagree with the daemon this host was started with — all three
+    /// are daemon state, so a config that names different values would be
+    /// a silent no-op; build the host with [`GpufsHost::with_config`] (or
     /// matching [`GpufsHost::with_concurrency`] values) instead.
     pub fn mount(&self, gpu_id: usize, config: GpufsConfig) -> GpufsResult<Arc<GpuFsMount>> {
         if config.rpc_channels.max(1) != self.hub().num_channels()
             || config.daemon_workers.max(1) != self.daemon_workers()
+            || config.io_chunk_pages != self.io_chunk_pages()
         {
             return Err(crate::error::GpufsError::InvalidMode(
-                "mount rpc_channels/daemon_workers do not match the host daemon \
-                 (build the host with GpufsHost::with_config)",
+                "mount rpc_channels/daemon_workers/io_chunk_pages do not match \
+                 the host daemon (build the host with GpufsHost::with_config)",
             ));
         }
         let gpu = Arc::clone(&self.gpus()[gpu_id]);

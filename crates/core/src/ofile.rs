@@ -54,9 +54,13 @@ impl GpuFsMount {
                 if let Some(parked) = self.tables.take_closed(ino) {
                     let fresh = if parked.mode() == mode {
                         // One read of the write-shared generation table: a
-                        // PCIe access, not a daemon RPC.
+                        // PCIe access, not a daemon RPC. The registered
+                        // staleness probe (the WRAPFS character-device
+                        // query of §4.4) rejects fast; the generation
+                        // equality check is the precise gate.
                         blk.advance(self.timings.rpc_complete_ns);
-                        self.host_fs.consistency().generation(ino) == parked.generation()
+                        !self.host_fs.consistency().is_stale(ino, self.gpu.id())
+                            && self.host_fs.consistency().generation(ino) == parked.generation()
                     } else {
                         false
                     };
@@ -128,6 +132,12 @@ impl GpuFsMount {
             generation,
         ));
         self.tables.insert_open(Arc::clone(&file));
+        // This GPU now caches the file at `generation`: register with the
+        // consistency layer so reopen-time staleness probes (and
+        // multi-GPU audits via `cachers`) see it.
+        self.host_fs
+            .consistency()
+            .register_gpu_cache(ino, self.gpu.id(), generation);
         Ok(GFd { file })
     }
 
@@ -173,7 +183,10 @@ impl GpuFsMount {
         if let Some(displaced) = self.tables.park_closed(Arc::clone(&file)) {
             if !Arc::ptr_eq(&displaced, &file) {
                 // An older cached copy of the same inode: flush its dirty
-                // pages so no local writes are lost, then drop it.
+                // pages so no local writes are lost, then drop it. The
+                // discard unregisters this GPU from the consistency
+                // layer, but the copy just parked is still cached —
+                // restore its registration.
                 self.flush_dirty(blk, &displaced)?;
                 self.discard_file_cache(&displaced);
                 let _ = self.rpc(
@@ -182,6 +195,11 @@ impl GpuFsMount {
                         fd: displaced.host_fd(),
                     },
                 )?;
+                self.host_fs.consistency().register_gpu_cache(
+                    file.ino(),
+                    self.gpu.id(),
+                    file.generation(),
+                );
             }
         }
         Ok(())
@@ -253,6 +271,69 @@ mod tests {
             );
             mount.close(blk, fd).unwrap();
         });
+    }
+
+    #[test]
+    fn consistency_registry_tracks_multi_mount_cachers() {
+        // Two GPUs mount one host: the WRAPFS-like registry must track
+        // exactly which GPUs cache the file, at which generation, across
+        // open → host write → stale reopen → discard.
+        let r = rig(2);
+        r.fs.create("/audit", &[7u8; 4096]).unwrap();
+        let ino = r.fs.ino_of("/audit").unwrap();
+        let m0 = r.host.mount(0, GpufsConfig::small_test()).unwrap();
+        let m1 = r.host.mount(1, GpufsConfig::small_test()).unwrap();
+        assert!(r.fs.consistency().cachers(ino).is_empty());
+        let touch = |mount: &std::sync::Arc<crate::mount::GpuFsMount>,
+                     gpu: &std::sync::Arc<gpusim::Gpu>| {
+            let mount = std::sync::Arc::clone(mount);
+            gpu.launch(gpusim::Grid::new(1, 32), 0, move |blk| {
+                let fd = mount.open(blk, "/audit", GOpenMode::ReadOnly).unwrap();
+                let mut buf = [0u8; 64];
+                mount.read(blk, &fd, 0, &mut buf).unwrap();
+                mount.close(blk, fd).unwrap();
+            });
+        };
+        touch(&m0, &r.gpus[0]);
+        touch(&m1, &r.gpus[1]);
+        assert_eq!(
+            r.fs.consistency().cachers(ino),
+            [0, 1].into_iter().collect(),
+            "both GPUs hold cached (parked) copies"
+        );
+        assert!(!r.fs.consistency().is_stale(ino, 0));
+        assert!(!r.fs.consistency().is_stale(ino, 1));
+
+        // A host write lazily invalidates both registered copies.
+        let (hfd, t) =
+            r.fs.open("/audit", hostfs::OpenFlags::read_write(), 0)
+                .unwrap();
+        r.fs.pwrite(hfd, 0, &[9u8; 64], t).unwrap();
+        r.fs.close(hfd).unwrap();
+        assert!(r.fs.consistency().is_stale(ino, 0));
+        assert!(r.fs.consistency().is_stale(ino, 1));
+
+        // GPU 0 reopens: the stale cache is dropped and refetched, and
+        // its registration moves to the new generation; GPU 1's parked
+        // copy stays registered — and stale — until *it* reopens.
+        touch(&m0, &r.gpus[0]);
+        assert_eq!(
+            r.fs.consistency().cachers(ino),
+            [0, 1].into_iter().collect()
+        );
+        assert!(!r.fs.consistency().is_stale(ino, 0), "refetched fresh");
+        assert!(r.fs.consistency().is_stale(ino, 1), "still lazily stale");
+
+        // Unlink discards GPU 0's cache outright: it unregisters.
+        r.gpus[0].launch(gpusim::Grid::new(1, 32), 0, {
+            let m0 = std::sync::Arc::clone(&m0);
+            move |blk| m0.unlink(blk, "/audit").unwrap()
+        });
+        assert!(
+            !r.fs.consistency().cachers(ino).contains(&0),
+            "discard unregisters the cacher"
+        );
+        drop(m1);
     }
 
     #[test]

@@ -49,14 +49,41 @@ impl DmaEngines {
     /// transaction over the given extents: setup is paid once for the
     /// whole descriptor list (see [`simtime::BandwidthResource::transfer_scattered`]).
     pub fn reserve_h2d_scattered(&self, earliest: Nanos, extent_bytes: &[u64]) -> Reservation {
-        self.h2d.transfer_scattered(earliest, extent_bytes)
+        self.reserve_h2d_chunk(earliest, extent_bytes, true)
     }
 
     /// Reserve the device-to-host direction for one scatter-gather
     /// transaction over the given extents — the write-back mirror of
     /// [`DmaEngines::reserve_h2d_scattered`].
     pub fn reserve_d2h_scattered(&self, earliest: Nanos, extent_bytes: &[u64]) -> Reservation {
-        self.d2h.transfer_scattered(earliest, extent_bytes)
+        self.reserve_d2h_chunk(earliest, extent_bytes, true)
+    }
+
+    /// Reserve the host-to-device direction for one *chunk* of a larger
+    /// scatter-gather transaction: setup is paid only on the `first`
+    /// chunk; continuations stream the already-programmed descriptor list
+    /// at pure bandwidth (see [`simtime::BandwidthResource::transfer_chunk`]).
+    /// The caller serializes chunks of one transaction by threading the
+    /// previous chunk's `end` into `earliest`.
+    pub fn reserve_h2d_chunk(
+        &self,
+        earliest: Nanos,
+        extent_bytes: &[u64],
+        first: bool,
+    ) -> Reservation {
+        self.h2d.transfer_chunk(earliest, extent_bytes, first)
+    }
+
+    /// Reserve the device-to-host direction for one chunk of a larger
+    /// scatter-gather transaction — the write-back mirror of
+    /// [`DmaEngines::reserve_h2d_chunk`].
+    pub fn reserve_d2h_chunk(
+        &self,
+        earliest: Nanos,
+        extent_bytes: &[u64],
+        first: bool,
+    ) -> Reservation {
+        self.d2h.transfer_chunk(earliest, extent_bytes, first)
     }
 
     /// Forget queued work in both directions (between benchmark phases).
@@ -98,12 +125,33 @@ impl Gpu {
     ///
     /// Panics if any destination range is out of bounds.
     pub fn dma_h2d_scattered(&self, parts: &[(&[u8], DevPtr)], earliest: Nanos) -> Reservation {
+        self.dma_h2d_scattered_chunk(parts, earliest, true)
+    }
+
+    /// DMA one *chunk* of a larger scatter-gather transaction into device
+    /// memory: every extent is copied, but the host-to-device setup cost
+    /// is charged only when this is the transaction's `first` chunk. This
+    /// is the timing model behind the daemon's pipelined `ReadPages`
+    /// engine, which streams a batch chunk by chunk so host file I/O of
+    /// chunk *k+1* overlaps the DMA of chunk *k*. Callers serialize the
+    /// chunks of one transaction by passing the previous chunk's `end`
+    /// (max'ed with the data-ready time) as `earliest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any destination range is out of bounds.
+    pub fn dma_h2d_scattered_chunk(
+        &self,
+        parts: &[(&[u8], DevPtr)],
+        earliest: Nanos,
+        first: bool,
+    ) -> Reservation {
         let mut extent_bytes = Vec::with_capacity(parts.len());
         for (src, dst) in parts {
             self.global().write(*dst, src);
             extent_bytes.push(src.len() as u64);
         }
-        self.dma().reserve_h2d_scattered(earliest, &extent_bytes)
+        self.dma().reserve_h2d_chunk(earliest, &extent_bytes, first)
     }
 
     /// DMA several device extents into host buffers as one scatter-gather
@@ -120,12 +168,29 @@ impl Gpu {
         parts: &mut [(DevPtr, &mut [u8])],
         earliest: Nanos,
     ) -> Reservation {
+        self.dma_d2h_scattered_chunk(parts, earliest, true)
+    }
+
+    /// DMA one chunk of a larger device-to-host scatter-gather transaction
+    /// — the write-back mirror of [`Gpu::dma_h2d_scattered_chunk`], behind
+    /// the daemon's pipelined `WritePages` engine (the D2H gather of chunk
+    /// *k+1* overlaps the host `pwrite`s of chunk *k*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source range is out of bounds.
+    pub fn dma_d2h_scattered_chunk(
+        &self,
+        parts: &mut [(DevPtr, &mut [u8])],
+        earliest: Nanos,
+        first: bool,
+    ) -> Reservation {
         let mut extent_bytes = Vec::with_capacity(parts.len());
         for (src, dst) in parts.iter_mut() {
             self.global().read(*src, dst);
             extent_bytes.push(dst.len() as u64);
         }
-        self.dma().reserve_d2h_scattered(earliest, &extent_bytes)
+        self.dma().reserve_d2h_chunk(earliest, &extent_bytes, first)
     }
 }
 
@@ -226,6 +291,33 @@ mod tests {
         assert!(
             (setup..=setup + 2).contains(&saved),
             "batch pays setup once: saved {saved}, setup {setup}"
+        );
+    }
+
+    #[test]
+    fn chunked_scattered_transfer_moves_data_and_pays_setup_once() {
+        let gpu = Gpu::new(0, GpuSpec::small_test());
+        let dst = gpu.global().alloc(2 << 20).unwrap();
+        let a = vec![3u8; 1 << 20];
+        let b = vec![4u8; 1 << 20];
+        let c1 = gpu.dma_h2d_scattered_chunk(&[(&a, dst)], 0, true);
+        let c2 = gpu.dma_h2d_scattered_chunk(&[(&b, dst + (1 << 20))], c1.end, false);
+        let mut out = vec![0u8; 1 << 20];
+        gpu.global().read(dst, &mut out);
+        assert_eq!(out, a);
+        gpu.global().read(dst + (1 << 20), &mut out);
+        assert_eq!(out, b);
+        assert_eq!(c2.start, c1.end, "chunks of one transaction serialize");
+        // Whole transaction costs the same as one scattered batch.
+        let gpu2 = Gpu::new(1, GpuSpec::small_test());
+        let dst2 = gpu2.global().alloc(2 << 20).unwrap();
+        let whole = gpu2.dma_h2d_scattered(&[(&a, dst2), (&b, dst2 + (1 << 20))], 0);
+        // Modulo per-chunk integer rounding of the bandwidth term.
+        let chunked = c2.end - c1.start;
+        assert!(
+            (whole.busy()..=whole.busy() + 1).contains(&chunked),
+            "chunked {chunked} vs whole {}",
+            whole.busy()
         );
     }
 

@@ -11,7 +11,12 @@
 //! We reproduce that as [`Consistency`]: a per-inode generation counter
 //! bumped by every content-changing host operation or foreign
 //! open-for-write, plus a registry of which GPUs hold cached pages of the
-//! file so tests and tools can audit the protocol.
+//! file. The GPUfs core maintains the registry live — `gopen` registers
+//! the generation a GPU's cache reflects, every successful write-back
+//! re-registers the generation it propagated, and dropping a file's
+//! cache unregisters — so [`Consistency::is_stale`] answers the lazy
+//! reopen-time staleness probe and [`Consistency::cachers`] lets tests
+//! and tools audit exactly which GPUs hold a file.
 
 use std::collections::{HashMap, HashSet};
 
@@ -58,9 +63,21 @@ impl Consistency {
     }
 
     /// A GPU registers that it now caches `ino` at generation `gen`.
+    ///
+    /// Registration is *monotonic* per `(ino, gpu)`: generations only
+    /// ever grow on the host, so a registration racing a concurrent
+    /// write-back batch (which re-registers the generation it observed)
+    /// keeps the newest value — a lagging worker can never make a cache
+    /// look staler than it is.
     pub fn register_gpu_cache(&self, ino: Ino, gpu: usize, gen: FileGeneration) {
         let mut files = self.files.lock();
-        files.entry(ino).or_default().gpu_caches.insert(gpu, gen);
+        let slot = files
+            .entry(ino)
+            .or_default()
+            .gpu_caches
+            .entry(gpu)
+            .or_insert(gen);
+        *slot = (*slot).max(gen);
     }
 
     /// A GPU dropped its cached copy of `ino`.
@@ -139,6 +156,21 @@ mod tests {
         c.unregister_gpu_cache(1, 3);
         c.bump(1);
         assert!(!c.is_stale(1, 3));
+    }
+
+    #[test]
+    fn registration_is_monotonic_per_gpu() {
+        let c = Consistency::new();
+        c.bump(4);
+        c.bump(4);
+        c.register_gpu_cache(4, 0, 2);
+        // A lagging writer re-registering an older generation loses.
+        c.register_gpu_cache(4, 0, 1);
+        assert!(!c.is_stale(4, 0), "newest registration wins");
+        // A fresh registration after unregister starts over.
+        c.unregister_gpu_cache(4, 0);
+        c.register_gpu_cache(4, 0, 1);
+        assert!(c.is_stale(4, 0));
     }
 
     #[test]

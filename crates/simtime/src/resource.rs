@@ -93,8 +93,39 @@ impl BandwidthResource {
     /// what makes batched multi-page DMA cheaper than one transfer per
     /// page (the amortization behind GPUfs readahead).
     pub fn transfer_scattered(&self, earliest_start: Nanos, extent_bytes: &[u64]) -> Reservation {
+        self.transfer_chunk(earliest_start, extent_bytes, true)
+    }
+
+    /// Reserve the device for one *chunk* of a larger scatter-gather
+    /// transaction. A transaction streamed chunk by chunk pays the
+    /// per-operation setup once — on its `first` chunk — while later
+    /// chunks continue the already-programmed descriptor list and are
+    /// charged pure bandwidth. This is what lets a producer overlap
+    /// generating chunk *k+1* with the device moving chunk *k* without
+    /// paying one setup per chunk.
+    ///
+    /// Chunks of one transaction are serialized *by the caller*: pass the
+    /// previous chunk's `end` (max'ed with the data-ready time) as
+    /// `earliest_start`. The work-conserving busy model alone orders
+    /// requests only under saturation, which would let chunks of one
+    /// transaction fictitiously overlap each other on an idle device.
+    pub fn transfer_chunk(
+        &self,
+        earliest_start: Nanos,
+        extent_bytes: &[u64],
+        first: bool,
+    ) -> Reservation {
         let total: u64 = extent_bytes.iter().sum();
-        self.transfer(earliest_start, total)
+        let mut dur = bw_time_ns(total, self.mb_per_s);
+        if first {
+            dur = dur.saturating_add(self.setup_ns);
+        }
+        let prior_work = self.busy.fetch_add(dur, Ordering::AcqRel);
+        let start = earliest_start.max(prior_work);
+        Reservation {
+            start,
+            end: start.saturating_add(dur),
+        }
     }
 
     /// Time such a transfer would occupy the device, ignoring queueing.
@@ -196,6 +227,25 @@ mod tests {
             serial_busy - scattered.busy(),
             2 * 10_000,
             "batching saves one setup per extra extent"
+        );
+    }
+
+    #[test]
+    fn chunked_transaction_pays_setup_once_and_serializes_on_caller_order() {
+        let r = BandwidthResource::new(1000.0, 10_000);
+        // One 1 MB transaction streamed as two 500 KB chunks, with the
+        // caller threading prev.end into the next chunk's earliest.
+        let c1 = r.transfer_chunk(0, &[500_000], true);
+        let c2 = r.transfer_chunk(c1.end, &[500_000], false);
+        assert_eq!(c1.busy(), 10_000 + 500_000, "first chunk carries setup");
+        assert_eq!(c2.busy(), 500_000, "continuation is pure bandwidth");
+        assert_eq!(c2.start, c1.end, "chunks never overlap each other");
+        r.reset();
+        let whole = r.transfer(0, 1_000_000);
+        assert_eq!(
+            c2.end - c1.start,
+            whole.busy(),
+            "chunked transaction costs exactly the contiguous transfer"
         );
     }
 

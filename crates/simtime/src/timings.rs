@@ -23,6 +23,13 @@ pub struct Timings {
     pub pcie_pageable_mb_s: f64,
     /// Per-DMA-transaction setup cost (driver + doorbell + descriptor).
     pub dma_setup_ns: Nanos,
+    /// CPU-side cost of submitting one *continuation chunk* of an
+    /// already-set-up scatter-gather transaction (append descriptors +
+    /// ring the doorbell — no driver mapping, so far cheaper than
+    /// [`Timings::dma_setup_ns`]). Charged to the daemon worker's clock
+    /// per extra chunk when a batched RPC is streamed through the
+    /// pipelined I/O engine.
+    pub dma_chunk_ns: Nanos,
     /// Host page-cache streaming read bandwidth, MB/s (paper: 6600 MB/s).
     pub host_cached_mb_s: f64,
     /// Raw disk streaming bandwidth, MB/s (paper: 132 MB/s).
@@ -65,6 +72,7 @@ impl Default for Timings {
             pcie_mb_s: 5731.0,
             pcie_pageable_mb_s: 3100.0,
             dma_setup_ns: 25_000,
+            dma_chunk_ns: 2_000,
             host_cached_mb_s: 6600.0,
             disk_mb_s: 132.0,
             disk_seek_ns: 8_000_000,
@@ -97,6 +105,7 @@ impl Timings {
             pcie_mb_s: 0.0,
             pcie_pageable_mb_s: 0.0,
             dma_setup_ns: 0,
+            dma_chunk_ns: 0,
             ..self.clone()
         }
     }
@@ -141,6 +150,7 @@ mod tests {
         let no_dma = t.without_dma();
         assert_eq!(no_dma.pcie_mb_s, 0.0);
         assert_eq!(no_dma.dma_setup_ns, 0);
+        assert_eq!(no_dma.dma_chunk_ns, 0);
         // Host I/O untouched.
         assert_eq!(no_dma.host_cached_mb_s, t.host_cached_mb_s);
 

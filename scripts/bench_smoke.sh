@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Actually *run* the perf-trajectory recorder bins (fig4_json, fig5_json)
+# at a tiny scale, so the JSONL tooling cannot rot between perf PRs —
+# tests/smoke_targets.rs only proves they still build. Records go to a
+# scratch directory, never to the repo's BENCH_*.json files, and each
+# emitted record is sanity-checked for the headline fields.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+export GPUFS_BENCH_SMOKE=1
+
+echo "== fig4_json (smoke) =="
+cargo run --release -q -p gpufs_bench --bin fig4_json -- "$out_dir/fig4.json"
+grep -q '"bench":"fig4_seq_read"' "$out_dir/fig4.json"
+grep -q '"smoke":true' "$out_dir/fig4.json"
+grep -q '"speedup_64k"' "$out_dir/fig4.json"
+grep -q '"compat"' "$out_dir/fig4.json"
+
+echo "== fig5_json (smoke) =="
+cargo run --release -q -p gpufs_bench --bin fig5_json -- "$out_dir/fig5.json"
+grep -q '"bench":"fig5_breakdown"' "$out_dir/fig5.json"
+grep -q '"smoke":true' "$out_dir/fig5.json"
+grep -q '"overlap_64k"' "$out_dir/fig5.json"
+grep -q '"pipe"' "$out_dir/fig5.json"
+
+echo "bench smoke OK (records in $out_dir, discarded)"
