@@ -9,10 +9,13 @@
 
 use std::sync::Arc;
 
+use gpufs::cluster::{FleetBuilder, ShardStrategy};
 use gpufs::{GOpenMode, GpufsConfig, GpufsHost};
 use gpusim::{Gpu, GpuSpec, Grid};
 use hostfs::{HostFs, HostFsConfig};
 use simtime::{throughput_mb_s, Nanos, Timings};
+use workloads::cluster::cluster_search;
+use workloads::corpus::{gen_image_dataset, ImageDatasetConfig};
 
 /// Dataset scale-down factor relative to the paper's testbed.
 pub const SCALE: u64 = 16;
@@ -80,21 +83,35 @@ pub fn rig_cfg(
     timings: &Timings,
     config: &GpufsConfig,
 ) -> Rig {
-    let fs = Arc::new(HostFs::new(HostFsConfig {
-        timings: timings.clone(),
-        host_mem_bytes,
-        cache_page_size: 64 << 10,
-        readahead_pages: 8,
-    }));
-    let spec = GpuSpec {
-        memory_bytes: gpu_mem_bytes,
-        ..GpuSpec::tesla_c2075()
-    };
+    let fs = paper_host_fs(timings, host_mem_bytes);
+    let spec = paper_gpu_spec(gpu_mem_bytes);
     let gpus: Vec<Arc<Gpu>> = (0..n_gpus)
         .map(|i| Arc::new(Gpu::with_timings(i, spec.clone(), timings)))
         .collect();
     let host = GpufsHost::with_config(Arc::clone(&fs), gpus.clone(), config);
     Rig { fs, host, gpus }
+}
+
+/// The paper-platform host file system every bench rig mounts over:
+/// `host_mem_bytes` of RAM, 64 KB host-cache pages, host readahead 8.
+/// One definition, so the fleet phases and the hand-assembled rigs can
+/// never drift apart (the fleet-of-1 compat assertion depends on it).
+fn paper_host_fs(timings: &Timings, host_mem_bytes: u64) -> Arc<HostFs> {
+    Arc::new(HostFs::new(HostFsConfig {
+        timings: timings.clone(),
+        host_mem_bytes,
+        cache_page_size: 64 << 10,
+        readahead_pages: 8,
+    }))
+}
+
+/// A TESLA C2075 with its memory budget pinned — the GPU every bench
+/// rig and fleet simulates.
+fn paper_gpu_spec(gpu_mem_bytes: usize) -> GpuSpec {
+    GpuSpec {
+        memory_bytes: gpu_mem_bytes,
+        ..GpuSpec::tesla_c2075()
+    }
 }
 
 /// The Figure 4 GPUfs phase: 28 threadblocks `gmmap` consecutive pages of
@@ -134,15 +151,32 @@ pub fn fig4_gpufs_phase_chunk(
         cfg = cfg.with_io_chunk(chunk);
     }
     let r = rig_cfg(1, cache + (64 << 20), 8 << 30, &t, &cfg);
-    r.fs.create_synthetic("/seq.bin", file_bytes, 4).unwrap();
-    // Warm host page cache, as the paper does; keep residency, reset time.
-    let _ = r.fs.read_whole("/seq.bin", 0).unwrap();
-    r.fs.reset_device_time();
-
     let mount = r.host.mount(0, cfg).unwrap();
-    let blocks = r.gpus[0].spec().concurrent_blocks(); // 28, as in the paper
+    throughput_mb_s(
+        file_bytes,
+        fig4_drive(&r.fs, &r.gpus[0], &mount, file_bytes, page),
+    )
+}
+
+/// The Figure-4 measurement proper, shared by every assembly of the rig
+/// (hand-built single mount, daemon pool, fleet of one): create and
+/// warm the synthetic input on `fs` (keep residency, reset time, as the
+/// paper does), then run the paper's 28-threadblock sequential `gmmap`
+/// walk on (`gpu`, `mount`). One body means the fleet-of-1 compat
+/// assertion in `fig_scale_json` always compares identical workloads.
+fn fig4_drive(
+    fs: &Arc<HostFs>,
+    gpu: &Arc<Gpu>,
+    mount: &Arc<gpufs::GpuFsMount>,
+    file_bytes: u64,
+    page: usize,
+) -> Nanos {
+    fs.create_synthetic("/seq.bin", file_bytes, 4).unwrap();
+    let _ = fs.read_whole("/seq.bin", 0).unwrap();
+    fs.reset_device_time();
+    let blocks = gpu.spec().concurrent_blocks(); // 28, as in the paper
     let per_block = file_bytes / blocks as u64;
-    let res = r.gpus[0].launch(Grid::new(blocks, 256), 0, |blk| {
+    let res = gpu.launch(Grid::new(blocks, 256), 0, |blk| {
         let fd = mount.open(blk, "/seq.bin", GOpenMode::ReadOnly).unwrap();
         let base = blk.block_id() as u64 * per_block;
         let mut off = 0u64;
@@ -156,7 +190,7 @@ pub fn fig4_gpufs_phase_chunk(
         }
         mount.close(blk, fd).unwrap();
     });
-    throughput_mb_s(file_bytes, res.elapsed())
+    res.elapsed()
 }
 
 /// The Figure 5 workload: the Figure 4 sequential read re-run under a
@@ -180,10 +214,6 @@ pub fn fig5_phase(
 ) -> Nanos {
     let cache = (file_bytes as usize + 16 * page).next_power_of_two();
     let r = rig_pool(1, cache + (64 << 20), 8 << 30, timings, channels, workers);
-    r.fs.create_synthetic("/seq.bin", file_bytes, 4).unwrap();
-    let _ = r.fs.read_whole("/seq.bin", 0).unwrap();
-    r.fs.reset_device_time();
-
     let mount = r
         .host
         .mount(
@@ -191,21 +221,8 @@ pub fn fig5_phase(
             GpufsConfig::new(page, cache).with_concurrency(channels, workers),
         )
         .unwrap();
-    let blocks = r.gpus[0].spec().concurrent_blocks();
-    let per_block = file_bytes / blocks as u64;
-    let res = r.gpus[0].launch(Grid::new(blocks, 256), 0, |blk| {
-        let fd = mount.open(blk, "/seq.bin", GOpenMode::ReadOnly).unwrap();
-        let base = blk.block_id() as u64 * per_block;
-        let mut off = 0u64;
-        while off < per_block {
-            let map = mount.mmap(blk, &fd, base + off, page).unwrap();
-            let got = map.len() as u64;
-            mount.munmap(blk, map);
-            off += got;
-        }
-        mount.close(blk, fd).unwrap();
-    });
-    res.elapsed()
+    // fig4_drive creates and warms the input itself.
+    fig4_drive(&r.fs, &r.gpus[0], &mount, file_bytes, page)
 }
 
 /// The per-stream pipeline breakdown workload behind the fig5 JSONL
@@ -330,6 +347,116 @@ pub fn write_phase_chunk(
         mb_s: throughput_mb_s(file_bytes, res.elapsed()),
         write_rpcs: mount.counters().write_rpcs.get(),
         pages_per_write_rpc: mount.counters().pages_per_write_rpc.get(),
+    }
+}
+
+/// [`fig4_gpufs_phase`] run through a [`gpufs::cluster::GpuFleet`] of
+/// **one** GPU instead of a hand-assembled rig: the cluster layer must
+/// be a zero-cost composition — a fleet of size 1 is the recorded
+/// single-mount configuration, so this must reproduce
+/// `fig4_gpufs_phase`'s number to four digits (asserted by the
+/// `fig_scale_json` recorder).
+///
+/// # Panics
+///
+/// Panics if the fleet cannot be built or the input file not created.
+#[must_use]
+pub fn fig4_fleet_phase(file_bytes: u64, page: usize, window: usize) -> f64 {
+    let t = Timings::default();
+    let cache = (file_bytes as usize + 16 * page).next_power_of_two();
+    let cfg = GpufsConfig::new(page, cache).with_readahead(window);
+    // The exact host FS and GPU the single-mount phase assembles.
+    let fs = paper_host_fs(&t, 8 << 30);
+    let fleet = FleetBuilder::new(1)
+        .spec(paper_gpu_spec(cache + (64 << 20)))
+        .timings(t)
+        .config(cfg)
+        .host_fs(Arc::clone(&fs))
+        .build()
+        .expect("fleet of one");
+    throughput_mb_s(
+        file_bytes,
+        fig4_drive(&fs, fleet.gpu(0), fleet.mount(0), file_bytes, page),
+    )
+}
+
+/// Outcome of one [`scale_phase`] fleet run.
+#[derive(Debug, Clone)]
+pub struct ScaleOutcome {
+    /// Aggregate scan throughput, corpus bytes / fleet elapsed, MB/s.
+    pub mb_s: f64,
+    /// Fleet elapsed virtual time (slowest GPU).
+    pub elapsed: Nanos,
+    /// Work items migrated between shards.
+    pub steals: u64,
+    /// Database bytes scanned.
+    pub bytes_scanned: u64,
+}
+
+/// Images per database file in the [`scale_phase`] corpora.
+const SCALE_DB_IMAGES: usize = 384;
+/// Vector elements per image (1 KB records).
+const SCALE_DIM: usize = 256;
+/// Queries matched against the corpus.
+const SCALE_QUERIES: usize = 64;
+/// Images per work-queue chunk.
+const SCALE_CHUNK: usize = 16;
+
+/// The multi-GPU image-search scaling workload behind `fig_scale_json`
+/// (paper §6): `db_files` uniform databases (`weight[i]` scales file
+/// `i`'s image count for skew experiments) are sharded across an
+/// `n_gpus` fleet — 64 KB pages, 32 MB buffer cache per GPU, one shared
+/// host FS with a warm page cache — and scanned exhaustively against
+/// the query set under `strategy`.
+///
+/// # Panics
+///
+/// Panics if the fleet cannot be built or the search fails.
+#[must_use]
+pub fn scale_phase(
+    n_gpus: usize,
+    db_files: usize,
+    weights: &[usize],
+    strategy: ShardStrategy,
+) -> ScaleOutcome {
+    let t = Timings::default();
+    let fs = paper_host_fs(&t, 8 << 30);
+    let ds = gen_image_dataset(
+        &fs,
+        &ImageDatasetConfig {
+            dir: "/scaledbs".into(),
+            db_sizes: (0..db_files)
+                .map(|f| SCALE_DB_IMAGES * weights.get(f).copied().unwrap_or(1))
+                .collect(),
+            n_queries: SCALE_QUERIES,
+            dim: SCALE_DIM,
+            match_fraction: 0.5,
+            plant_in_first_db_prefix: false,
+            seed: 1300,
+        },
+    );
+    for path in ds.db_paths.iter().chain([&ds.query_path]) {
+        let _ = fs.read_whole(path, 0).expect("warm host cache");
+    }
+    fs.reset_device_time();
+
+    let fleet = FleetBuilder::new(n_gpus)
+        .spec(paper_gpu_spec(256 << 20))
+        .timings(t)
+        .config(GpufsConfig::new(64 << 10, 32 << 20))
+        .host_fs(Arc::clone(&fs))
+        .build()
+        .expect("scale fleet");
+    let out = cluster_search(&fleet, &ds, 0.5, SCALE_CHUNK, strategy).expect("cluster search");
+    assert_eq!(
+        out.matches, ds.planted,
+        "sharding must never change results"
+    );
+    ScaleOutcome {
+        mb_s: throughput_mb_s(out.bytes_scanned, out.elapsed),
+        elapsed: out.elapsed,
+        steals: out.steals,
+        bytes_scanned: out.bytes_scanned,
     }
 }
 

@@ -67,6 +67,15 @@ pub struct GStat {
 /// pointer into the GPU buffer cache with no per-byte protection. The
 /// Rust port exposes the window read-only; writes go through
 /// [`GpuFsMount::write`], which preserves the same consistency semantics.
+///
+/// **A `GMap` never spans a page boundary.** Buffer-cache pages are not
+/// contiguous in the raw data array, so a wider window cannot exist; a
+/// caller that wants a multi-page range must either loop `gmmap` over
+/// consecutive windows (each call returns how far it got) or use
+/// [`GpuFsMount::read`], whose readahead batches the underlying fetches
+/// into one RPC. The constructor debug-asserts the single-page invariant
+/// so a regression can never silently hand out a mapping that reads past
+/// its pinned frame.
 pub struct GMap<'m> {
     _pin: PagePin,
     ptr: *const u8,
@@ -269,7 +278,22 @@ impl GpuFsMount {
             1
         };
         let pin = self.pin_page_windowed(blk, file, page_idx, window, page_idx)?;
-        let ptr = self.frames.frame_ptr(pin.frame()) + in_page;
+        let frame_base = self.frames.frame_ptr(pin.frame());
+        let ptr = frame_base + in_page;
+        // The single-page contract of `GMap` (see its docs): the mapped
+        // span must end within the pinned frame, because the next file
+        // page lives in an unrelated frame of the raw data array — a
+        // span past the frame boundary would read a stranger's bytes.
+        // Checked against the actual pointer arithmetic, not the length
+        // computation above, so a future change to either side of the
+        // math trips it.
+        debug_assert!(
+            ptr + avail <= frame_base + self.config.page_size,
+            "gmmap window [{in_page}, {}) escapes its {}-byte frame; \
+             multi-page ranges must go through gread/readahead",
+            in_page + avail,
+            self.config.page_size
+        );
         // SAFETY: the pin blocks eviction and re-initialization; readers
         // of an immutable mapping tolerate concurrent gwrites to other
         // bytes exactly as the paper's relaxed gmmap does.

@@ -1,0 +1,512 @@
+//! [`GpuFleet`]: N GPUfs mounts over one shared host file system.
+//!
+//! A fleet is the paper's multi-GPU testbed in one object: every GPU has
+//! its own simulated PCIe link ([`gpusim::Gpu`] with its own
+//! [`simtime::Timings`]-calibrated DMA engines) and its own buffer
+//! cache, while the host file system — and with it the §4.4 consistency
+//! registry — is shared, so cross-GPU coherence traffic is real.
+//!
+//! The daemon topology is a fleet-level choice:
+//!
+//! * **[`DaemonTopology::Shared`]** (default) — one [`GpufsHost`] serves
+//!   every GPU, as the paper's single daemon process does. The host-side
+//!   knobs ([`GpufsConfig::rpc_channels`],
+//!   [`GpufsConfig::daemon_workers`], [`GpufsConfig::io_chunk_pages`])
+//!   come from the fleet's base config, and a per-GPU override that
+//!   names different values is rejected at build — exactly the
+//!   validation `mount` performs for a lone mount, surfaced earlier.
+//! * **[`DaemonTopology::PerGpu`]** — each GPU gets its own daemon
+//!   (worker pool + RPC hub) over the same shared file system, so
+//!   per-GPU overrides may legitimately differ in host-side knobs too.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gpusim::{Gpu, GpuCluster, GpuSpec};
+use hostfs::{HostFs, HostFsConfig};
+use simtime::Timings;
+
+use crate::config::GpufsConfig;
+use crate::daemon::{DaemonStats, GpufsHost};
+use crate::error::{GpufsError, GpufsResult};
+use crate::mount::GpuFsMount;
+
+/// How the fleet's GPUs share CPU-side daemon resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DaemonTopology {
+    /// One daemon (hub + worker pool) serves every GPU — the paper's
+    /// single host process. Per-GPU RPC attribution still works through
+    /// [`GpufsHost::stats_for`].
+    #[default]
+    Shared,
+    /// One daemon per GPU over the same shared host file system: no
+    /// cross-GPU queueing in the communication layer, at the cost of one
+    /// worker pool per device.
+    PerGpu,
+}
+
+/// Builder for a [`GpuFleet`], mirroring [`GpufsConfig`]'s builder style.
+///
+/// Defaults: TESLA C2075 GPUs on the platform-default [`Timings`], the
+/// default [`GpufsConfig`], a shared daemon, and a fresh default host
+/// file system. Everything can be overridden fleet-wide or per GPU.
+#[derive(Debug, Clone)]
+pub struct FleetBuilder {
+    n_gpus: usize,
+    base: GpufsConfig,
+    overrides: HashMap<usize, GpufsConfig>,
+    spec: GpuSpec,
+    timings: Timings,
+    gpu_timings: HashMap<usize, Timings>,
+    topology: DaemonTopology,
+    fs: Option<Arc<HostFs>>,
+}
+
+impl FleetBuilder {
+    /// A builder for a fleet of `n_gpus` GPUs.
+    #[must_use]
+    pub fn new(n_gpus: usize) -> Self {
+        Self {
+            n_gpus,
+            base: GpufsConfig::default(),
+            overrides: HashMap::new(),
+            spec: GpuSpec::tesla_c2075(),
+            timings: Timings::default(),
+            gpu_timings: HashMap::new(),
+            topology: DaemonTopology::Shared,
+            fs: None,
+        }
+    }
+
+    /// Fleet-wide GPUfs configuration (every GPU, unless overridden).
+    #[must_use]
+    pub fn config(mut self, config: GpufsConfig) -> Self {
+        self.base = config;
+        self
+    }
+
+    /// Override the configuration of one GPU (page size, cache budget,
+    /// readahead, ... — under a shared daemon the host-side knobs must
+    /// still match the fleet's base config; [`FleetBuilder::build`]
+    /// rejects an override that disagrees).
+    #[must_use]
+    pub fn gpu_config(mut self, gpu: usize, config: GpufsConfig) -> Self {
+        self.overrides.insert(gpu, config);
+        self
+    }
+
+    /// Hardware spec of every GPU.
+    #[must_use]
+    pub fn spec(mut self, spec: GpuSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Fleet-default timing calibration (PCIe link, and the host FS when
+    /// the builder creates one).
+    #[must_use]
+    pub fn timings(mut self, timings: Timings) -> Self {
+        self.timings = timings;
+        self
+    }
+
+    /// Give one GPU its own timing calibration — e.g. a narrower PCIe
+    /// slot — so the fleet models genuinely independent links.
+    #[must_use]
+    pub fn gpu_timings(mut self, gpu: usize, timings: Timings) -> Self {
+        self.gpu_timings.insert(gpu, timings);
+        self
+    }
+
+    /// Choose the daemon topology (default: [`DaemonTopology::Shared`]).
+    #[must_use]
+    pub fn topology(mut self, topology: DaemonTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Mount the fleet over an existing host file system instead of a
+    /// fresh default one (shared corpora, custom memory budgets).
+    #[must_use]
+    pub fn host_fs(mut self, fs: Arc<HostFs>) -> Self {
+        self.fs = Some(fs);
+        self
+    }
+
+    /// Effective configuration of GPU `gpu`.
+    fn config_of(&self, gpu: usize) -> GpufsConfig {
+        self.overrides
+            .get(&gpu)
+            .cloned()
+            .unwrap_or_else(|| self.base.clone())
+    }
+
+    /// Build the fleet: construct the GPUs, start the daemon(s), and
+    /// mount GPUfs on every GPU.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty fleet, on a per-GPU override whose host-side
+    /// knobs disagree with the shared daemon, or on any `mount` error
+    /// (cache larger than GPU memory, ...).
+    pub fn build(self) -> GpufsResult<GpuFleet> {
+        if self.n_gpus == 0 {
+            return Err(GpufsError::InvalidMode("a fleet needs at least one GPU"));
+        }
+        // An override keyed outside the fleet would be silently dropped
+        // by the loops below — the exact silent no-op this builder exists
+        // to reject (an experiment "slowing GPU 4" of a 4-GPU fleet must
+        // fail loudly, not measure a uniform fleet).
+        if self.overrides.keys().any(|&g| g >= self.n_gpus)
+            || self.gpu_timings.keys().any(|&g| g >= self.n_gpus)
+        {
+            return Err(GpufsError::InvalidMode(
+                "per-GPU config/timings override names a GPU outside the fleet",
+            ));
+        }
+        let fs = self.fs.clone().unwrap_or_else(|| {
+            Arc::new(HostFs::new(HostFsConfig {
+                timings: self.timings.clone(),
+                ..HostFsConfig::default()
+            }))
+        });
+        let links: Vec<(GpuSpec, Timings)> = (0..self.n_gpus)
+            .map(|g| {
+                (
+                    self.spec.clone(),
+                    self.gpu_timings
+                        .get(&g)
+                        .cloned()
+                        .unwrap_or_else(|| self.timings.clone()),
+                )
+            })
+            .collect();
+        let cluster = GpuCluster::heterogeneous(&links);
+        let gpus: Vec<Arc<Gpu>> = cluster.gpus().to_vec();
+
+        let (hosts, host_of) = match self.topology {
+            DaemonTopology::Shared => {
+                // Host-side knobs are daemon state: under one shared
+                // daemon an override that names different values would be
+                // exactly the silent no-op `mount` guards against —
+                // reject it here, where the message can say which GPU.
+                let key = |c: &GpufsConfig| {
+                    (
+                        c.rpc_channels.max(1),
+                        c.daemon_workers.max(1),
+                        c.io_chunk_pages,
+                    )
+                };
+                for over in self.overrides.values() {
+                    if key(over) != key(&self.base) {
+                        return Err(GpufsError::InvalidMode(
+                            "per-GPU override changes rpc_channels/daemon_workers/\
+                             io_chunk_pages under a shared daemon; use \
+                             DaemonTopology::PerGpu for per-GPU host-side knobs",
+                        ));
+                    }
+                }
+                let host = GpufsHost::with_config(Arc::clone(&fs), gpus.clone(), &self.base);
+                (vec![host], vec![0; self.n_gpus])
+            }
+            DaemonTopology::PerGpu => {
+                let hosts: Vec<GpufsHost> = (0..self.n_gpus)
+                    .map(|g| {
+                        GpufsHost::with_config(Arc::clone(&fs), gpus.clone(), &self.config_of(g))
+                    })
+                    .collect();
+                (hosts, (0..self.n_gpus).collect())
+            }
+        };
+
+        let mut mounts = Vec::with_capacity(self.n_gpus);
+        for g in 0..self.n_gpus {
+            mounts.push(hosts[host_of[g]].mount(g, self.config_of(g))?);
+        }
+        Ok(GpuFleet {
+            fs,
+            gpus,
+            hosts,
+            host_of,
+            mounts,
+            topology: self.topology,
+        })
+    }
+}
+
+/// N GPUfs mounts over one shared host file system (see module docs).
+pub struct GpuFleet {
+    fs: Arc<HostFs>,
+    gpus: Vec<Arc<Gpu>>,
+    hosts: Vec<GpufsHost>,
+    /// `host_of[g]` indexes the daemon in `hosts` that serves GPU `g`.
+    host_of: Vec<usize>,
+    mounts: Vec<Arc<GpuFsMount>>,
+    topology: DaemonTopology,
+}
+
+impl std::fmt::Debug for GpuFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuFleet")
+            .field("gpus", &self.gpus.len())
+            .field("daemons", &self.hosts.len())
+            .field("topology", &self.topology)
+            .finish()
+    }
+}
+
+impl GpuFleet {
+    /// A builder for a fleet of `n_gpus` GPUs.
+    #[must_use]
+    pub fn builder(n_gpus: usize) -> FleetBuilder {
+        FleetBuilder::new(n_gpus)
+    }
+
+    /// Number of GPUs in the fleet.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Whether the fleet is empty (never: `build` rejects zero GPUs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gpus.is_empty()
+    }
+
+    /// The shared host file system (and through it the consistency
+    /// registry).
+    #[must_use]
+    pub fn fs(&self) -> &Arc<HostFs> {
+        &self.fs
+    }
+
+    /// The fleet's GPUs.
+    #[must_use]
+    pub fn gpus(&self) -> &[Arc<Gpu>] {
+        &self.gpus
+    }
+
+    /// GPU `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    #[must_use]
+    pub fn gpu(&self, g: usize) -> &Arc<Gpu> {
+        &self.gpus[g]
+    }
+
+    /// Every GPU's mount, indexed by GPU id.
+    #[must_use]
+    pub fn mounts(&self) -> &[Arc<GpuFsMount>] {
+        &self.mounts
+    }
+
+    /// GPU `g`'s mount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    #[must_use]
+    pub fn mount(&self, g: usize) -> &Arc<GpuFsMount> {
+        &self.mounts[g]
+    }
+
+    /// The daemon topology this fleet was built with.
+    #[must_use]
+    pub fn topology(&self) -> DaemonTopology {
+        self.topology
+    }
+
+    /// The daemons (one under [`DaemonTopology::Shared`], one per GPU
+    /// under [`DaemonTopology::PerGpu`]).
+    #[must_use]
+    pub fn hosts(&self) -> &[GpufsHost] {
+        &self.hosts
+    }
+
+    /// The daemon serving GPU `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    #[must_use]
+    pub fn host_for(&self, g: usize) -> &GpufsHost {
+        &self.hosts[self.host_of[g]]
+    }
+
+    /// Daemon activity attributed to GPU `g` alone, whichever topology is
+    /// in use ([`GpufsHost::stats_for`] under a shared daemon; the GPU's
+    /// own daemon's sheet under per-GPU daemons reports the same thing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    #[must_use]
+    pub fn stats_for(&self, g: usize) -> &DaemonStats {
+        self.hosts[self.host_of[g]].stats_for(g)
+    }
+
+    /// Stop every daemon. Idempotent; in-flight requests drain first.
+    pub fn shutdown(&mut self) {
+        for host in &mut self.hosts {
+            host.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GOpenMode;
+    use gpusim::Grid;
+
+    fn small_fleet(n: usize) -> FleetBuilder {
+        GpuFleet::builder(n)
+            .spec(GpuSpec::small_test())
+            .config(GpufsConfig::small_test())
+    }
+
+    #[test]
+    fn fleet_builds_n_mounts_over_one_shared_fs() {
+        let fleet = small_fleet(4).build().unwrap();
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(fleet.hosts().len(), 1, "shared daemon by default");
+        assert_eq!(fleet.topology(), DaemonTopology::Shared);
+        for g in 0..4 {
+            assert_eq!(fleet.gpu(g).id(), g);
+            assert!(Arc::ptr_eq(fleet.fs(), fleet.host_for(g).fs()));
+        }
+        // All four mounts read the same shared file.
+        fleet.fs().create("/shared", &[3u8; 4096]).unwrap();
+        for g in 0..4 {
+            let mount = Arc::clone(fleet.mount(g));
+            fleet.gpu(g).launch(Grid::new(1, 32), 0, move |blk| {
+                let fd = mount.open(blk, "/shared", GOpenMode::ReadOnly).unwrap();
+                let mut buf = [0u8; 64];
+                mount.read(blk, &fd, 0, &mut buf).unwrap();
+                assert!(buf.iter().all(|&b| b == 3));
+                mount.close(blk, fd).unwrap();
+            });
+        }
+        let ino = fleet.fs().ino_of("/shared").unwrap();
+        assert_eq!(
+            fleet.fs().consistency().cachers(ino),
+            (0..4).collect(),
+            "every GPU registered its cached copy"
+        );
+    }
+
+    #[test]
+    fn per_gpu_daemons_give_each_gpu_its_own_host() {
+        let fleet = small_fleet(3)
+            .topology(DaemonTopology::PerGpu)
+            .build()
+            .unwrap();
+        assert_eq!(fleet.hosts().len(), 3);
+        for g in 0..3 {
+            assert!(std::ptr::eq(fleet.host_for(g), &fleet.hosts()[g]));
+        }
+        // Per-GPU daemons may differ in host-side knobs.
+        let fleet = small_fleet(2)
+            .topology(DaemonTopology::PerGpu)
+            .gpu_config(1, GpufsConfig::small_test().with_concurrency(4, 2))
+            .build()
+            .unwrap();
+        assert_eq!(fleet.host_for(0).daemon_workers(), 1);
+        assert_eq!(fleet.host_for(1).daemon_workers(), 2);
+    }
+
+    #[test]
+    fn shared_daemon_rejects_host_side_knob_overrides() {
+        let err = small_fleet(2)
+            .gpu_config(1, GpufsConfig::small_test().with_concurrency(4, 2))
+            .build();
+        assert!(matches!(err, Err(GpufsError::InvalidMode(_))));
+        // GPU-side overrides are fine under a shared daemon.
+        let fleet = small_fleet(2)
+            .gpu_config(1, GpufsConfig::small_test().with_readahead(8))
+            .build()
+            .unwrap();
+        assert_eq!(
+            fleet.mount(1).page_size(),
+            GpufsConfig::small_test().page_size
+        );
+        // And a zero-GPU fleet is rejected outright.
+        assert!(matches!(
+            GpuFleet::builder(0).build(),
+            Err(GpufsError::InvalidMode(_))
+        ));
+        // An override naming a GPU outside the fleet must fail loudly,
+        // never be silently dropped — whichever kind it is.
+        assert!(matches!(
+            small_fleet(2)
+                .gpu_config(2, GpufsConfig::small_test())
+                .build(),
+            Err(GpufsError::InvalidMode(_))
+        ));
+        assert!(matches!(
+            small_fleet(2).gpu_timings(7, Timings::default()).build(),
+            Err(GpufsError::InvalidMode(_))
+        ));
+    }
+
+    #[test]
+    fn per_gpu_timings_make_links_independent() {
+        let slow = Timings {
+            pcie_mb_s: 1000.0,
+            ..Timings::default()
+        };
+        let fleet = small_fleet(2).gpu_timings(1, slow).build().unwrap();
+        assert_eq!(fleet.gpu(0).timings().pcie_mb_s, 5731.0);
+        assert_eq!(fleet.gpu(1).timings().pcie_mb_s, 1000.0);
+        // The slow link really is slower: same single-page fetch, higher
+        // virtual elapsed time. Warm the (shared) host page cache first
+        // so neither GPU pays the one-off disk fetch.
+        fleet.fs().create("/t", &vec![1u8; 16 << 10]).unwrap();
+        let _ = fleet.fs().read_whole("/t", 0).unwrap();
+        let ends: Vec<u64> = (0..2)
+            .map(|g| {
+                let mount = Arc::clone(fleet.mount(g));
+                fleet
+                    .gpu(g)
+                    .launch(Grid::new(1, 32), 0, move |blk| {
+                        let fd = mount.open(blk, "/t", GOpenMode::ReadOnly).unwrap();
+                        let mut buf = vec![0u8; 16 << 10];
+                        mount.read(blk, &fd, 0, &mut buf).unwrap();
+                        mount.close(blk, fd).unwrap();
+                    })
+                    .end
+            })
+            .collect();
+        assert!(
+            ends[1] > ends[0],
+            "narrow link {} must be slower than wide {}",
+            ends[1],
+            ends[0]
+        );
+    }
+
+    #[test]
+    fn fleet_attributes_daemon_stats_per_gpu() {
+        let fleet = small_fleet(2).build().unwrap();
+        fleet.fs().create("/a", &[1u8; 8192]).unwrap();
+        // GPU 0 reads two pages, GPU 1 none.
+        let mount = Arc::clone(fleet.mount(0));
+        fleet.gpu(0).launch(Grid::new(1, 32), 0, move |blk| {
+            let fd = mount.open(blk, "/a", GOpenMode::ReadOnly).unwrap();
+            let mut buf = [0u8; 8192];
+            mount.read(blk, &fd, 0, &mut buf).unwrap();
+            mount.close(blk, fd).unwrap();
+        });
+        assert_eq!(fleet.stats_for(0).bytes_h2d.get(), 8192);
+        assert_eq!(fleet.stats_for(1).bytes_h2d.get(), 0);
+        assert_eq!(fleet.stats_for(1).requests.get(), 0);
+        assert_eq!(
+            fleet.host_for(0).stats().bytes_h2d.get(),
+            8192,
+            "aggregate equals the per-GPU sum"
+        );
+    }
+}

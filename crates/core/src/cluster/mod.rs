@@ -1,0 +1,33 @@
+//! The multi-GPU cluster layer: running N GPUfs mounts as one fleet
+//! (paper §4.4 and §6).
+//!
+//! The paper's headline experiment is not a single GPU: the exhaustive
+//! image search shards one shared file set across up to 8 GPUs, each
+//! running its own buffer cache against a common host file system, kept
+//! coherent by the close-to-open consistency model of §4.4. Everything
+//! below this module composes *one* mount; this layer owns the fleet:
+//!
+//! * **[`fleet`]** — [`GpuFleet`]: N [`crate::GpuFsMount`]s over one
+//!   shared [`hostfs::HostFs`] and consistency registry, each GPU with
+//!   its own simulated PCIe link and buffer cache, built by a
+//!   [`FleetBuilder`] that mirrors [`crate::GpufsConfig`] (per-GPU
+//!   overrides, shared vs per-GPU daemon worker pools) and is validated
+//!   at mount like the existing concurrency knobs.
+//! * **[`sched`]** — work distribution for file-grained jobs:
+//!   [`WorkQueue`] gives static sharding plus a dynamic work-stealing
+//!   mode where an idle GPU steals file chunks from the slowest shard —
+//!   the mechanism the paper's image search needs to balance skewed
+//!   match costs across devices.
+//! * **[`coherence`]** — fleet-level close-to-open enforcement and
+//!   stress machinery: auditing which GPU caches which file at which
+//!   generation (via the registry snapshot), and schedule drivers that
+//!   let tests interleave open→write→close→reopen across K GPUs and
+//!   assert every reopen observes the latest closed generation.
+
+pub mod coherence;
+pub mod fleet;
+pub mod sched;
+
+pub use coherence::{CoherenceOp, FileCoherence, ScheduleReport};
+pub use fleet::{DaemonTopology, FleetBuilder, GpuFleet};
+pub use sched::{ShardStrategy, WorkItem, WorkQueue};

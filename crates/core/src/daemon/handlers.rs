@@ -13,7 +13,7 @@ use hostfs::{FsError, HostFs, OpenFlags};
 use simtime::{Clock, Nanos};
 
 use super::pipeline;
-use super::DaemonStats;
+use super::ServeStats;
 use crate::rpc::{Request, RespOk};
 
 /// Serve one request. Returns the response and the virtual time at which
@@ -22,7 +22,7 @@ use crate::rpc::{Request, RespOk};
 pub(super) fn serve(
     fs: &HostFs,
     gpus: &[Arc<Gpu>],
-    stats: &DaemonStats,
+    stats: &ServeStats<'_>,
     clock: &mut Clock,
     io_chunk_pages: usize,
     _gpu: usize,
@@ -36,7 +36,7 @@ pub(super) fn serve(
             create,
             truncate,
         } => {
-            stats.opens.incr();
+            stats.on(|s| s.opens.incr());
             let flags = OpenFlags {
                 read: true,
                 write: *write,

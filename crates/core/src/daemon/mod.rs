@@ -79,6 +79,26 @@ pub struct DaemonStats {
     pub write_dma_chunks: Counter,
 }
 
+/// The stat sheets one served request lands on: the host-wide aggregate
+/// plus the per-GPU breakdown of the requesting GPU. Every counter
+/// update a handler makes goes through [`ServeStats::on`] so the two
+/// sheets can never drift apart — which is what makes
+/// [`GpufsHost::stats_for`] trustworthy when several mounts share one
+/// daemon.
+pub(crate) struct ServeStats<'a> {
+    all: &'a DaemonStats,
+    gpu: &'a DaemonStats,
+}
+
+impl ServeStats<'_> {
+    /// Apply one counter update to both the aggregate and the per-GPU
+    /// sheet.
+    pub(crate) fn on(&self, f: impl Fn(&DaemonStats)) {
+        f(self.all);
+        f(self.gpu);
+    }
+}
+
 /// The GPUfs host side: file system, GPUs, RPC hub, and the daemon's
 /// worker pool.
 ///
@@ -90,6 +110,11 @@ pub struct GpufsHost {
     gpus: Vec<Arc<Gpu>>,
     hub: Arc<RpcHub>,
     stats: Arc<DaemonStats>,
+    /// Per-GPU breakdown of [`GpufsHost::stats`], indexed by GPU id: when
+    /// several mounts share this daemon, each request is attributed to
+    /// the GPU that issued it (the envelope names it), so fleets can tell
+    /// which GPU generated which RPC traffic.
+    per_gpu_stats: Vec<Arc<DaemonStats>>,
     worker_count: usize,
     io_chunk_pages: usize,
     workers: Vec<JoinHandle<()>>,
@@ -148,6 +173,9 @@ impl GpufsHost {
     ) -> Self {
         let hub = Arc::new(RpcHub::with_channels(rpc_channels));
         let stats = Arc::new(DaemonStats::default());
+        let per_gpu_stats: Vec<Arc<DaemonStats>> = (0..gpus.len())
+            .map(|_| Arc::new(DaemonStats::default()))
+            .collect();
         let worker_count = daemon_workers.max(1);
         let workers = (0..worker_count)
             .map(|w| {
@@ -155,9 +183,10 @@ impl GpufsHost {
                 let gpus = gpus.clone();
                 let hub = Arc::clone(&hub);
                 let stats = Arc::clone(&stats);
+                let per_gpu = per_gpu_stats.clone();
                 std::thread::Builder::new()
                     .name(format!("gpufs-worker-{w}"))
-                    .spawn(move || worker_loop(&fs, &gpus, &hub, &stats, io_chunk_pages))
+                    .spawn(move || worker_loop(&fs, &gpus, &hub, &stats, &per_gpu, io_chunk_pages))
                     .expect("spawn gpufs daemon worker")
             })
             .collect();
@@ -166,6 +195,7 @@ impl GpufsHost {
             gpus,
             hub,
             stats,
+            per_gpu_stats,
             worker_count,
             io_chunk_pages,
             workers,
@@ -190,10 +220,25 @@ impl GpufsHost {
         &self.hub
     }
 
-    /// Daemon activity counters (aggregated over the worker pool).
+    /// Daemon activity counters (aggregated over the worker pool and
+    /// every GPU this daemon serves). See [`GpufsHost::stats_for`] for
+    /// the per-GPU breakdown.
     #[must_use]
     pub fn stats(&self) -> &DaemonStats {
         &self.stats
+    }
+
+    /// Daemon activity counters attributed to GPU `gpu_id` alone. Each
+    /// served request lands on both the aggregate sheet and the sheet of
+    /// the GPU that issued it, so summing `stats_for` over every GPU
+    /// reproduces [`GpufsHost::stats`] counter for counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_id` is not a GPU of this host.
+    #[must_use]
+    pub fn stats_for(&self, gpu_id: usize) -> &DaemonStats {
+        &self.per_gpu_stats[gpu_id]
     }
 
     /// Size of the worker pool this host was started with.
@@ -235,11 +280,16 @@ fn worker_loop(
     gpus: &[Arc<Gpu>],
     hub: &RpcHub,
     stats: &DaemonStats,
+    per_gpu: &[Arc<DaemonStats>],
     io_chunk_pages: usize,
 ) {
     let timings = fs.timings().clone();
     while let Some(env) = hub.next() {
-        stats.requests.incr();
+        let stats = ServeStats {
+            all: stats,
+            gpu: &per_gpu[env.gpu],
+        };
+        stats.on(|s| s.requests.incr());
         // Each request is timed from its own issue point: poll-notice
         // latency plus dispatch, then the host file system and DMA
         // engines — which carry all the real serialization (disk head,
@@ -252,7 +302,7 @@ fn worker_loop(
         let (result, end) = handlers::serve(
             fs,
             gpus,
-            stats,
+            &stats,
             &mut clock,
             io_chunk_pages,
             env.gpu,
@@ -280,6 +330,15 @@ pub(crate) mod testutil {
         let fs = Arc::new(HostFs::new(HostFsConfig::default()));
         let gpu = Arc::new(Gpu::new(0, GpuSpec::small_test()));
         GpufsHost::with_concurrency(fs, vec![gpu], channels, workers)
+    }
+
+    /// A single-channel/single-worker host serving `n` GPUs.
+    pub(crate) fn host_gpus(n: usize) -> GpufsHost {
+        let fs = Arc::new(HostFs::new(HostFsConfig::default()));
+        let gpus = (0..n)
+            .map(|i| Arc::new(Gpu::new(i, GpuSpec::small_test())))
+            .collect();
+        GpufsHost::with_concurrency(fs, gpus, 1, 1)
     }
 
     /// A single-channel/single-worker host whose I/O engine chunks at
@@ -362,6 +421,75 @@ mod tests {
             call(&h, Request::Stat { path: "/".into() }),
             Err(crate::error::GpufsError::DaemonStopped)
         ));
+    }
+
+    #[test]
+    fn stats_are_attributed_per_gpu_and_sum_to_the_aggregate() {
+        use crate::rpc::PageRead;
+        let h = testutil::host_gpus(2);
+        h.fs()
+            .create("/attr", &(0u32..8192).map(|i| i as u8).collect::<Vec<_>>())
+            .unwrap();
+        let t = Timings::default();
+        let open = |write: bool| {
+            let (ok, _) = h
+                .hub()
+                .call(
+                    0,
+                    0,
+                    0,
+                    &t,
+                    Request::Open {
+                        path: "/attr".into(),
+                        write,
+                        create: false,
+                        truncate: false,
+                    },
+                )
+                .unwrap();
+            let RespOk::Opened { fd, .. } = ok else {
+                panic!()
+            };
+            fd
+        };
+        let fd = open(false);
+        // GPU 0 reads three pages, GPU 1 reads one: the envelope's GPU id
+        // decides which breakdown sheet each request lands on.
+        for (gpu, reads) in [(0usize, 3u64), (1, 1)] {
+            for i in 0..reads {
+                let dst = h.gpus()[gpu].global().alloc(512).unwrap();
+                let (_, _) = h
+                    .hub()
+                    .call(
+                        0,
+                        gpu,
+                        0,
+                        &t,
+                        Request::ReadPages {
+                            fd,
+                            pages: vec![PageRead {
+                                offset: i * 512,
+                                len: 512,
+                                dst,
+                            }],
+                            gpu,
+                        },
+                    )
+                    .unwrap();
+            }
+        }
+        let (g0, g1, all) = (h.stats_for(0), h.stats_for(1), h.stats());
+        assert_eq!(g0.bytes_h2d.get(), 3 * 512);
+        assert_eq!(g1.bytes_h2d.get(), 512);
+        assert_eq!(all.bytes_h2d.get(), 4 * 512);
+        // The open went to GPU 0's sheet (its envelope named GPU 0).
+        assert_eq!((g0.opens.get(), g1.opens.get()), (1, 0));
+        // Every counter sums across GPUs to the aggregate.
+        assert_eq!(g0.requests.get() + g1.requests.get(), all.requests.get());
+        assert_eq!(
+            g0.read_dma_chunks.get() + g1.read_dma_chunks.get(),
+            all.read_dma_chunks.get()
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ use gpusim::{DevPtr, Gpu};
 use hostfs::{FsError, HostFd, HostFs};
 use simtime::{Clock, Nanos};
 
-use super::DaemonStats;
+use super::ServeStats;
 use crate::rpc::{PageRead, PageWrite, RespOk};
 
 /// Pages per chunk for a batch of `len` pages under the `io_chunk_pages`
@@ -57,15 +57,17 @@ fn chunk_len(io_chunk_pages: usize, len: usize) -> usize {
 pub(super) fn read_pages(
     fs: &HostFs,
     gpu: &Gpu,
-    stats: &DaemonStats,
+    stats: &ServeStats<'_>,
     clock: &mut Clock,
     io_chunk_pages: usize,
     fd: HostFd,
     pages: &[PageRead],
 ) -> (Result<RespOk, FsError>, Nanos) {
     if pages.len() > 1 {
-        stats.batched_rpcs.incr();
-        stats.pages_per_rpc.add(pages.len() as u64);
+        stats.on(|s| {
+            s.batched_rpcs.incr();
+            s.pages_per_rpc.add(pages.len() as u64);
+        });
     }
     let submit_ns = fs.timings().dma_chunk_ns;
     let mut ns = Vec::with_capacity(pages.len());
@@ -102,10 +104,11 @@ pub(super) fn read_pages(
                 clock.advance(submit_ns);
             }
             let r = gpu.dma_h2d_scattered_chunk(&parts, clock.now().max(dma_end), first_chunk);
-            stats
-                .bytes_h2d
-                .add(parts.iter().map(|(b, _)| b.len() as u64).sum());
-            stats.read_dma_chunks.incr();
+            let chunk_bytes: u64 = parts.iter().map(|(b, _)| b.len() as u64).sum();
+            stats.on(|s| {
+                s.bytes_h2d.add(chunk_bytes);
+                s.read_dma_chunks.incr();
+            });
             dma_end = r.end;
             first_chunk = false;
         }
@@ -121,15 +124,17 @@ pub(super) fn read_pages(
 pub(super) fn write_pages(
     fs: &HostFs,
     gpu: &Gpu,
-    stats: &DaemonStats,
+    stats: &ServeStats<'_>,
     clock: &mut Clock,
     io_chunk_pages: usize,
     fd: HostFd,
     pages: &[PageWrite],
 ) -> (Result<RespOk, FsError>, Nanos) {
     if pages.len() > 1 {
-        stats.batched_write_rpcs.incr();
-        stats.pages_per_write_rpc.add(pages.len() as u64);
+        stats.on(|s| {
+            s.batched_write_rpcs.incr();
+            s.pages_per_write_rpc.add(pages.len() as u64);
+        });
     }
     let issue = clock.now();
     let submit_ns = fs.timings().dma_chunk_ns;
@@ -168,10 +173,11 @@ pub(super) fn write_pages(
         // not after chunk k's pwrites.
         let r = gpu.dma_d2h_scattered_chunk(&mut parts, issue.max(gather_end), first_chunk);
         drop(parts);
-        stats
-            .bytes_d2h
-            .add(staging.iter().map(|b| b.len() as u64).sum());
-        stats.write_dma_chunks.incr();
+        let chunk_bytes: u64 = staging.iter().map(|b| b.len() as u64).sum();
+        stats.on(|s| {
+            s.bytes_d2h.add(chunk_bytes);
+            s.write_dma_chunks.incr();
+        });
         gather_end = r.end;
         first_chunk = false;
         // This chunk's bytes must be in host memory before its pwrites.

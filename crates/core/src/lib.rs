@@ -30,6 +30,11 @@
 //!   is the serialized engine).
 //! * **Consistency layer** — generation-based lazy invalidation against
 //!   the WRAPFS-like registry in [`hostfs`].
+//! * **Cluster layer** — [`cluster`]: a [`GpuFleet`] of N mounts over
+//!   one shared host FS and registry (the paper's §6 multi-GPU
+//!   experiments), with a work-distribution scheduler ([`WorkQueue`]:
+//!   static sharding or work stealing) and fleet-level close-to-open
+//!   auditing/stress machinery.
 //!
 //! ## Example
 //!
@@ -59,6 +64,7 @@
 
 mod api;
 pub mod cache;
+pub mod cluster;
 mod config;
 mod daemon;
 mod error;
@@ -70,6 +76,10 @@ mod table;
 pub(crate) mod testrig;
 
 pub use api::{GFd, GMap, GStat};
+pub use cluster::{
+    CoherenceOp, DaemonTopology, FileCoherence, FleetBuilder, GpuFleet, ScheduleReport,
+    ShardStrategy, WorkItem, WorkQueue,
+};
 pub use config::{GOpenMode, GpufsConfig};
 pub use daemon::{DaemonStats, GpufsHost};
 pub use error::{GpufsError, GpufsResult};

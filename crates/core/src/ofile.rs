@@ -54,13 +54,21 @@ impl GpuFsMount {
                 if let Some(parked) = self.tables.take_closed(ino) {
                     let fresh = if parked.mode() == mode {
                         // One read of the write-shared generation table: a
-                        // PCIe access, not a daemon RPC. The registered
-                        // staleness probe (the WRAPFS character-device
-                        // query of §4.4) rejects fast; the generation
-                        // equality check is the precise gate.
+                        // PCIe access, not a daemon RPC. The decision is
+                        // the *registry's* (the WRAPFS character-device
+                        // query of §4.4), not the parked file's own
+                        // belief: this GPU must still be registered, at
+                        // exactly the current generation — so a foreign
+                        // GPU's write-back (which bumped the generation)
+                        // or a reclaim that drained and unregistered this
+                        // cache behind the parked handle both refuse
+                        // revival, even when the GPU-local generation
+                        // happens to look current.
                         blk.advance(self.timings.rpc_complete_ns);
-                        !self.host_fs.consistency().is_stale(ino, self.gpu.id())
-                            && self.host_fs.consistency().generation(ino) == parked.generation()
+                        let cons = self.host_fs.consistency();
+                        let current = cons.generation(ino);
+                        cons.registered_generation(ino, self.gpu.id()) == Some(current)
+                            && parked.generation() == current
                     } else {
                         false
                     };
@@ -104,9 +112,15 @@ impl GpuFsMount {
             if parked.generation() == generation && parked.mode() == mode {
                 // Cache revival: keep the parked file (and its host fd),
                 // release the descriptor the probe open just created.
+                // Re-register with the consistency layer — this path also
+                // repairs a cache whose registration was dropped (e.g. by
+                // drained-closed-file reclaim) while its pages survived.
                 let _ = self.rpc(blk, Request::Close { fd: host_fd })?;
                 parked.revive();
                 self.tables.insert_open(Arc::clone(&parked));
+                self.host_fs
+                    .consistency()
+                    .register_gpu_cache(ino, self.gpu.id(), generation);
                 return Ok(GFd { file: parked });
             }
             // Stale (or mode-incompatible) cached copy: drop it lazily,
@@ -334,6 +348,54 @@ mod tests {
             "discard unregisters the cacher"
         );
         drop(m1);
+    }
+
+    #[test]
+    fn revival_probe_is_decided_by_the_registry_not_local_state() {
+        // A parked cache whose consistency registration vanished (as
+        // drained-closed-file reclaim does) must NOT revive on the cheap
+        // generation probe alone: the registry no longer vouches for this
+        // GPU. The reopen takes the full-open path — one host open — and
+        // repairs the registration; the surviving pages still revive, so
+        // nothing is refetched.
+        let r = rig(1);
+        r.fs.create("/reg", &[4u8; 8192]).unwrap();
+        let ino = r.fs.ino_of("/reg").unwrap();
+        let mount = r.host.mount(0, GpufsConfig::small_test()).unwrap();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/reg", GOpenMode::ReadOnly).unwrap();
+            let mut buf = [0u8; 8192];
+            mount.read(blk, &fd, 0, &mut buf).unwrap();
+            mount.close(blk, fd).unwrap();
+        });
+        let gen = r.fs.consistency().generation(ino);
+        assert_eq!(r.fs.consistency().registered_generation(ino, 0), Some(gen));
+        // The registration disappears behind the parked handle's back.
+        r.fs.consistency().unregister_gpu_cache(ino, 0);
+        let opens_before = r.host.stats().opens.get();
+        let h2d_before = r.host.stats().bytes_h2d.get();
+        run_block(&r, |blk| {
+            let fd = mount.open(blk, "/reg", GOpenMode::ReadOnly).unwrap();
+            let mut buf = [0u8; 8192];
+            mount.read(blk, &fd, 0, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 4));
+            mount.close(blk, fd).unwrap();
+        });
+        assert_eq!(
+            r.host.stats().opens.get(),
+            opens_before + 1,
+            "an unregistered cache must re-probe through a host open"
+        );
+        assert_eq!(
+            r.host.stats().bytes_h2d.get(),
+            h2d_before,
+            "the surviving pages still revive: nothing refetched"
+        );
+        assert_eq!(
+            r.fs.consistency().registered_generation(ino, 0),
+            Some(gen),
+            "the reopen repaired the registration"
+        );
     }
 
     #[test]

@@ -144,6 +144,28 @@ impl GpuCluster {
         Self { gpus }
     }
 
+    /// Build a cluster from per-GPU `(spec, timings)` pairs — a fleet of
+    /// independent devices whose links may differ (a mixed-generation
+    /// server, or one GPU on a narrower PCIe slot). Each GPU gets its own
+    /// DMA engines calibrated from its own [`Timings`]; ids are assigned
+    /// in order.
+    #[must_use]
+    pub fn heterogeneous(links: &[(GpuSpec, Timings)]) -> Self {
+        let gpus = links
+            .iter()
+            .enumerate()
+            .map(|(id, (spec, timings))| Arc::new(Gpu::with_timings(id, spec.clone(), timings)))
+            .collect();
+        Self { gpus }
+    }
+
+    /// The GPUs as a shared-ownership slice (the shape the GPUfs host
+    /// daemon consumes).
+    #[must_use]
+    pub fn gpus(&self) -> &[Arc<Gpu>] {
+        &self.gpus
+    }
+
     /// Add a GPU, returning its id.
     pub fn add(&mut self, gpu: Gpu) -> GpuId {
         let id = gpu.id();
@@ -191,6 +213,21 @@ mod tests {
         for (i, gpu) in cluster.iter().enumerate() {
             assert_eq!(gpu.id(), i);
         }
+    }
+
+    #[test]
+    fn heterogeneous_cluster_keeps_per_gpu_timings() {
+        let slow = Timings {
+            pcie_mb_s: 2000.0,
+            ..Timings::default()
+        };
+        let cluster = GpuCluster::heterogeneous(&[
+            (GpuSpec::small_test(), Timings::default()),
+            (GpuSpec::small_test(), slow.clone()),
+        ]);
+        assert_eq!(cluster.len(), 2);
+        assert_eq!(cluster.gpus()[0].timings().pcie_mb_s, 5731.0);
+        assert_eq!(cluster.gpus()[1].timings().pcie_mb_s, 2000.0);
     }
 
     #[test]

@@ -34,6 +34,31 @@ struct EntryState {
     gpu_caches: HashMap<usize, FileGeneration>,
 }
 
+/// The registry's view of one file, as reported by
+/// [`Consistency::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileSnapshot {
+    /// The file's inode.
+    pub ino: Ino,
+    /// Current host generation.
+    pub generation: FileGeneration,
+    /// Registered GPU caches as `(gpu, cached_generation)`, sorted by GPU.
+    pub cachers: Vec<(usize, FileGeneration)>,
+}
+
+impl FileSnapshot {
+    /// GPUs whose registered cache lags the current generation — the set
+    /// lazy invalidation will catch up with, one reopen at a time.
+    #[must_use]
+    pub fn stale_cachers(&self) -> Vec<usize> {
+        self.cachers
+            .iter()
+            .filter(|&&(_, gen)| gen < self.generation)
+            .map(|&(g, _)| g)
+            .collect()
+    }
+}
+
 /// The consistency registry (stands in for the modified WRAPFS module).
 #[derive(Debug, Default)]
 pub struct Consistency {
@@ -111,6 +136,59 @@ impl Consistency {
             .unwrap_or_default()
     }
 
+    /// The generation GPU `gpu` is registered as caching `ino` at, or
+    /// `None` if it holds no registration (never cached, or its cache was
+    /// discarded/reclaimed). This is the registry's answer — the WRAPFS
+    /// character-device query of §4.4 — as opposed to whatever the GPU's
+    /// own parked file state believes, so reopen probes can refuse to
+    /// revive a cache the registry no longer vouches for.
+    #[must_use]
+    pub fn registered_generation(&self, ino: Ino, gpu: usize) -> Option<FileGeneration> {
+        self.files
+            .lock()
+            .get(&ino)
+            .and_then(|e| e.gpu_caches.get(&gpu).copied())
+    }
+
+    /// Snapshot of every file the registry tracks: its current generation
+    /// and each registered GPU cache with the generation it reflects.
+    /// Fleet-level tooling iterates this to report cross-GPU coherence
+    /// state (who caches what, who is lazily stale) without poking the
+    /// per-file accessors one inode at a time.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<FileSnapshot> {
+        let files = self.files.lock();
+        let mut out: Vec<FileSnapshot> = files
+            .iter()
+            .map(|(&ino, e)| Self::snap_entry(ino, e))
+            .collect();
+        out.sort_unstable_by_key(|s| s.ino);
+        out
+    }
+
+    /// [`Consistency::snapshot`] for one file: its registry view, or
+    /// `None` if the registry does not track `ino`. One lock, one entry
+    /// — the per-file audit path, so auditing one file never pays for
+    /// the whole registry.
+    #[must_use]
+    pub fn file_snapshot(&self, ino: Ino) -> Option<FileSnapshot> {
+        self.files
+            .lock()
+            .get(&ino)
+            .map(|e| Self::snap_entry(ino, e))
+    }
+
+    fn snap_entry(ino: Ino, e: &EntryState) -> FileSnapshot {
+        let mut cachers: Vec<(usize, FileGeneration)> =
+            e.gpu_caches.iter().map(|(&g, &gen)| (g, gen)).collect();
+        cachers.sort_unstable();
+        FileSnapshot {
+            ino,
+            generation: e.generation,
+            cachers,
+        }
+    }
+
     /// Forget all state for `ino` (file fully gone).
     pub fn forget(&self, ino: Ino) {
         self.files.lock().remove(&ino);
@@ -171,6 +249,47 @@ mod tests {
         c.unregister_gpu_cache(4, 0);
         c.register_gpu_cache(4, 0, 1);
         assert!(c.is_stale(4, 0));
+    }
+
+    #[test]
+    fn registered_generation_reports_the_registry_not_the_gpu() {
+        let c = Consistency::new();
+        assert_eq!(c.registered_generation(8, 0), None, "never registered");
+        c.bump(8);
+        c.register_gpu_cache(8, 0, 1);
+        assert_eq!(c.registered_generation(8, 0), Some(1));
+        c.bump(8);
+        assert_eq!(
+            c.registered_generation(8, 0),
+            Some(1),
+            "a host write moves the generation, not the registration"
+        );
+        c.unregister_gpu_cache(8, 0);
+        assert_eq!(
+            c.registered_generation(8, 0),
+            None,
+            "a discarded cache loses its registration entirely"
+        );
+    }
+
+    #[test]
+    fn snapshot_reports_every_file_and_its_stale_cachers() {
+        let c = Consistency::new();
+        c.bump(3);
+        c.register_gpu_cache(3, 1, 1);
+        c.register_gpu_cache(3, 0, 1);
+        c.bump(3); // both now lazily stale
+        c.register_gpu_cache(3, 0, 2); // GPU 0 refetched
+        c.bump(5);
+        c.register_gpu_cache(5, 2, 1);
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].ino, 3);
+        assert_eq!(snap[0].generation, 2);
+        assert_eq!(snap[0].cachers, vec![(0, 2), (1, 1)]);
+        assert_eq!(snap[0].stale_cachers(), vec![1]);
+        assert_eq!(snap[1].ino, 5);
+        assert_eq!(snap[1].stale_cachers(), Vec::<usize>::new());
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod fs;
 mod inode;
 mod pagecache;
 
-pub use consistency::{Consistency, FileGeneration};
+pub use consistency::{Consistency, FileGeneration, FileSnapshot};
 pub use disk::DiskModel;
 pub use error::FsError;
 pub use fs::{HostFd, HostFs, HostFsConfig, Metadata, OpenFlags};

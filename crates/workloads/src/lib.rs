@@ -15,6 +15,11 @@
 //!   (Table 4): per-threadblock file loop over a source-tree-like corpus,
 //!   with a "vanilla" prefetch-everything GPU baseline and a CPU baseline.
 //!
+//! [`cluster`] scales the image search out: the §6 distributed search
+//! over a `gpufs::cluster::GpuFleet`, sharding the database files across
+//! N GPUs through the fleet's work-distribution queue (static or
+//! work-stealing).
+//!
 //! Supporting modules: [`corpus`] generates the deterministic synthetic
 //! datasets standing in for the paper's inputs (Linux source tree,
 //! Shakespeare, image databases); [`compute`] holds the calibrated
@@ -23,6 +28,7 @@
 //! versions of `strlen`/`strtok`/`sprintf`-style helpers the paper had to
 //! write for GPU code (§5.2.2).
 
+pub mod cluster;
 pub mod compute;
 pub mod corpus;
 pub mod cpu;

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Record the multi-GPU image-search scaling benchmark (1→8 GPU fleet,
+# strong + weak + skew + fleet-of-1 fig4 compat) into BENCH_scale.json
+# (one JSON object per line, appended — the repo's perf trajectory).
+#
+# Usage: scripts/bench_scale.sh [OUT_PATH]   (default: BENCH_scale.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p gpufs_bench --bin fig_scale_json -- "${1:-BENCH_scale.json}"

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Actually *run* the perf-trajectory recorder bins (fig4_json, fig5_json)
-# at a tiny scale, so the JSONL tooling cannot rot between perf PRs —
-# tests/smoke_targets.rs only proves they still build. Records go to a
-# scratch directory, never to the repo's BENCH_*.json files, and each
-# emitted record is sanity-checked for the headline fields.
+# Actually *run* the perf-trajectory recorder bins (fig4_json, fig5_json,
+# fig_scale_json) at a tiny scale, so the JSONL tooling cannot rot
+# between perf PRs — tests/smoke_targets.rs only proves they still
+# build. Records go to a scratch directory, never to the repo's
+# BENCH_*.json files, and each emitted record is sanity-checked for the
+# headline fields.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,5 +26,13 @@ grep -q '"bench":"fig5_breakdown"' "$out_dir/fig5.json"
 grep -q '"smoke":true' "$out_dir/fig5.json"
 grep -q '"overlap_64k"' "$out_dir/fig5.json"
 grep -q '"pipe"' "$out_dir/fig5.json"
+
+echo "== fig_scale_json (smoke: 2-GPU fleet) =="
+cargo run --release -q -p gpufs_bench --bin fig_scale_json -- "$out_dir/scale.json"
+grep -q '"bench":"scale_image_search"' "$out_dir/scale.json"
+grep -q '"smoke":true' "$out_dir/scale.json"
+grep -q '"speedup_max"' "$out_dir/scale.json"
+grep -q '"skew"' "$out_dir/scale.json"
+grep -q '"fleet1_fig4_compat"' "$out_dir/scale.json"
 
 echo "bench smoke OK (records in $out_dir, discarded)"

@@ -1,12 +1,15 @@
 //! Cross-GPU consistency-model tests: the locality-optimized weak
 //! consistency of paper §3.1 — local reads after fetch, propagation only
-//! on explicit sync, visibility to other GPUs only on reopen.
+//! on explicit sync, visibility to other GPUs only on reopen — plus the
+//! K-GPU randomized close-to-open property over the cluster layer.
 
 use std::sync::Arc;
 
+use gpufs::cluster::{CoherenceOp, FleetBuilder};
 use gpufs::{GOpenMode, GpufsConfig, GpufsHost};
 use gpusim::{Gpu, GpuSpec, Grid};
 use hostfs::{HostFs, HostFsConfig};
+use proptest::prelude::*;
 
 fn rig(n_gpus: usize) -> (Arc<HostFs>, GpufsHost, Vec<Arc<Gpu>>) {
     let fs = Arc::new(HostFs::new(HostFsConfig::default()));
@@ -127,6 +130,63 @@ fn two_gpus_produce_one_write_once_file() {
                 .all(|&b| b == lane as u8 + 1),
             "lane {lane} merged incorrectly"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The §4.4 close-to-open property at fleet scale: K ≥ 4 GPUs
+    /// interleave open→write→close→reopen on one shared file under a
+    /// *randomized* schedule, and every reopen must observe the latest
+    /// closed generation — whichever GPU wrote it, however the writers
+    /// and readers alternate. Extends PR 4's deterministic 2-GPU walk.
+    #[test]
+    fn k_gpus_randomized_close_to_open_schedules(
+        k in 4usize..7,
+        steps in proptest::collection::vec((any::<bool>(), any::<prop::sample::Index>()), 6..24),
+    ) {
+        let fleet = FleetBuilder::new(k)
+            .spec(GpuSpec::small_test())
+            .config(GpufsConfig::small_test())
+            .build()
+            .expect("fleet");
+        let mut tag = 0u64;
+        let ops: Vec<CoherenceOp> = steps
+            .iter()
+            .map(|&(write, ref gpu)| {
+                let gpu = gpu.index(k);
+                if write {
+                    tag += 1;
+                    CoherenceOp::WriteClose { gpu, tag }
+                } else {
+                    CoherenceOp::OpenCheck { gpu }
+                }
+            })
+            .collect();
+        let report = fleet
+            .run_close_to_open_schedule("/prop_c2o", &ops)
+            .expect("schedule runs clean");
+        prop_assert_eq!(
+            report.checks,
+            ops.iter()
+                .filter(|op| matches!(op, CoherenceOp::OpenCheck { .. }))
+                .count()
+        );
+        prop_assert!(
+            report.mismatches.is_empty(),
+            "close-to-open violated: {:?} under schedule {:?}",
+            report.mismatches,
+            ops
+        );
+        // The registry never tracks a GPU outside the fleet, and every
+        // registered cache is at most the current generation.
+        for file in fleet.coherence_audit() {
+            for &(gpu, gen) in &file.cachers {
+                prop_assert!(gpu < k);
+                prop_assert!(gen <= file.generation);
+            }
+        }
     }
 }
 

@@ -9,7 +9,13 @@
 
 use std::process::Command;
 
-const EXAMPLES: &[&str] = &["grep_search", "image_search", "matvec_oom", "quickstart"];
+const EXAMPLES: &[&str] = &[
+    "cluster_search",
+    "grep_search",
+    "image_search",
+    "matvec_oom",
+    "quickstart",
+];
 
 const BENCHES: &[&str] = &[
     "ablation_design",
@@ -27,7 +33,7 @@ const BENCHES: &[&str] = &[
 ];
 
 /// Tooling binaries (perf-trajectory recorders driven by `scripts/`).
-const BINS: &[&str] = &["fig4_json", "fig5_json"];
+const BINS: &[&str] = &["fig4_json", "fig5_json", "fig_scale_json"];
 
 fn cargo() -> Command {
     let mut cmd = Command::new(env!("CARGO"));
