@@ -1,0 +1,28 @@
+//! The one sanctioned blocking-backoff primitive.
+//!
+//! Spin loops elsewhere in the crate may `yield_now` freely, but
+//! real-time sleeps are concentrated here so the `xtask lint` `sleep`
+//! rule has a single allowlisted home: an ad-hoc `thread::sleep` hides
+//! ordering bugs (the test suite can't provoke the interleaving it
+//! papers over) and skews the virtual clock's real-time envelope.
+
+use std::time::Duration;
+
+/// How long one sleep round lasts once a retry loop has exhausted its
+/// spin budget. Short enough that a genuinely wedged loop still reaches
+/// its give-up bound in ~0.2 s, long enough to get the OS scheduler to
+/// run whichever thread holds the resource.
+const SLEEP_QUANTUM: Duration = Duration::from_micros(50);
+
+/// Back off inside a zero-progress retry loop: busy-yield for the first
+/// `spin_rounds` fruitless rounds, then fall back to short sleeps.
+///
+/// `fruitless` is the caller's count of consecutive rounds that made no
+/// progress (reset it to zero whenever the loop achieves anything).
+pub(crate) fn spin_then_sleep(fruitless: usize, spin_rounds: usize) {
+    if fruitless > spin_rounds {
+        std::thread::sleep(SLEEP_QUANTUM);
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -71,8 +71,15 @@ impl GpuFsMount {
         &self,
         blk: &mut BlockCtx<'_>,
     ) -> GpufsResult<(FrameIdx, FrameIdx)> {
-        let (frame, pristine) = self.alloc_frames_reclaiming(blk, true)?;
-        Ok((frame, pristine.expect("pair allocation returns two frames")))
+        match self.alloc_frames_reclaiming(blk, true)? {
+            (frame, Some(pristine)) => Ok((frame, pristine)),
+            (frame, None) => {
+                // Unreachable by construction (`pair == true` only returns
+                // with both frames), but losing `frame` here would leak it.
+                self.frames.release(frame);
+                Err(GpufsError::CacheExhausted { requested: 2 })
+            }
+        }
     }
 
     fn alloc_frames_reclaiming(
@@ -95,14 +102,10 @@ impl GpuFsMount {
             }
             if self.reclaim(blk, RECLAIM_BATCH)? == 0 {
                 fruitless += 1;
-                if fruitless > RECLAIM_SPIN_ROUNDS {
-                    // Give in-flight faults (e.g. a readahead batch whose
-                    // frames are claimed across a host RPC) real time to
-                    // publish and become evictable before giving up.
-                    std::thread::sleep(std::time::Duration::from_micros(50));
-                } else {
-                    std::thread::yield_now();
-                }
+                // Give in-flight faults (e.g. a readahead batch whose
+                // frames are claimed across a host RPC) real time to
+                // publish and become evictable before giving up.
+                crate::backoff::spin_then_sleep(fruitless, RECLAIM_SPIN_ROUNDS);
             } else {
                 // Progress was made (even if a concurrent fault won the
                 // race to the freed frame): keep going.
@@ -235,7 +238,12 @@ impl GpuFsMount {
             fp.unlock();
             return None;
         }
-        let frame = fp.frame().expect("ready page has a frame");
+        let Some(frame) = fp.frame() else {
+            // A Ready page always has a frame; treat a violation as
+            // not-detachable rather than tearing the daemon down.
+            fp.unlock();
+            return None;
+        };
         fp.begin_update();
         fp.set_state(PageState::Initializing); // blocks new pins
         fp.set_frame(None);
@@ -265,7 +273,11 @@ impl GpuFsMount {
             fp.unlock();
             return false;
         }
-        let frame = fp.frame().expect("ready page has a frame");
+        let Some(frame) = fp.frame() else {
+            // Same defensive stance as `try_detach_page`.
+            fp.unlock();
+            return false;
+        };
         fp.begin_update();
         fp.set_frame(None);
         fp.set_state(PageState::Empty);

@@ -43,10 +43,14 @@ pub(super) fn serve(
                 create: *create,
                 truncate: *truncate,
             };
-            match fs.open(path, flags, now) {
-                Ok((fd, t)) => {
+            match fs.open(path, flags, now).and_then(|(fd, t)| {
+                // fstat on a freshly opened fd can only fail if the fd
+                // table is corrupt; surface that to the caller as the
+                // open's error instead of panicking the worker.
+                fs.fstat(fd).map(|meta| (fd, t, meta))
+            }) {
+                Ok((fd, t, meta)) => {
                     clock.wait_until(t);
-                    let meta = fs.fstat(fd).expect("fresh fd");
                     let generation = fs.consistency().generation(meta.ino);
                     (
                         Ok(RespOk::Opened {

@@ -187,7 +187,13 @@ impl GpufsHost {
                 std::thread::Builder::new()
                     .name(format!("gpufs-worker-{w}"))
                     .spawn(move || worker_loop(&fs, &gpus, &hub, &stats, &per_gpu, io_chunk_pages))
-                    .expect("spawn gpufs daemon worker")
+                    .unwrap_or_else(|e| {
+                        // No daemon without its worker threads: spawn
+                        // failure (EAGAIN at process thread limits) is fatal
+                        // to construction, and this constructor has no
+                        // Result channel to its callers.
+                        panic!("spawn gpufs daemon worker {w}: {e}")
+                    })
             })
             .collect();
         Self {
@@ -262,7 +268,12 @@ impl GpufsHost {
     pub fn shutdown(&mut self) {
         self.hub.close();
         for handle in self.workers.drain(..) {
-            handle.join().expect("gpufs daemon worker panicked");
+            if let Err(payload) = handle.join() {
+                // A worker that died took in-flight requests with it;
+                // propagate its panic (with the original payload) rather
+                // than reporting a clean shutdown.
+                std::panic::resume_unwind(payload);
+            }
         }
     }
 }

@@ -63,6 +63,7 @@
 //! ```
 
 mod api;
+mod backoff;
 pub mod cache;
 pub mod cluster;
 mod config;

@@ -281,7 +281,12 @@ impl RpcHub {
             *pending += 1;
             self.ready.notify_one();
         }
-        let (result, end) = rx.recv().map_err(|_| GpufsError::DaemonStopped)?;
+        // The round-trip blocks until a daemon worker answers; holding any
+        // shim lock across it would stall every thread that wants that
+        // lock for a full host round-trip (and deadlock outright if the
+        // daemon needs it to answer). Lockcheck flags exactly that.
+        let recv = parking_lot::lockcheck::blocking_region("rpc-roundtrip", || rx.recv());
+        let (result, end) = recv.map_err(|_| GpufsError::DaemonStopped)?;
         let visible = end + timings.rpc_complete_ns;
         match result {
             Ok(ok) => Ok((ok, visible)),

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run the whole test suite with the lockcheck detector active, plus the
+# shim's own detector/semantics tests both with and without the feature.
+#
+# The workspace dev-dependency turns the `lockcheck` feature on for every
+# `cargo test` already; this script makes the contract explicit for CI:
+#
+#   1. the shim's detector tests (seeded ABBA + hold-and-wait regressions,
+#      waiver accounting, semantics equivalence) pass with the feature on;
+#   2. the same shim still passes its plain API tests with the feature
+#      off — the exact code `cargo build --release` ships;
+#   3. the full workspace suite runs clean under the detector: zero
+#      lock-order cycles, zero wait-for cycles, zero unwaived
+#      held-across-RPC findings (waivers live in lockcheck.toml).
+#
+# Usage: scripts/lockcheck.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== shim detector + semantics tests (feature on) =="
+cargo test -q -p parking_lot --features lockcheck
+
+echo "== shim API tests (feature off, the release configuration) =="
+cargo test -q -p parking_lot
+
+echo "== full workspace under the detector =="
+LOCKCHECK=1 cargo test -q
+
+echo "lockcheck: all suites green"

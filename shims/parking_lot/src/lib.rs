@@ -2,16 +2,99 @@
 //!
 //! The build container has no access to crates.io, so this crate provides
 //! the subset of the `parking_lot` 0.12 API the workspace uses — `Mutex`
-//! with non-poisoning guards and `Condvar::wait` taking `&mut MutexGuard` —
-//! implemented on top of `std::sync`. Poisoned std locks are recovered
-//! transparently, matching parking_lot's "no poisoning" semantics.
+//! and `RwLock` with non-poisoning guards and `Condvar::wait` taking
+//! `&mut MutexGuard` — implemented on top of `std::sync`. Poisoned std
+//! locks are recovered transparently, matching parking_lot's "no
+//! poisoning" semantics.
+//!
+//! ## The `lockcheck` feature
+//!
+//! Because every lock in the workspace funnels through this shim (the
+//! `xtask lint` pass enforces it), the shim is also the choke point for
+//! concurrency-correctness checking. With the `lockcheck` feature enabled
+//! — which the workspace turns on for every `cargo test` via
+//! dev-dependencies, and release builds leave off — each acquisition
+//! records its `#[track_caller]` site and thread into the global registry
+//! of [`lockcheck`], which maintains a lock-order graph (cycles panic: a
+//! potential deadlock is reported from one clean run), a wait-for graph
+//! (an actual deadlock panics with both threads' held-lock stacks instead
+//! of hanging), and a held-locks check at [`lockcheck::blocking_region`]
+//! markers. See the module docs of [`lockcheck`] for scope and waivers.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
 
+#[cfg(feature = "lockcheck")]
+use std::sync::atomic::AtomicU64;
+
+#[cfg(feature = "lockcheck")]
+pub mod lockcheck;
+
+/// No-op stand-in for the checker so call sites (e.g. the RPC layer's
+/// [`lockcheck::blocking_region`] markers) compile identically with the
+/// `lockcheck` feature off; every entry point is an inlined passthrough.
+#[cfg(not(feature = "lockcheck"))]
+pub mod lockcheck {
+    /// Always `false` without the `lockcheck` feature.
+    #[inline]
+    #[must_use]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    /// No-op without the `lockcheck` feature.
+    #[inline]
+    pub fn set_enabled(_on: bool) {}
+
+    /// No-op without the `lockcheck` feature.
+    #[inline]
+    pub fn configure(_order: bool, _waitfor: bool, _blocking: bool) {}
+
+    /// Always empty without the `lockcheck` feature.
+    #[inline]
+    #[must_use]
+    pub fn take_reports() -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Always 0 without the `lockcheck` feature.
+    #[inline]
+    #[must_use]
+    pub fn report_count() -> usize {
+        0
+    }
+
+    /// Always 0 without the `lockcheck` feature.
+    #[inline]
+    #[must_use]
+    pub fn waived_count() -> u64 {
+        0
+    }
+
+    /// Passthrough without the `lockcheck` feature.
+    #[inline]
+    pub fn blocking_region<R>(_name: &str, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// No-op without the `lockcheck` feature.
+    #[inline]
+    pub fn custom_acquired(_cell: &std::sync::atomic::AtomicU64, _what: &'static str) -> u64 {
+        0
+    }
+
+    /// No-op without the `lockcheck` feature.
+    #[inline]
+    pub fn custom_released(_id: u64) {}
+}
+
 /// A mutual-exclusion lock with `parking_lot`'s non-poisoning interface.
 pub struct Mutex<T: ?Sized> {
+    /// Registry id of this lock (0 = not yet assigned; assigned from the
+    /// checker's process-global counter on first acquisition).
+    #[cfg(feature = "lockcheck")]
+    lc_id: AtomicU64,
     inner: sync::Mutex<T>,
 }
 
@@ -20,6 +103,8 @@ impl<T> Mutex<T> {
     #[must_use]
     pub const fn new(value: T) -> Self {
         Self {
+            #[cfg(feature = "lockcheck")]
+            lc_id: AtomicU64::new(0),
             inner: sync::Mutex::new(value),
         }
     }
@@ -34,20 +119,67 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        MutexGuard { inner: Some(guard) }
+        #[cfg(feature = "lockcheck")]
+        if lockcheck::enabled() {
+            return self.lock_checked(std::panic::Location::caller());
+        }
+        MutexGuard::new(
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            None,
+        )
+    }
+
+    /// The checked acquisition path: order edges and a cycle check before
+    /// blocking, a deadlock-detecting wait loop instead of a bare block.
+    #[cfg(feature = "lockcheck")]
+    fn lock_checked(&self, site: lockcheck::Site) -> MutexGuard<'_, T> {
+        let id = lockcheck::ensure_id(&self.lc_id);
+        lockcheck::pre_blocking_acquire(id, "Mutex", site, lockcheck::Kind::Exclusive);
+        let mut slot = None;
+        lockcheck::wait_acquire(id, "Mutex", site, || match self.inner.try_lock() {
+            Ok(g) => {
+                slot = Some(g);
+                true
+            }
+            Err(sync::TryLockError::Poisoned(e)) => {
+                slot = Some(e.into_inner());
+                true
+            }
+            Err(sync::TryLockError::WouldBlock) => false,
+        });
+        lockcheck::acquired(id, "Mutex", site, lockcheck::Kind::Exclusive);
+        MutexGuard::new(
+            slot.expect("wait_acquire returned without a guard"),
+            Some(id),
+        )
     }
 
     /// Attempts to acquire the lock without blocking.
+    ///
+    /// A successful `try_lock` joins the held-lock stack but records no
+    /// lock-order edge: an acquisition that cannot wait cannot contribute
+    /// to a deadlock cycle.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
-            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
+        let guard = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lockcheck")]
+        if lockcheck::enabled() {
+            let id = lockcheck::ensure_id(&self.lc_id);
+            lockcheck::acquired(
+                id,
+                "Mutex",
+                std::panic::Location::caller(),
+                lockcheck::Kind::Exclusive,
+            );
+            return Some(MutexGuard::new(guard, Some(id)));
         }
+        Some(MutexGuard::new(guard, None))
     }
 
     /// Returns a mutable reference to the protected value (no locking
@@ -79,6 +211,37 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 /// option is `Some` at all times outside that exchange.
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<sync::MutexGuard<'a, T>>,
+    /// Registry id this guard is tracked under (`None` = untracked:
+    /// feature off, or checker disabled at acquisition time).
+    #[cfg(feature = "lockcheck")]
+    lc: Option<u64>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    #[cfg(feature = "lockcheck")]
+    fn new(inner: sync::MutexGuard<'a, T>, lc: Option<u64>) -> Self {
+        Self {
+            inner: Some(inner),
+            lc,
+        }
+    }
+
+    #[cfg(not(feature = "lockcheck"))]
+    fn new(inner: sync::MutexGuard<'a, T>, _lc: Option<u64>) -> Self {
+        Self { inner: Some(inner) }
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Unregister before the field drop actually unlocks: a transient
+        // "held but unregistered" window can only miss a report, never
+        // fabricate a double-holder.
+        if let Some(id) = self.lc {
+            lockcheck::released(id);
+        }
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -101,6 +264,259 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
     }
 }
 
+/// A reader-writer lock with `parking_lot`'s non-poisoning interface.
+pub struct RwLock<T: ?Sized> {
+    /// Registry id of this lock (0 = not yet assigned).
+    #[cfg(feature = "lockcheck")]
+    lc_id: AtomicU64,
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock protecting `value`.
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        Self {
+            #[cfg(feature = "lockcheck")]
+            lc_id: AtomicU64::new(0),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock, blocking until it is available.
+    ///
+    /// One thread may hold several read locks on the same `RwLock`
+    /// (read recursion); the checker does not flag it.
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "lockcheck")]
+        if lockcheck::enabled() {
+            let site = std::panic::Location::caller();
+            let id = lockcheck::ensure_id(&self.lc_id);
+            lockcheck::pre_blocking_acquire(id, "RwLock(read)", site, lockcheck::Kind::Shared);
+            let mut slot = None;
+            lockcheck::wait_acquire(id, "RwLock(read)", site, || match self.inner.try_read() {
+                Ok(g) => {
+                    slot = Some(g);
+                    true
+                }
+                Err(sync::TryLockError::Poisoned(e)) => {
+                    slot = Some(e.into_inner());
+                    true
+                }
+                Err(sync::TryLockError::WouldBlock) => false,
+            });
+            lockcheck::acquired(id, "RwLock(read)", site, lockcheck::Kind::Shared);
+            return RwLockReadGuard::new(
+                slot.expect("wait_acquire returned without a guard"),
+                Some(id),
+            );
+        }
+        RwLockReadGuard::new(
+            self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            None,
+        )
+    }
+
+    /// Acquires the exclusive write lock, blocking until it is available.
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "lockcheck")]
+        if lockcheck::enabled() {
+            let site = std::panic::Location::caller();
+            let id = lockcheck::ensure_id(&self.lc_id);
+            lockcheck::pre_blocking_acquire(id, "RwLock(write)", site, lockcheck::Kind::Exclusive);
+            let mut slot = None;
+            lockcheck::wait_acquire(id, "RwLock(write)", site, || match self.inner.try_write() {
+                Ok(g) => {
+                    slot = Some(g);
+                    true
+                }
+                Err(sync::TryLockError::Poisoned(e)) => {
+                    slot = Some(e.into_inner());
+                    true
+                }
+                Err(sync::TryLockError::WouldBlock) => false,
+            });
+            lockcheck::acquired(id, "RwLock(write)", site, lockcheck::Kind::Exclusive);
+            return RwLockWriteGuard::new(
+                slot.expect("wait_acquire returned without a guard"),
+                Some(id),
+            );
+        }
+        RwLockWriteGuard::new(
+            self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            None,
+        )
+    }
+
+    /// Attempts to acquire a shared read lock without blocking. Records
+    /// no lock-order edge (see [`Mutex::try_lock`]).
+    #[track_caller]
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let guard = match self.inner.try_read() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lockcheck")]
+        if lockcheck::enabled() {
+            let id = lockcheck::ensure_id(&self.lc_id);
+            lockcheck::acquired(
+                id,
+                "RwLock(read)",
+                std::panic::Location::caller(),
+                lockcheck::Kind::Shared,
+            );
+            return Some(RwLockReadGuard::new(guard, Some(id)));
+        }
+        Some(RwLockReadGuard::new(guard, None))
+    }
+
+    /// Attempts to acquire the write lock without blocking. Records no
+    /// lock-order edge (see [`Mutex::try_lock`]).
+    #[track_caller]
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let guard = match self.inner.try_write() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lockcheck")]
+        if lockcheck::enabled() {
+            let id = lockcheck::ensure_id(&self.lc_id);
+            lockcheck::acquired(
+                id,
+                "RwLock(write)",
+                std::panic::Location::caller(),
+                lockcheck::Kind::Exclusive,
+            );
+            return Some(RwLockWriteGuard::new(guard, Some(id)));
+        }
+        Some(RwLockWriteGuard::new(guard, None))
+    }
+
+    /// Returns a mutable reference to the protected value (no locking
+    /// needed: `&mut self` proves exclusive access).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(guard) => f.debug_struct("RwLock").field("data", &&*guard).finish(),
+            None => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII shared guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    #[cfg(feature = "lockcheck")]
+    lc: Option<u64>,
+}
+
+impl<'a, T: ?Sized> RwLockReadGuard<'a, T> {
+    #[cfg(feature = "lockcheck")]
+    fn new(inner: sync::RwLockReadGuard<'a, T>, lc: Option<u64>) -> Self {
+        Self { inner, lc }
+    }
+
+    #[cfg(not(feature = "lockcheck"))]
+    fn new(inner: sync::RwLockReadGuard<'a, T>, _lc: Option<u64>) -> Self {
+        Self { inner }
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.lc {
+            lockcheck::released(id);
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// RAII exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "lockcheck")]
+    lc: Option<u64>,
+}
+
+impl<'a, T: ?Sized> RwLockWriteGuard<'a, T> {
+    #[cfg(feature = "lockcheck")]
+    fn new(inner: sync::RwLockWriteGuard<'a, T>, lc: Option<u64>) -> Self {
+        Self { inner, lc }
+    }
+
+    #[cfg(not(feature = "lockcheck"))]
+    fn new(inner: sync::RwLockWriteGuard<'a, T>, _lc: Option<u64>) -> Self {
+        Self { inner }
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.lc {
+            lockcheck::released(id);
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
 /// A condition variable usable with [`MutexGuard`] by `&mut` reference.
 pub struct Condvar {
     inner: sync::Condvar,
@@ -117,13 +533,43 @@ impl Condvar {
 
     /// Atomically releases the guarded lock and waits for a notification,
     /// reacquiring the lock before returning.
+    ///
+    /// Under `lockcheck` the release and reacquisition are mirrored into
+    /// the registry (the reacquisition records lock-order edges against
+    /// locks still held across the wait), but the block inside
+    /// `std::sync::Condvar::wait` itself is not interposed in the
+    /// wait-for graph.
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(feature = "lockcheck")]
+        let lc = {
+            let lc = guard.lc;
+            if let Some(id) = lc {
+                lockcheck::released(id);
+                lockcheck::pre_blocking_acquire(
+                    id,
+                    "Mutex",
+                    std::panic::Location::caller(),
+                    lockcheck::Kind::Exclusive,
+                );
+            }
+            lc
+        };
         let std_guard = guard.inner.take().expect("guard invariant");
         let std_guard = self
             .inner
             .wait(std_guard)
             .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(std_guard);
+        #[cfg(feature = "lockcheck")]
+        if let Some(id) = lc {
+            lockcheck::acquired(
+                id,
+                "Mutex",
+                std::panic::Location::caller(),
+                lockcheck::Kind::Exclusive,
+            );
+        }
     }
 
     /// Wakes one thread blocked in [`Condvar::wait`].
@@ -169,6 +615,28 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(1);
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_try_paths_respect_contention() {
+        let l = RwLock::new(0);
+        let r = l.read();
+        assert!(l.try_read().is_some(), "read-shared try_read succeeds");
+        assert!(l.try_write().is_none(), "try_write fails under a reader");
+        drop(r);
+        let w = l.try_write().expect("uncontended try_write succeeds");
+        drop(w);
+        let w = l.write();
+        assert!(l.try_read().is_none(), "try_read fails under a writer");
+        drop(w);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Seeded regressions for the lock-correctness checker: the detector —
+//! not a timeout — must catch the bug shapes this repo has actually
+//! shipped fixes for (the PR-2 pair-alloc hold-and-wait deadlock and a
+//! 2-lock ABBA inversion), and a clean run must report nothing.
+//!
+//! The checker's registry, report log, and check toggles are process
+//! globals, so every test here serializes on one mutex and drains the
+//! report log on entry and exit.
+
+#![cfg(feature = "lockcheck")]
+
+use std::sync::{Arc, Barrier, Mutex as StdMutex, PoisonError};
+
+use parking_lot::{lockcheck, Mutex};
+
+static SERIAL: StdMutex<()> = StdMutex::new(());
+
+/// Serialize the test, reset toggles to defaults, and drain stale reports.
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    let guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    lockcheck::set_enabled(true);
+    lockcheck::configure(true, true, true);
+    let _ = lockcheck::take_reports();
+    guard
+}
+
+#[test]
+fn abba_inversion_is_reported_from_one_clean_run() {
+    let _serial = serialized();
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+
+    // Thread 1 takes A then B and finishes completely before thread 2
+    // starts: the runs never overlap, so no deadlock can actually occur —
+    // the *order graph* alone must convict the inversion.
+    {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        std::thread::spawn(move || {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop((ga, gb));
+        })
+        .join()
+        .expect("A->B order is clean");
+    }
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let inverted = std::thread::spawn(move || {
+        let gb = b2.lock();
+        let ga = a2.lock(); // closes the cycle: panics here
+        drop((gb, ga));
+    })
+    .join();
+    assert!(inverted.is_err(), "the inverted order must panic");
+    let reports = lockcheck::take_reports();
+    assert_eq!(reports.len(), 1, "exactly one cycle report");
+    assert!(
+        reports[0].contains("lock-order cycle"),
+        "report names the finding: {}",
+        reports[0]
+    );
+    assert!(
+        reports[0].contains("lockcheck.rs"),
+        "report carries the acquisition sites: {}",
+        reports[0]
+    );
+}
+
+#[test]
+fn pair_alloc_hold_and_wait_panics_instead_of_hanging() {
+    let _serial = serialized();
+    // The PR-2 pair-alloc shape: every fault needs two frames, grabs them
+    // one at a time, and two faults approach the pool from opposite ends —
+    // each holds its first frame while waiting for the other's. Disable
+    // the order-graph check so the *wait-for* detector (not the static
+    // cycle check) is what converts the hang into a panic.
+    lockcheck::configure(false, true, true);
+    let frame1 = Arc::new(Mutex::new("frame-1"));
+    let frame2 = Arc::new(Mutex::new("frame-2"));
+    let both_hold = Arc::new(Barrier::new(2));
+
+    let spawn_fault =
+        |first: Arc<Mutex<&'static str>>, second: Arc<Mutex<&'static str>>, gate: Arc<Barrier>| {
+            std::thread::Builder::new()
+                .name("pair-alloc-fault".into())
+                .spawn(move || {
+                    let g1 = first.lock();
+                    gate.wait(); // both faults now hold one frame each
+                    let g2 = second.lock(); // hold-and-wait: would hang forever
+                    drop((g1, g2));
+                })
+                .expect("spawn fault thread")
+        };
+    let t1 = spawn_fault(
+        Arc::clone(&frame1),
+        Arc::clone(&frame2),
+        Arc::clone(&both_hold),
+    );
+    let t2 = spawn_fault(
+        Arc::clone(&frame2),
+        Arc::clone(&frame1),
+        Arc::clone(&both_hold),
+    );
+    let outcomes = [t1.join(), t2.join()];
+    assert!(
+        outcomes.iter().any(Result::is_err),
+        "at least one fault must panic out of the deadlock"
+    );
+    let reports = lockcheck::take_reports();
+    assert!(
+        !reports.is_empty(),
+        "the wait-for detector must file a report"
+    );
+    assert!(
+        reports[0].contains("deadlock (wait-for cycle)"),
+        "report names the finding: {}",
+        reports[0]
+    );
+    // The report must show *both* threads' held-lock stacks.
+    assert!(
+        reports[0].matches("pair-alloc-fault").count() >= 2,
+        "both deadlocked threads appear: {}",
+        reports[0]
+    );
+    assert!(
+        reports[0].matches("acquired at").count() >= 2,
+        "held stacks with sites for both threads: {}",
+        reports[0]
+    );
+    lockcheck::configure(true, true, true);
+}
+
+#[test]
+fn self_deadlock_is_reported() {
+    let _serial = serialized();
+    let outcome = std::thread::spawn(|| {
+        let m = Mutex::new(());
+        let g = m.lock();
+        let g2 = m.lock(); // would block on ourselves forever
+        drop((g, g2));
+    })
+    .join();
+    assert!(outcome.is_err(), "recursive lock must panic");
+    let reports = lockcheck::take_reports();
+    assert!(reports[0].contains("self-deadlock"), "{}", reports[0]);
+}
+
+#[test]
+fn blocking_region_flags_a_held_lock() {
+    let _serial = serialized();
+    let outcome = std::thread::spawn(|| {
+        let m = Mutex::new(());
+        let g = m.lock();
+        // The canonical latent-hang shape: a lock held across an RPC
+        // round-trip. The marker must refuse it.
+        lockcheck::blocking_region("test-rpc-roundtrip", || 42);
+        drop(g);
+    })
+    .join();
+    assert!(outcome.is_err(), "held lock across blocking region panics");
+    let reports = lockcheck::take_reports();
+    assert!(
+        reports[0].contains("blocking region \"test-rpc-roundtrip\""),
+        "{}",
+        reports[0]
+    );
+}
+
+#[test]
+fn clean_runs_report_nothing() {
+    let _serial = serialized();
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+    // Consistent A->B nesting from several threads, try_lock traffic, and
+    // an unlocked blocking region: all clean, so the detector must stay
+    // silent and the report log empty.
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let mut ga = a.lock();
+                    *ga += 1;
+                    let mut gb = b.lock();
+                    *gb += 1;
+                    drop(gb);
+                    drop(ga);
+                    if let Some(mut g) = b.try_lock() {
+                        *g += 1;
+                    }
+                    lockcheck::blocking_region("clean-roundtrip", || ());
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("clean schedule must not panic");
+    }
+    assert_eq!(
+        lockcheck::take_reports(),
+        Vec::<String>::new(),
+        "a clean run files no reports"
+    );
+}

@@ -1,0 +1,164 @@
+//! Shim-semantics coverage the detector depends on: `RwLock`
+//! read-recursion, `Condvar` spurious-wakeup handling, and `try_lock`
+//! paths must behave identically with the checker on and off — the
+//! instrumentation may only observe, never alter results.
+//!
+//! The on/off comparison uses the runtime switch ([`lockcheck::set_enabled`])
+//! so both modes run in one process; the feature-off compile is separately
+//! exercised by the shim's own `cargo test -p parking_lot` (no features).
+
+use std::sync::{Arc, Barrier, Mutex as StdMutex, PoisonError};
+
+use parking_lot::{lockcheck, Condvar, Mutex, RwLock};
+
+static SERIAL: StdMutex<()> = StdMutex::new(());
+
+/// Run `f` twice — checker enabled, then disabled — and return both
+/// results for equality assertions. Serialized: the switch is global.
+fn on_and_off<R>(f: impl Fn() -> R) -> (R, R) {
+    let _serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    lockcheck::configure(true, true, true);
+    lockcheck::set_enabled(true);
+    let on = f();
+    lockcheck::set_enabled(false);
+    let off = f();
+    lockcheck::set_enabled(true);
+    let _ = lockcheck::take_reports();
+    (on, off)
+}
+
+#[test]
+fn rwlock_read_recursion_works_identically() {
+    let (on, off) = on_and_off(|| {
+        let l = RwLock::new(7u64);
+        let outer = l.read();
+        let inner = l.read(); // same-thread read recursion is supported
+        let nested = l.try_read().map(|g| *g);
+        let sum = *outer + *inner;
+        drop((outer, inner));
+        // After all readers unwind, a writer gets through.
+        *l.write() += 1;
+        let last = *l.read();
+        (sum, nested, last)
+    });
+    assert_eq!(on, off);
+    assert_eq!(on, (14, Some(7), 8));
+}
+
+#[test]
+fn rwlock_readers_block_writers_identically() {
+    let (on, off) = on_and_off(|| {
+        let l = Arc::new(RwLock::new(0u64));
+        let gate = Arc::new(Barrier::new(2));
+        let reader = {
+            let (l, gate) = (Arc::clone(&l), Arc::clone(&gate));
+            std::thread::spawn(move || {
+                let g = l.read();
+                gate.wait(); // main thread now probes try_write
+                gate.wait(); // hold the read lock until probed
+                *g
+            })
+        };
+        gate.wait();
+        let blocked = l.try_write().is_none();
+        gate.wait();
+        let seen = reader.join().expect("reader thread");
+        *l.write() += 3;
+        let last = *l.read();
+        (blocked, seen, last)
+    });
+    assert_eq!(on, off);
+    assert_eq!(on, (true, 0, 3));
+}
+
+#[test]
+fn condvar_spurious_wakeups_are_absorbed_identically() {
+    let (on, off) = on_and_off(|| {
+        let state = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let gate = Arc::new(Barrier::new(2));
+        let waiter = {
+            let state = Arc::clone(&state);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let (lock, cvar) = &*state;
+                let mut count = lock.lock();
+                // Holding the lock across the barrier guarantees the main
+                // thread's first increment can only happen after this
+                // thread has released it inside `cvar.wait` — so at least
+                // one real wait always occurs.
+                gate.wait();
+                let mut wakeups = 0u32;
+                // The guard-the-predicate loop: spurious notifies (the two
+                // below that don't change the predicate) must be absorbed,
+                // not treated as completion.
+                while *count < 3 {
+                    cvar.wait(&mut count);
+                    wakeups += 1;
+                }
+                (*count, wakeups)
+            })
+        };
+        let (lock, cvar) = &*state;
+        gate.wait();
+        for _ in 0..2 {
+            // Spurious: wake without satisfying the predicate.
+            cvar.notify_all();
+            std::thread::yield_now();
+        }
+        for _ in 0..3 {
+            *lock.lock() += 1;
+            cvar.notify_all();
+        }
+        let (count, wakeups) = waiter.join().expect("waiter thread");
+        assert!(wakeups >= 1, "the waiter actually waited");
+        count
+    });
+    assert_eq!(on, off);
+    assert_eq!(on, 3);
+}
+
+#[test]
+fn try_lock_contention_outcomes_are_identical() {
+    let (on, off) = on_and_off(|| {
+        let m = Mutex::new(5u32);
+        let free = m.try_lock().map(|g| *g);
+        let held = m.lock();
+        let contended = m.try_lock().is_none();
+        drop(held);
+        let refree = m.try_lock().is_some();
+        (free, contended, refree)
+    });
+    assert_eq!(on, off);
+    assert_eq!(on, (Some(5), true, true));
+}
+
+#[test]
+fn counters_match_under_contention_on_and_off() {
+    // A fixed workload — N threads, K increments each, mixed lock and
+    // try_lock traffic — must produce the same final counter either way.
+    let (on, off) = on_and_off(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        if i % 3 == 0 {
+                            if let Some(mut g) = m.try_lock() {
+                                *g += 1;
+                                continue;
+                            }
+                        }
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker");
+        }
+        Arc::try_unwrap(m).expect("all threads joined").into_inner()
+    });
+    assert_eq!(on, off);
+    assert_eq!(on, 4 * 200);
+}

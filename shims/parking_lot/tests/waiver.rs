@@ -1,0 +1,53 @@
+//! Waiver-path coverage: a named entry in the TOML file named by
+//! `LOCKCHECK_TOML` suppresses a matching finding — counted, never
+//! silent — while non-matching findings still panic.
+//!
+//! Lives in its own integration-test binary because the waiver table is
+//! cached process-wide on first use: the env var must be set before any
+//! check fires, and must not leak into the other detector tests.
+
+#![cfg(feature = "lockcheck")]
+
+use parking_lot::{lockcheck, Mutex};
+
+#[test]
+fn waivers_suppress_matching_findings_and_count_them() {
+    let dir = std::env::temp_dir().join(format!("lockcheck-waiver-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let toml = dir.join("lockcheck.toml");
+    std::fs::write(
+        &toml,
+        r#"
+# Test-only waiver table.
+[[waiver]]
+name = "waived-blocking-region"
+reason = "seeded by tests/waiver.rs to prove the waiver path works"
+match = ["lock held across blocking region", "waiver-demo"]
+"#,
+    )
+    .expect("write waiver file");
+    // Must happen before the first finding loads the (cached) table.
+    std::env::set_var("LOCKCHECK_TOML", &toml);
+    lockcheck::set_enabled(true);
+    lockcheck::configure(true, true, true);
+
+    let m = Mutex::new(());
+    let g = m.lock();
+    // Matches the waiver: runs instead of panicking, and is counted.
+    let value = lockcheck::blocking_region("waiver-demo", || 42);
+    assert_eq!(value, 42);
+    assert_eq!(lockcheck::waived_count(), 1, "suppression is counted");
+    drop(g);
+
+    // A finding the waiver does NOT match still panics.
+    let unwaived = std::thread::spawn(|| {
+        let m = Mutex::new(());
+        let g = m.lock();
+        lockcheck::blocking_region("not-waived", || ());
+        drop(g);
+    })
+    .join();
+    assert!(unwaived.is_err(), "non-matching finding still panics");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,629 @@
+//! The `xtask lint` pass: source-level workspace invariants.
+//!
+//! Four rules, all motivated by the lockcheck layer and the repo's
+//! concurrency-bug history (see ISSUE 6 / ARCHITECTURE.md):
+//!
+//! * **`std-sync`** — no direct `std::sync::{Mutex, RwLock, Condvar}`
+//!   anywhere under `crates/`: every lock must go through the
+//!   `shims/parking_lot` shim so the lockcheck detector sees it. The
+//!   shim itself (under `shims/`) is the one place std locks may live.
+//! * **`unwrap`** — no `.unwrap()` / `.expect(` in non-test code under
+//!   `crates/core/src/{daemon,cache,cluster}` and `rpc.rs`: the daemon
+//!   serves a fleet, and a panic there strands every spinning
+//!   threadblock. Handle the error or propagate it.
+//! * **`sleep`** — no `thread::sleep` in non-test code under `crates/`
+//!   outside the designated backoff helper (`crates/core/src/backoff.rs`):
+//!   ad-hoc sleeps hide ordering bugs and skew the virtual clock's
+//!   real-time envelope.
+//! * **`unsafe-safety`** — every `unsafe` in non-test code under
+//!   `crates/` needs a `// SAFETY:` comment (or a `# Safety` doc
+//!   section) within the six preceding lines.
+//!
+//! A finding is fixed or waived, never ignored: waivers are inline
+//! `// lint:allow <rule> -- <reason>` comments on the offending line or
+//! the line above, and the reason is mandatory. File-scoped waivers live
+//! in [`SLEEP_ALLOWED`] below, each with a comment.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files allowed to call `thread::sleep`: the backoff helpers. Every
+/// entry needs a justification here — this list is the `sleep` rule's
+/// named allowlist.
+const SLEEP_ALLOWED: &[&str] = &[
+    // The one sanctioned blocking backoff: reclaim's spin-then-sleep
+    // loop and any future retry loop route through these helpers, so the
+    // "who is allowed to stall a threadblock" question has one answer.
+    "crates/core/src/backoff.rs",
+];
+
+/// Directories under `crates/core/src/` (plus `rpc.rs`) where the
+/// `unwrap` rule applies: the daemon-facing production paths.
+const UNWRAP_SCOPE: &[&str] = &[
+    "crates/core/src/daemon/",
+    "crates/core/src/cache/",
+    "crates/core/src/cluster/",
+    "crates/core/src/rpc.rs",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    StdSync,
+    Unwrap,
+    Sleep,
+    UnsafeSafety,
+}
+
+impl Rule {
+    fn name(self) -> &'static str {
+        match self {
+            Rule::StdSync => "std-sync",
+            Rule::Unwrap => "unwrap",
+            Rule::Sleep => "sleep",
+            Rule::UnsafeSafety => "unsafe-safety",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[derive(Debug)]
+struct Finding {
+    path: String,
+    line: usize,
+    rule: Rule,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Entry point for `cargo run -p xtask -- lint`.
+pub fn run(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--rules") {
+        print!("{}", RULES_HELP);
+        return ExitCode::SUCCESS;
+    }
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        scanned += 1;
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_file(&rel, &text));
+    }
+    if findings.is_empty() {
+        println!("xtask lint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "xtask lint: {} finding(s) in {scanned} files (fix, or waive with `// lint:allow <rule> -- <reason>`)",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+const RULES_HELP: &str = "\
+xtask lint rules:
+  std-sync       no std::sync::{Mutex,RwLock,Condvar} under crates/ (use the
+                 parking_lot shim so lockcheck sees every acquisition)
+  unwrap         no .unwrap()/.expect( in non-test daemon/cache/cluster/rpc code
+  sleep          no thread::sleep under crates/ outside crates/core/src/backoff.rs
+  unsafe-safety  every unsafe needs a // SAFETY: comment within 6 lines above
+waive a finding inline: // lint:allow <rule> -- <reason>   (reason required)
+";
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the workspace root is one up from
+    // this crate's manifest.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask has a parent directory")
+        .to_path_buf()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name != "target" && name != ".git" {
+                collect_rs_files(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint one file's text; `rel` is the workspace-relative path used for
+/// scoping and reporting.
+fn lint_file(rel: &str, text: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut stripper = Stripper::default();
+    let code: Vec<String> = lines.iter().map(|l| stripper.code_of(l)).collect();
+    let in_test = test_regions(&code);
+    let unwrap_scoped = UNWRAP_SCOPE.iter().any(|p| rel.starts_with(p));
+    let sleep_allowed = SLEEP_ALLOWED.contains(&rel);
+    let mut findings = Vec::new();
+    for (i, code_line) in code.iter().enumerate() {
+        let lineno = i + 1;
+        let mut report = |rule: Rule, message: String| {
+            if !allowed(&lines, i, rule) {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: lineno,
+                    rule,
+                    message,
+                });
+            }
+        };
+        // std-sync applies to test code too: a std lock in a test is just
+        // as invisible to the lockcheck detector.
+        if let Some(what) = std_sync_use(code_line) {
+            report(
+                Rule::StdSync,
+                format!("direct std::sync::{what}; route it through the parking_lot shim so lockcheck sees it"),
+            );
+        }
+        if in_test[i] {
+            continue;
+        }
+        if unwrap_scoped {
+            if code_line.contains(".unwrap()") {
+                report(
+                    Rule::Unwrap,
+                    ".unwrap() in daemon/cache/cluster/rpc production code; handle or propagate"
+                        .into(),
+                );
+            }
+            if code_line.contains(".expect(") {
+                report(
+                    Rule::Unwrap,
+                    ".expect( in daemon/cache/cluster/rpc production code; handle or propagate"
+                        .into(),
+                );
+            }
+        }
+        if !sleep_allowed && code_line.contains("thread::sleep") {
+            report(
+                Rule::Sleep,
+                "thread::sleep outside the backoff helpers (crates/core/src/backoff.rs)".into(),
+            );
+        }
+        if has_word(code_line, "unsafe") && !safety_documented(&lines, &code, i) {
+            report(
+                Rule::UnsafeSafety,
+                "unsafe without a // SAFETY: comment within the 6 preceding lines".into(),
+            );
+        }
+    }
+    findings
+}
+
+/// `Some(name)` when the stripped code line uses a std::sync lock type.
+fn std_sync_use(code_line: &str) -> Option<&'static str> {
+    for what in ["Mutex", "RwLock", "Condvar"] {
+        if code_line.contains(&format!("std::sync::{what}")) {
+            return Some(what);
+        }
+        // `use std::sync::{..., Mutex, ...}` (possibly renamed).
+        if let Some(rest) = code_line.trim_start().strip_prefix("use std::sync::") {
+            if rest.contains(what) {
+                return Some(what);
+            }
+        }
+    }
+    None
+}
+
+/// Whether line `i` (or the line above) carries a `lint:allow <rule>`
+/// waiver *with a reason* (`-- <why>`). Reasonless allows don't count —
+/// no silent suppressions.
+fn allowed(lines: &[&str], i: usize, rule: Rule) -> bool {
+    let pat = format!("lint:allow {}", rule.name());
+    let has = |line: &str| {
+        line.split(&pat).nth(1).is_some_and(|rest| {
+            rest.contains("--")
+                && rest
+                    .split("--")
+                    .nth(1)
+                    .is_some_and(|r| !r.trim().is_empty())
+        })
+    };
+    has(lines[i]) || (i > 0 && has(lines[i - 1]))
+}
+
+/// Whether an `unsafe` at line `i` is documented. An `unsafe` block (or
+/// impl) needs a `SAFETY:` comment on the same line or within the 6
+/// above; an `unsafe fn` declaration may instead carry a `# Safety`
+/// section anywhere in its contiguous doc-comment/attribute block (which
+/// routinely runs longer than 6 lines once `# Panics` etc. are present).
+fn safety_documented(lines: &[&str], code: &[String], i: usize) -> bool {
+    let lo = i.saturating_sub(6);
+    let documents = |l: &str| l.contains("SAFETY:") || l.contains("# Safety");
+    if lines[lo..=i].iter().any(|l| documents(l)) {
+        return true;
+    }
+    if !code[i].contains("unsafe fn") {
+        return false;
+    }
+    // Walk the doc/attribute block immediately above the declaration.
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = lines[j].trim_start();
+        if t.starts_with("///") || t.starts_with("//") || t.starts_with("#[") {
+            if documents(t) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Word-boundary containment check on a stripped code line.
+fn has_word(code_line: &str, word: &str) -> bool {
+    let bytes = code_line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code_line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let post_ok =
+            end == bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Mark the lines belonging to `#[cfg(test)]` items (the attribute, any
+/// stacked attributes, and the item's body up to its matching close).
+/// Operates on stripped code lines, so braces in strings/comments don't
+/// corrupt the depth count.
+fn test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        let trimmed = code[i].trim_start();
+        let is_cfg_test =
+            trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        in_test[i] = true;
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i + 1;
+        // Cover stacked attributes and the item header, then balance
+        // braces to the end of the item. A braceless item (`mod x;`)
+        // ends at the first `;` before any `{`.
+        while j < code.len() {
+            in_test[j] = true;
+            for ch in code[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !opened && depth == 0 => {
+                        depth = i64::MIN; // sentinel: item over
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if depth == i64::MIN || (opened && depth <= 0) {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    in_test
+}
+
+/// Per-file comment/string stripper: returns each line with comment text
+/// and string/char-literal contents blanked, carrying block-comment and
+/// raw/normal string state across lines.
+#[derive(Default)]
+struct Stripper {
+    /// Nesting depth of `/* */` block comments.
+    comment_depth: u32,
+    /// `Some(hashes)` while inside a raw string `r#"..."#`.
+    raw_string: Option<u32>,
+    /// Inside a normal `"` string that continued past a line end.
+    in_string: bool,
+}
+
+impl Stripper {
+    fn code_of(&mut self, line: &str) -> String {
+        let chars: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < chars.len() {
+            if self.comment_depth > 0 {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    self.comment_depth -= 1;
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    self.comment_depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                out.push(' ');
+                continue;
+            }
+            if let Some(hashes) = self.raw_string {
+                if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
+                    self.raw_string = None;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+                out.push(' ');
+                continue;
+            }
+            if self.in_string {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        self.in_string = false;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+                out.push(' ');
+                continue;
+            }
+            match chars[i] {
+                '/' if chars.get(i + 1) == Some(&'/') => break, // line comment
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    self.comment_depth += 1;
+                    out.push(' ');
+                    i += 2;
+                }
+                'r' if is_raw_string_start(&chars, i) => {
+                    let hashes = count_hashes(&chars, i + 1);
+                    self.raw_string = Some(hashes);
+                    out.push(' ');
+                    i += 2 + hashes as usize; // r, hashes, opening quote
+                }
+                '"' => {
+                    self.in_string = true;
+                    out.push(' ');
+                    i += 1;
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a char literal closes with
+                    // `'` within a few chars; a lifetime never does.
+                    if let Some(len) = char_literal_len(&chars, i) {
+                        out.push(' ');
+                        i += len;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r"` or `r#...#"`, not preceded by an identifier char (so `for`,
+    // `attr` etc. don't trigger).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If a char literal starts at `i` (which holds `'`), its total length;
+/// `None` for lifetimes.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escape: find the closing quote within a small window
+            // (`'\n'`, `'\u{7f}'`, ...).
+            (i + 3..(i + 12).min(chars.len()))
+                .find(|&j| chars[j] == '\'')
+                .map(|j| j - i + 1)
+        }
+        _ => (chars.get(i + 2) == Some(&'\'')).then_some(3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip_all(text: &str) -> Vec<String> {
+        let mut s = Stripper::default();
+        text.lines().map(|l| s.code_of(l)).collect()
+    }
+
+    #[test]
+    fn stripper_removes_comments_and_string_contents() {
+        let code = strip_all(
+            r#"let a = 1; // std::sync::Mutex in a comment
+let s = "std::sync::Mutex in a string";
+/* block std::sync::Mutex
+still comment */ let b = 2;
+let c = '{'; let lt: &'static str = "x";"#,
+        );
+        assert!(!code[0].contains("Mutex"));
+        assert!(code[0].contains("let a = 1;"));
+        assert!(!code[1].contains("Mutex"));
+        assert!(!code[2].contains("Mutex"));
+        assert!(code[3].contains("let b = 2;"));
+        assert!(!code[4].contains('{'), "char-literal brace stripped");
+        assert!(code[4].contains("'static"), "lifetime preserved");
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_items() {
+        let code = strip_all(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn prod2() {}\n",
+        );
+        let mask = test_regions(&code);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_regions_handle_braceless_items_and_stacked_attrs() {
+        let code = strip_all(
+            "#[cfg(test)]\n#[allow(dead_code)]\nmod testutil;\nfn prod() { a.unwrap() }\n",
+        );
+        let mask = test_regions(&code);
+        assert_eq!(mask, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn std_sync_rule_fires_through_use_and_path() {
+        let f = lint_file("crates/x/src/lib.rs", "use std::sync::{Arc, Mutex};\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule.name(), "std-sync");
+        let f = lint_file(
+            "crates/x/src/lib.rs",
+            "let m = std::sync::RwLock::new(0);\n",
+        );
+        assert_eq!(f.len(), 1);
+        // Arc/mpsc/atomics are fine.
+        let f = lint_file(
+            "crates/x/src/lib.rs",
+            "use std::sync::{Arc, mpsc};\nuse std::sync::atomic::AtomicU64;\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_scopes_to_daemon_paths_and_skips_tests() {
+        let text = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\n";
+        let f = lint_file("crates/core/src/daemon/mod.rs", text);
+        assert_eq!(f.len(), 1, "only the non-test unwrap: {f:?}");
+        assert_eq!(f[0].line, 1);
+        let f = lint_file("crates/core/src/api.rs", text);
+        assert!(f.is_empty(), "outside the scoped paths: {f:?}");
+        let f = lint_file("crates/core/src/cache/paging.rs", "v.expect(\"x\");\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn sleep_rule_exempts_the_backoff_helper() {
+        let text = "fn f() { std::thread::sleep(d); }\n";
+        assert_eq!(lint_file("crates/core/src/cluster/fleet.rs", text).len(), 1);
+        assert!(lint_file("crates/core/src/backoff.rs", text).is_empty());
+    }
+
+    #[test]
+    fn unsafe_rule_requires_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }\n";
+        assert_eq!(lint_file("crates/x/src/lib.rs", bad).len(), 1);
+        let good = "// SAFETY: g has no preconditions here.\nfn f() { unsafe { g() } }\n";
+        assert!(lint_file("crates/x/src/lib.rs", good).is_empty());
+        let impl_good = "// SAFETY: all fields are Send.\nunsafe impl Send for X {}\n";
+        assert!(lint_file("crates/x/src/lib.rs", impl_good).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_a_safety_doc_section_beyond_the_window() {
+        // `# Safety` more than 6 lines up, separated by a `# Panics`
+        // section — the doc block is scanned in full for declarations.
+        let decl = "\
+/// Does a thing.
+///
+/// # Safety
+///
+/// Caller must pin the page.
+///
+/// # Panics
+///
+/// Panics when out of bounds.
+#[must_use]
+pub unsafe fn slice(&self) -> &[u8] { todo!() }
+";
+        assert!(lint_file("crates/x/src/lib.rs", decl).is_empty());
+        // But an unsafe *block* still needs a nearby SAFETY comment.
+        let block = "/// # Safety\n/// docs\nfn f() {\n\n\n\n\n\n\n    unsafe { g() }\n}\n";
+        assert_eq!(lint_file("crates/x/src/lib.rs", block).len(), 1);
+    }
+
+    #[test]
+    fn inline_allow_requires_a_reason() {
+        let with_reason =
+            "// lint:allow sleep -- measured: only reached in shutdown, bounded 1ms\nfn f() { std::thread::sleep(d); }\n";
+        assert!(lint_file("crates/x/src/lib.rs", with_reason).is_empty());
+        let without_reason = "// lint:allow sleep\nfn f() { std::thread::sleep(d); }\n";
+        assert_eq!(lint_file("crates/x/src/lib.rs", without_reason).len(), 1);
+        let wrong_rule = "// lint:allow unwrap -- reasons\nfn f() { std::thread::sleep(d); }\n";
+        assert_eq!(lint_file("crates/x/src/lib.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_word_positions_only() {
+        assert!(has_word("unsafe impl Send for X {}", "unsafe"));
+        assert!(!has_word("let not_unsafe_name = 1;", "unsafe"));
+        assert!(!has_word("unsafety", "unsafe"));
+    }
+}

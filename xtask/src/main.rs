@@ -1,0 +1,26 @@
+//! Workspace automation tasks (`cargo run -p xtask -- <task>`).
+//!
+//! The one task today is `lint`: a source-level analysis pass over the
+//! workspace enforcing repo invariants that clippy can't express — see
+//! [`lint`] for the rule set. CI runs it as its own job; it exits
+//! non-zero with one line per finding.
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint::run(&args[1..]),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            eprintln!("usage: cargo run -p xtask -- lint [--rules]");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint [--rules]");
+            ExitCode::FAILURE
+        }
+    }
+}
