@@ -91,6 +91,26 @@ fn main() {
     let compat_w1 = fig4_gpufs_phase_chunk(file_bytes, 64 << 10, 1, Some(0));
     let compat_w8 = fig4_gpufs_phase_chunk(file_bytes, 64 << 10, 8, Some(0));
     eprintln!("compat (io_chunk=0) 64K: w1 {compat_w1:.1} MB/s, w8 {compat_w8:.1} MB/s");
+    if !smoke {
+        // Equivalence guard, re-proved on every record: the serialized
+        // compat setting must keep reproducing the recorded pre-pipeline
+        // baseline to four digits.
+        assert_eq!(
+            format!("{compat_w1:.1}"),
+            "1798.2",
+            "compat w1@64K drifted from its recorded baseline"
+        );
+        assert_eq!(
+            format!("{compat_w8:.1}"),
+            "4378.2",
+            "compat w8@64K drifted from its recorded baseline"
+        );
+        assert_eq!(
+            format!("{:.3}", compat_w8 / compat_w1),
+            "2.435",
+            "compat 64K speedup drifted from its recorded baseline"
+        );
+    }
 
     let record = format!(
         "{{\"bench\":\"fig4_seq_read\",\"unix_time\":{unix_time},\"git\":\"{}\",\

@@ -270,6 +270,115 @@ pub fn fig5_pipe_phase(
     res.elapsed()
 }
 
+/// [`fig5_pipe_phase`] with the daemon's read-staging depth also pinned
+/// (`2` = double-buffering, the prior engine bit-for-bit; ≥ 3 = the
+/// depth-k staging ring with early response and per-page ready times).
+///
+/// # Panics
+///
+/// Panics if the rig cannot create or read the synthetic input file.
+#[must_use]
+pub fn fig5_pipe_phase_depth(
+    file_bytes: u64,
+    page: usize,
+    timings: &Timings,
+    window: usize,
+    io_chunk: Option<usize>,
+    io_depth: usize,
+) -> Nanos {
+    let cache = (file_bytes as usize + 16 * page).next_power_of_two();
+    let mut cfg = GpufsConfig::new(page, cache)
+        .with_readahead(window)
+        .with_io_depth(io_depth);
+    if let Some(chunk) = io_chunk {
+        cfg = cfg.with_io_chunk(chunk);
+    }
+    let r = rig_cfg(1, cache + (64 << 20), 8 << 30, timings, &cfg);
+    r.fs.create_synthetic("/seq.bin", file_bytes, 4).unwrap();
+    let _ = r.fs.read_whole("/seq.bin", 0).unwrap();
+    r.fs.reset_device_time();
+
+    let mount = r.host.mount(0, cfg).unwrap();
+    let res = r.gpus[0].launch(Grid::new(1, 256), 0, |blk| {
+        let fd = mount.open(blk, "/seq.bin", GOpenMode::ReadOnly).unwrap();
+        let mut off = 0u64;
+        while off < file_bytes {
+            let map = mount.mmap(blk, &fd, off, page).unwrap();
+            let got = map.len() as u64;
+            mount.munmap(blk, map);
+            off += got;
+        }
+        mount.close(blk, fd).unwrap();
+    });
+    res.elapsed()
+}
+
+/// Outcome of one [`fig7_phase`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Outcome {
+    /// Hit-path throughput: `blocks × file_bytes` / elapsed, MB/s.
+    pub mb_s: f64,
+    /// Accesses that completed purely lock-free (paper Table 2).
+    pub lockfree: u64,
+    /// Accesses that locked or retried (paper counts retries here too).
+    pub locked: u64,
+    /// Buffer-cache hits during the measured pass.
+    pub hits: u64,
+    /// Buffer-cache misses during the measured pass (0 once warm).
+    pub misses: u64,
+}
+
+/// The Figure 7 / Table 2 workload: `blocks` threadblocks concurrently
+/// re-walk one fully cached file (warmed by a prior pass whose counters
+/// are discarded), so every access rides the buffer-cache hit path and
+/// the lock-free vs. locked protocol is the only variable.
+/// `force_locked` pins every lookup to the fpage lock — the paper's
+/// "locked" ablation series, which pays the radix-lock convoy of all
+/// concurrently resident blocks on each access.
+///
+/// # Panics
+///
+/// Panics if the rig cannot create or read the synthetic input file.
+#[must_use]
+pub fn fig7_phase(file_bytes: u64, page: usize, blocks: usize, force_locked: bool) -> Fig7Outcome {
+    let t = Timings::default();
+    let cache = (file_bytes as usize + 16 * page).next_power_of_two();
+    let mut cfg = GpufsConfig::new(page, cache);
+    cfg.force_locked = force_locked;
+    let r = rig_cfg(1, cache + (64 << 20), 8 << 30, &t, &cfg);
+    r.fs.create_synthetic("/hot.bin", file_bytes, 7).unwrap();
+    let _ = r.fs.read_whole("/hot.bin", 0).unwrap();
+    let mount = r.host.mount(0, cfg).unwrap();
+
+    let walk = |blk: &mut gpusim::BlockCtx<'_>| {
+        let fd = mount.open(blk, "/hot.bin", GOpenMode::ReadOnly).unwrap();
+        let mut off = 0u64;
+        while off < file_bytes {
+            let map = mount.mmap(blk, &fd, off, page).unwrap();
+            let got = map.len() as u64;
+            mount.munmap(blk, map);
+            off += got;
+        }
+        mount.close(blk, fd).unwrap();
+    };
+    // Warm pass: one block faults the whole file into the buffer cache.
+    let warm = r.gpus[0].launch(Grid::new(1, 256), 0, |blk| walk(blk));
+    mount.counters().reset();
+    // Measured pass: `blocks` blocks hammer the same (Ready) pages. It
+    // launches at the warm pass's virtual end so the pages' absolute
+    // `ready_at` stamps are already in every block's past — measuring
+    // the hit protocol, not an echo of the warm pass's miss schedule.
+    let res = r.gpus[0].launch(Grid::new(blocks, 256), warm.end, |blk| walk(blk));
+    let c = mount.counters();
+    Fig7Outcome {
+        mb_s: throughput_mb_s(blocks as u64 * file_bytes, res.elapsed()),
+        lockfree: c.lockfree_accesses.get(),
+        locked: c.locked_accesses.get(),
+        hits: c.hits.get(),
+        misses: c.misses.get(),
+    }
+}
+
 /// Outcome of one [`write_phase`] run.
 #[derive(Debug, Clone, Copy)]
 pub struct WritePhase {
@@ -316,13 +425,69 @@ pub fn write_phase_chunk(
     workers: usize,
     io_chunk: Option<usize>,
 ) -> WritePhase {
+    write_phase_cfg(
+        file_bytes,
+        page,
+        write_batch,
+        channels,
+        workers,
+        io_chunk,
+        0,
+        0,
+    )
+}
+
+/// [`write_phase_chunk`] with asynchronous write-back enabled behind the
+/// `dirty_high` / `dirty_low` watermark pair (`0, 0` = the synchronous
+/// write-back of the plain phase): the mount's background flusher ships
+/// dirty pages while the kernel keeps writing, so `gfsync` finds most of
+/// the file already on the host.
+///
+/// # Panics
+///
+/// Panics if the rig cannot serve the workload.
+#[must_use]
+pub fn write_phase_async(
+    file_bytes: u64,
+    page: usize,
+    write_batch: usize,
+    channels: usize,
+    workers: usize,
+    dirty_high: usize,
+    dirty_low: usize,
+) -> WritePhase {
+    write_phase_cfg(
+        file_bytes,
+        page,
+        write_batch,
+        channels,
+        workers,
+        None,
+        dirty_high,
+        dirty_low,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+fn write_phase_cfg(
+    file_bytes: u64,
+    page: usize,
+    write_batch: usize,
+    channels: usize,
+    workers: usize,
+    io_chunk: Option<usize>,
+    dirty_high: usize,
+    dirty_low: usize,
+) -> WritePhase {
     let t = Timings::default();
     // Cache holds the whole file: this measures the write-back path, not
     // eviction.
     let cache = (file_bytes as usize + 16 * page).next_power_of_two();
     let mut cfg = GpufsConfig::new(page, cache)
         .with_concurrency(channels, workers)
-        .with_write_batch(write_batch);
+        .with_write_batch(write_batch)
+        .with_async_writeback(dirty_high, dirty_low);
     if let Some(chunk) = io_chunk {
         cfg = cfg.with_io_chunk(chunk);
     }

@@ -212,6 +212,10 @@ impl GpuFsMount {
         if !file.mode().writable() {
             return Err(GpufsError::ReadOnly(file.path().to_owned()));
         }
+        // Async write-back throttle: above the high watermark, stall
+        // until the background flusher drains the cache to the low one
+        // (checked once per call — a single gwrite spans few pages).
+        self.throttle_dirty(blk, file);
         let ps = self.config.page_size as u64;
         let mut done = 0usize;
         while done < src.len() {
@@ -228,7 +232,9 @@ impl GpuFsMount {
             );
             let pf = self.frames.pframe(pin.frame());
             pf.data_size.fetch_max(in_page + n, Ordering::AcqRel);
-            pf.dirty.store(true, Ordering::Release);
+            if !pf.dirty.swap(true, Ordering::AcqRel) {
+                self.dirty.pages.fetch_add(1, Ordering::AcqRel);
+            }
             done += n;
         }
         file.grow_to(offset + src.len() as u64);
@@ -335,9 +341,13 @@ impl GpuFsMount {
     // gfsync / gunlink / gftruncate / gfstat
     // ==================================================================
 
-    /// `gfsync`: synchronously write every dirty cached page of the file
-    /// back to the host page cache. Pages pinned by concurrent accesses
-    /// are skipped, as in the paper (Table 1).
+    /// `gfsync`: write every dirty cached page of the file back to the
+    /// host page cache. Pages pinned by concurrent accesses are skipped,
+    /// as in the paper (Table 1). With the background flusher on, this is
+    /// *wait-for-drain*: it ships the residual dirty pages itself (so
+    /// host errors surface on this call), waits out any flusher batches
+    /// still in flight for the file, and synchronizes the caller's clock
+    /// to the last shipment — returning only once nothing dirty remains.
     ///
     /// # Errors
     ///
@@ -347,7 +357,29 @@ impl GpuFsMount {
         if !file.mode().syncs_to_host() {
             return Ok(()); // read-only and O_NOSYNC files have nothing to sync
         }
-        self.flush_dirty(blk, file)
+        if self.config.dirty_high_pages == 0 {
+            // Synchronous write-back: one pass, the paper prototype's
+            // semantics (and virtual times) exactly. Every in-flight
+            // batch belongs to some foreground caller who awaits its own
+            // RPC, so there is no invisible shipment to drain.
+            return self.flush_dirty(blk, file).map(|_| ());
+        }
+        loop {
+            let found = self.flush_dirty(blk, file)?;
+            if found == 0 && file.wb_inflight() == 0 {
+                break;
+            }
+            // A flusher batch still in flight may fail and re-arm its
+            // pages; wait it out, then rescan so those pages get this
+            // call's own (error-surfacing) shipment attempt.
+            let mut fruitless = 0usize;
+            while file.wb_inflight() > 0 {
+                crate::backoff::spin_then_sleep(fruitless, 64);
+                fruitless += 1;
+            }
+        }
+        blk.wait_until(file.flush_horizon());
+        Ok(())
     }
 
     /// `gfsync` followed by a host `fsync(2)`: force the file to stable

@@ -94,37 +94,59 @@ impl PFrame {
     }
 }
 
-/// The raw data array plus its pframe array and free list.
+/// The raw data array plus its pframe array and sharded free list.
 ///
 /// Frames are allocated from GPU global memory once at mount time; the
 /// free list hands them out and takes them back on eviction. There is no
 /// daemon thread: when the list runs dry, the *calling* threadblock
 /// reclaims pages (paper §4.2, "GPUfs code hijacking the calling thread to
 /// perform paging").
+///
+/// The free list is split into independently locked shards so that
+/// threadblocks faulting concurrently on different shards never contend
+/// on one `Mutex` (the control-plane half of the paper's Figure 7 hit
+/// path scaling). Frames are striped round-robin across shards at init;
+/// allocation pops the caller's shard first and *steals* from sibling
+/// shards when it runs dry, so exhaustion semantics are independent of
+/// the shard count: `alloc` fails only when every shard is empty.
 #[derive(Debug)]
 pub struct FrameArena {
     base: DevPtr,
     page_size: usize,
     pframes: Box<[PFrame]>,
-    free: Mutex<Vec<FrameIdx>>,
+    shards: Box<[Mutex<Vec<FrameIdx>>]>,
 }
 
 impl FrameArena {
-    /// Carve `num_frames` pages of `page_size` bytes out of `mem`.
+    /// Carve `num_frames` pages of `page_size` bytes out of `mem`, with
+    /// the free list split into `shards` shards (clamped to ≥ 1).
     ///
     /// # Errors
     ///
     /// Returns the allocator error if GPU memory cannot hold the array.
-    pub fn new(mem: &GlobalMem, page_size: usize, num_frames: usize) -> Result<Self, MemError> {
+    pub fn new(
+        mem: &GlobalMem,
+        page_size: usize,
+        num_frames: usize,
+        shards: usize,
+    ) -> Result<Self, MemError> {
         let base = mem.alloc(page_size * num_frames)?;
         let pframes = (0..num_frames).map(|_| PFrame::new()).collect();
-        // LIFO free list: pop from the back; start with low indices first.
-        let free = (0..num_frames as FrameIdx).rev().collect();
+        let n = shards.max(1);
+        // Stripe frames round-robin: frame i lands in shard i % n. Each
+        // shard is a LIFO popped from the back, seeded in reverse so low
+        // indices come out first — with one shard this is exactly the
+        // original single free list.
+        let mut lists: Vec<Vec<FrameIdx>> = vec![Vec::new(); n];
+        for i in (0..num_frames as FrameIdx).rev() {
+            lists[(i as usize) % n].push(i);
+        }
+        let shards = lists.into_iter().map(Mutex::new).collect();
         Ok(Self {
             base,
             page_size,
             pframes,
-            free: Mutex::new(free),
+            shards,
         })
     }
 
@@ -140,10 +162,23 @@ impl FrameArena {
         self.pframes.len()
     }
 
-    /// Frames currently free.
+    /// Number of freelist shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Map an arbitrary caller hint (threadblock slot, flusher lane) to
+    /// its home shard.
+    #[must_use]
+    pub fn shard_of(&self, hint: usize) -> usize {
+        hint % self.shards.len()
+    }
+
+    /// Frames currently free, summed across shards.
     #[must_use]
     pub fn free_frames(&self) -> usize {
-        self.free.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Device address of frame `idx`.
@@ -170,21 +205,35 @@ impl FrameArena {
         &self.pframes[idx as usize]
     }
 
-    /// Take a free frame, if any.
-    pub fn alloc(&self) -> Option<FrameIdx> {
-        self.free.lock().pop()
+    /// Take a free frame, if any, preferring the caller's home shard and
+    /// stealing round-robin from sibling shards when it is empty. Only
+    /// one shard lock is held at a time, so the lock-order graph stays a
+    /// set of leaves.
+    pub fn alloc(&self, hint: usize) -> Option<FrameIdx> {
+        let n = self.shards.len();
+        let home = self.shard_of(hint);
+        for step in 0..n {
+            if let Some(f) = self.shards[(home + step) % n].lock().pop() {
+                return Some(f);
+            }
+        }
+        None
     }
 
-    /// Return a frame to the free list, clearing its metadata.
+    /// Return a frame to the caller's home shard, clearing its metadata.
+    /// Stolen frames migrate to the stealer's shard — affinity follows
+    /// use, and conservation holds regardless of where a frame retires.
     ///
     /// # Panics
     ///
     /// Panics in debug builds on double free.
-    pub fn release(&self, idx: FrameIdx) {
+    pub fn release(&self, hint: usize, idx: FrameIdx) {
         self.pframe(idx).clear();
-        let mut free = self.free.lock();
-        debug_assert!(!free.contains(&idx), "double free of frame {idx}");
-        free.push(idx);
+        #[cfg(debug_assertions)]
+        for s in self.shards.iter() {
+            debug_assert!(!s.lock().contains(&idx), "double free of frame {idx}");
+        }
+        self.shards[self.shard_of(hint)].lock().push(idx);
     }
 }
 
@@ -194,8 +243,12 @@ mod tests {
     use gpusim::GlobalMem;
 
     fn arena() -> (GlobalMem, FrameArena) {
+        arena_sharded(1)
+    }
+
+    fn arena_sharded(shards: usize) -> (GlobalMem, FrameArena) {
         let mem = GlobalMem::new(1 << 20);
-        let arena = FrameArena::new(&mem, 4096, 16).unwrap();
+        let arena = FrameArena::new(&mem, 4096, 16, shards).unwrap();
         (mem, arena)
     }
 
@@ -213,26 +266,59 @@ mod tests {
     fn alloc_until_exhaustion_then_release() {
         let (_mem, a) = arena();
         let mut got = Vec::new();
-        while let Some(f) = a.alloc() {
+        while let Some(f) = a.alloc(0) {
             got.push(f);
         }
         assert_eq!(got.len(), 16);
         assert_eq!(a.free_frames(), 0);
-        a.release(got.pop().unwrap());
+        a.release(0, got.pop().unwrap());
         assert_eq!(a.free_frames(), 1);
-        assert!(a.alloc().is_some());
+        assert!(a.alloc(0).is_some());
+    }
+
+    #[test]
+    fn sharded_alloc_prefers_home_and_steals_on_empty() {
+        let (_mem, a) = arena_sharded(4);
+        assert_eq!(a.num_shards(), 4);
+        // Frames are striped i % 4, LIFO low-first: shard 1 holds
+        // {1, 5, 9, 13} and hands out 1 first.
+        assert_eq!(a.alloc(1), Some(1));
+        assert_eq!(a.alloc(5), Some(5), "hint 5 maps to shard 1");
+        // Drain shard 1 entirely, then one more alloc must steal from a
+        // sibling rather than fail.
+        assert_eq!(a.alloc(1), Some(9));
+        assert_eq!(a.alloc(1), Some(13));
+        let stolen = a.alloc(1).expect("steal-on-empty");
+        assert_eq!(stolen % 4, 2, "round-robin steal starts at the next shard");
+        // Exhaustion is shard-count independent: every frame comes out.
+        let mut n = 5;
+        while a.alloc(3).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 16);
+        assert_eq!(a.free_frames(), 0);
+    }
+
+    #[test]
+    fn release_returns_to_the_callers_shard() {
+        let (_mem, a) = arena_sharded(4);
+        let f = a.alloc(2).unwrap();
+        // Retire a shard-2 frame to shard 0; the very next shard-0 alloc
+        // gets it back (LIFO), showing affinity follows use.
+        a.release(0, f);
+        assert_eq!(a.alloc(0), Some(f));
     }
 
     #[test]
     fn release_clears_metadata() {
         let (_mem, a) = arena();
-        let f = a.alloc().unwrap();
+        let f = a.alloc(0).unwrap();
         let pf = a.pframe(f);
         pf.file_uid.store(9, Ordering::Relaxed);
         pf.dirty.store(true, Ordering::Relaxed);
         pf.set_pristine(Some(3));
         pf.prefetched.store(true, Ordering::Relaxed);
-        a.release(f);
+        a.release(0, f);
         let pf = a.pframe(f);
         assert_eq!(pf.file_uid.load(Ordering::Relaxed), 0);
         assert!(!pf.dirty.load(Ordering::Relaxed));
@@ -254,7 +340,7 @@ mod tests {
     #[test]
     fn arena_too_big_for_gpu_errors() {
         let mem = GlobalMem::new(1 << 12);
-        assert!(FrameArena::new(&mem, 4096, 16).is_err());
+        assert!(FrameArena::new(&mem, 4096, 16, 1).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! and write-back layers (paper §3.3 and §4.2).
 
 pub mod diff;
+pub(crate) mod flusher;
 pub mod frames;
 pub(crate) mod paging;
 pub mod radix;
@@ -61,6 +62,11 @@ pub struct CacheCounters {
     /// Total pages carried by those write RPCs. Divide by
     /// [`CacheCounters::write_rpcs`] for the mean write-batch width.
     pub pages_per_write_rpc: Counter,
+    /// Flush passes the background write-back thread completed (each
+    /// pass sweeps every syncable file once).
+    pub flusher_passes: Counter,
+    /// `gwrite` calls that stalled on the dirty-page high watermark.
+    pub throttle_stalls: Counter,
 }
 
 impl CacheCounters {
@@ -84,6 +90,8 @@ impl CacheCounters {
         self.pages_per_rpc.take();
         self.write_rpcs.take();
         self.pages_per_write_rpc.take();
+        self.flusher_passes.take();
+        self.throttle_stalls.take();
     }
 }
 

@@ -13,7 +13,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use gpusim::BlockCtx;
-use simtime::bw_time_ns;
+use simtime::{bw_time_ns, Nanos};
 
 use crate::cache::{FPage, FrameIdx, PageState, Snapshot};
 use crate::config::GOpenMode;
@@ -128,16 +128,33 @@ impl GpuFsMount {
     ///
     /// This is an internal sync-path pin, not an application page access:
     /// it deliberately leaves the hit/miss and lock-free/locked counters
-    /// untouched on both sides of the accounting invariant.
-    pub(crate) fn pin_page_resident(
+    /// untouched on both sides of the accounting invariant. It does use
+    /// the same lock-free-first pin protocol as the access path, though:
+    /// a sync pass sweeps every dirty page of a file, and taking the
+    /// fpage lock for each would serialize it against the very readers
+    /// the sharded control plane keeps lock-free.
+    pub(crate) fn pin_page_resident<L: crate::mount::Lane>(
         &self,
-        blk: &mut BlockCtx<'_>,
+        blk: &mut L,
         file: &Arc<GFile>,
         page_idx: u64,
     ) -> Option<PagePin> {
         let fp = file.tree().get_or_insert(page_idx);
+        let mut failed_attempts = 0u32;
         loop {
-            match fp.pin_locked() {
+            let snap =
+                if !self.config.force_locked && failed_attempts <= self.config.lockfree_retries {
+                    match fp.try_pin_lockfree() {
+                        Ok(s) => s,
+                        Err(()) => {
+                            failed_attempts += 1;
+                            continue;
+                        }
+                    }
+                } else {
+                    fp.pin_locked()
+                };
+            match snap {
                 Snapshot::Pinned(frame) => {
                     let pf = self.frames.pframe(frame);
                     blk.wait_until(pf.ready_at.load(Ordering::Acquire));
@@ -145,7 +162,12 @@ impl GpuFsMount {
                     return Some(PagePin::new(Arc::clone(file), fp, frame));
                 }
                 Snapshot::Empty => return None,
-                Snapshot::Initializing => std::thread::yield_now(),
+                Snapshot::Initializing => {
+                    // An in-flight init resolves in bounded time; retry
+                    // from the fast path once it settles.
+                    failed_attempts = 0;
+                    std::thread::yield_now();
+                }
             }
         }
     }
@@ -312,7 +334,7 @@ impl GpuFsMount {
                 match self.alloc_frame_opportunistic(blk) {
                     Some(p) => Some(p),
                     None => {
-                        self.frames.release(frame);
+                        self.frames.release(blk.block_id(), frame);
                         Self::abort_init(fp);
                         break;
                     }
@@ -400,11 +422,11 @@ impl GpuFsMount {
                     gpu: self.gpu.id(),
                 },
             );
-            let ns = match resp {
-                Ok(RespOk::Read { ns }) => ns,
+            let (ns, ready) = match resp {
+                Ok(RespOk::Read { ns, ready }) => (ns, ready),
                 Ok(_) => unreachable!("read answers Read"),
                 Err(e) => {
-                    self.abort_batch(&extras, frame, pristine, fp);
+                    self.abort_batch(blk.block_id(), &extras, frame, pristine, fp);
                     return Err(e);
                 }
             };
@@ -412,9 +434,14 @@ impl GpuFsMount {
             // unpinned. Pages inside the caller's own request span are
             // demand bytes (the same gread's loop pins them next); only
             // pages beyond `demand_through` are true readahead and get
-            // the `prefetched` flag.
-            self.publish_fetched_page(blk, file, page_idx, fp, frame, pristine, ns[0], true, false);
-            for (extra, &xn) in extras.iter().zip(&ns[1..]) {
+            // the `prefetched` flag. Each page carries its own DMA
+            // completion time: under a deep staging ring the daemon
+            // responds before the trailing chunks land, and those pages'
+            // `ready_at` gates their first pin instead.
+            self.publish_fetched_page(
+                blk, file, page_idx, fp, frame, pristine, ns[0], ready[0], true, false,
+            );
+            for (extra, (&xn, &xready)) in extras.iter().zip(ns[1..].iter().zip(&ready[1..])) {
                 // A batched initialization is a locked page operation
                 // like any other fault; it is a miss in the "unique pages
                 // faulted" sense.
@@ -428,6 +455,7 @@ impl GpuFsMount {
                     extra.frame,
                     extra.pristine,
                     xn,
+                    xready,
                     false,
                     extra.page_idx > demand_through,
                 );
@@ -476,6 +504,7 @@ impl GpuFsMount {
         frame: FrameIdx,
         pristine: Option<FrameIdx>,
         n: usize,
+        ready: Nanos,
         pin: bool,
         prefetched: bool,
     ) {
@@ -495,7 +524,11 @@ impl GpuFsMount {
             blk.advance(bw_time_ns(2 * ps as u64, self.timings.gpu_mem_mb_s));
             pf.set_pristine(Some(pristine));
         }
-        pf.set_ready_at(blk.now());
+        // At io_depth 2 the daemon drains before responding, so `ready`
+        // never exceeds the response time and this is exactly `blk.now()`;
+        // deeper staging can hand back pages whose DMA is still in flight,
+        // and their first pin waits for the bytes, not this publish.
+        pf.set_ready_at(blk.now().max(ready));
         if prefetched {
             pf.prefetched.store(true, Ordering::Release);
         }
@@ -516,6 +549,7 @@ impl GpuFsMount {
     /// `Empty`.
     fn abort_batch(
         &self,
+        shard: usize,
         extras: &[ClaimedPage],
         frame: FrameIdx,
         pristine: Option<FrameIdx>,
@@ -523,15 +557,15 @@ impl GpuFsMount {
     ) {
         for extra in extras {
             if let Some(p) = extra.pristine {
-                self.frames.release(p);
+                self.frames.release(shard, p);
             }
-            self.frames.release(extra.frame);
+            self.frames.release(shard, extra.frame);
             Self::abort_init(extra.fpage());
         }
         if let Some(p) = pristine {
-            self.frames.release(p);
+            self.frames.release(shard, p);
         }
-        self.frames.release(frame);
+        self.frames.release(shard, frame);
         Self::abort_init(fp);
     }
 

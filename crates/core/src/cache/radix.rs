@@ -275,18 +275,29 @@ unsafe impl Sync for LeafRef {}
 
 static NEXT_UID: AtomicU64 = AtomicU64::new(1);
 
+/// Shards of the node arena and leaf registry. Node creation is rare
+/// (once per 64 pages) but every creation under one tree-wide lock still
+/// convoys concurrent first-touch faults of distant file regions; keying
+/// the lock by the child slot being filled (`slot % RADIX_SHARDS`) lets
+/// those proceed independently while keeping the double-checked publish
+/// sound — racing inserts of the *same* child always pick the same shard.
+const RADIX_SHARDS: usize = 8;
+
 /// The per-file page index (see module docs).
 pub struct RadixTree {
     uid: u64,
     root: Box<Node>,
-    /// Owns every non-root node; taking this lock serializes node creation
-    /// (rare: once per 64 pages) while lookups stay lock-free.
+    /// Owns every non-root node, sharded by the child slot being filled
+    /// (see [`RADIX_SHARDS`]); lookups stay lock-free.
     // The Box is load-bearing: `children` and `LeafRef` hold raw pointers
     // to nodes, so node addresses must survive Vec reallocation.
     #[allow(clippy::vec_box)]
-    arena: Mutex<Vec<Box<Node>>>,
-    /// Leaves in allocation order — the FIFO spine of the eviction policy.
-    leaves: Mutex<Vec<LeafRef>>,
+    arena: Box<[Mutex<Vec<Box<Node>>>]>,
+    /// Leaves in per-shard allocation order — the (approximate) FIFO
+    /// spine of the eviction policy. Concatenating the shards loses total
+    /// allocation order across shards, which the reclaim scan tolerates:
+    /// its cursor rotation only ever promised FIFO-*like* coverage.
+    leaves: Box<[Mutex<Vec<LeafRef>>]>,
     /// Rotating start position for reclaim scans.
     evict_cursor: AtomicUsize,
 }
@@ -300,7 +311,7 @@ impl std::fmt::Debug for RadixTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RadixTree")
             .field("uid", &self.uid)
-            .field("leaves", &self.leaves.lock().len())
+            .field("leaves", &self.num_leaves())
             .finish()
     }
 }
@@ -322,8 +333,8 @@ impl RadixTree {
         Self {
             uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
             root: Box::new(Node::new((TREE_LEVELS - 1) as u8)),
-            arena: Mutex::new(Vec::new()),
-            leaves: Mutex::new(Vec::new()),
+            arena: (0..RADIX_SHARDS).map(|_| Mutex::default()).collect(),
+            leaves: (0..RADIX_SHARDS).map(|_| Mutex::default()).collect(),
             evict_cursor: AtomicUsize::new(0),
         }
     }
@@ -372,17 +383,19 @@ impl RadixTree {
             let slot = Self::slot(page_idx, node.height);
             let mut child = node.children[slot].load(Ordering::Acquire);
             if child.is_null() {
-                let mut arena = self.arena.lock();
-                // Re-check under the lock: another block may have created it.
+                let mut arena = self.arena[slot % RADIX_SHARDS].lock();
+                // Re-check under the shard lock: racing creators of this
+                // child picked the same shard, so one of them won.
                 child = node.children[slot].load(Ordering::Acquire);
                 if child.is_null() {
                     let mut fresh = Box::new(Node::new(node.height - 1));
                     let raw: *mut Node = &mut *fresh;
                     arena.push(fresh);
                     if node.height == 1 {
-                        // New leaf: register at the tail of the FIFO list.
+                        // New leaf: register at the tail of its shard's
+                        // allocation-order list.
                         let base = page_idx & !(FANOUT as u64 - 1);
-                        self.leaves.lock().push(LeafRef {
+                        self.leaves[slot % RADIX_SHARDS].lock().push(LeafRef {
                             node: raw,
                             base_page: base,
                         });
@@ -400,14 +413,23 @@ impl RadixTree {
     /// Number of leaf nodes allocated so far.
     #[must_use]
     pub fn num_leaves(&self) -> usize {
-        self.leaves.lock().len()
+        self.leaves.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Concatenated snapshot of every shard's leaf list.
+    fn leaf_snapshot(&self) -> Vec<LeafRef> {
+        let mut out = Vec::new();
+        for shard in self.leaves.iter() {
+            out.extend(shard.lock().iter().copied());
+        }
+        out
     }
 
     /// Visit fpages in FIFO-like reclaim order, starting from a rotating
     /// cursor over leaves in allocation order. `f` receives each page's
     /// index and slot and returns `true` to keep scanning.
     pub fn for_each_reclaim_candidate(&self, mut f: impl FnMut(u64, &FPage) -> bool) {
-        let snapshot: Vec<LeafRef> = self.leaves.lock().clone();
+        let snapshot: Vec<LeafRef> = self.leaf_snapshot();
         if snapshot.is_empty() {
             return;
         }
@@ -427,7 +449,7 @@ impl RadixTree {
     /// Visit every allocated fpage in page-index order (used by `gfsync`
     /// to find dirty pages and by invalidation to drop all frames).
     pub fn for_each_page(&self, mut f: impl FnMut(u64, &FPage)) {
-        let mut snapshot: Vec<LeafRef> = self.leaves.lock().clone();
+        let mut snapshot: Vec<LeafRef> = self.leaf_snapshot();
         snapshot.sort_by_key(|l| l.base_page);
         for leaf in snapshot {
             // SAFETY: see above.
@@ -572,6 +594,33 @@ mod tests {
         });
         assert!(ptrs.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(t.num_leaves(), 1);
+    }
+
+    #[test]
+    fn sharded_arena_publishes_concurrent_distant_inserts() {
+        // Eight threads populate distant subtrees (different arena
+        // shards) at once; every leaf must come out registered and every
+        // page resolvable.
+        let t = RadixTree::new();
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let t = &t;
+                s.spawn(move || {
+                    for j in 0..16u64 {
+                        t.get_or_insert(i * (1 << 12) + j * FANOUT as u64);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.num_leaves(), 8 * 16);
+        for i in 0..8u64 {
+            for j in 0..16u64 {
+                assert!(t.lookup(i * (1 << 12) + j * FANOUT as u64).is_some());
+            }
+        }
+        let mut seen = 0usize;
+        t.for_each_page(|_, _| seen += 1);
+        assert_eq!(seen, 8 * 16 * FANOUT, "snapshot covers every shard");
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl GpuFsMount {
             (frame, None) => {
                 // Unreachable by construction (`pair == true` only returns
                 // with both frames), but losing `frame` here would leak it.
-                self.frames.release(frame);
+                self.frames.release(blk.block_id(), frame);
                 Err(GpufsError::CacheExhausted { requested: 2 })
             }
         }
@@ -89,16 +89,17 @@ impl GpuFsMount {
     ) -> GpufsResult<(FrameIdx, Option<FrameIdx>)> {
         let mut fruitless = 0usize;
         while fruitless < RECLAIM_ROUNDS {
-            if let Some(first) = self.frames.alloc() {
+            let shard = blk.block_id();
+            if let Some(first) = self.frames.alloc(shard) {
                 if !pair {
                     return Ok((first, None));
                 }
-                if let Some(second) = self.frames.alloc() {
+                if let Some(second) = self.frames.alloc(shard) {
                     return Ok((first, Some(second)));
                 }
                 // All-or-nothing: never hold one frame while waiting for
                 // another (see `alloc_frame_pair`).
-                self.frames.release(first);
+                self.frames.release(shard, first);
             }
             if self.reclaim(blk, RECLAIM_BATCH)? == 0 {
                 fruitless += 1;
@@ -122,13 +123,14 @@ impl GpuFsMount {
     /// it rides on, so it degrades to a narrower batch instead of spinning
     /// on a loaded cache.
     pub(crate) fn alloc_frame_opportunistic(&self, blk: &mut BlockCtx<'_>) -> Option<FrameIdx> {
-        if let Some(frame) = self.frames.alloc() {
+        let shard = blk.block_id();
+        if let Some(frame) = self.frames.alloc(shard) {
             return Some(frame);
         }
         // A write-back error here surfaces later on the demand path that
         // touches the dirty page; readahead just narrows.
         let _ = self.reclaim(blk, RECLAIM_BATCH);
-        self.frames.alloc()
+        self.frames.alloc(shard)
     }
 
     /// Reclaim up to `want` frames, preferring closed files, then open
@@ -184,11 +186,12 @@ impl GpuFsMount {
                     }
                 }
                 for d in &detached {
+                    let shard = blk.block_id();
                     let pf = self.frames.pframe(d.frame);
                     if let Some(pristine) = pf.pristine_frame() {
-                        self.frames.release(pristine);
+                        self.retire_frame(shard, pristine);
                     }
-                    self.frames.release(d.frame);
+                    self.retire_frame(shard, d.frame);
                     let fp = d.fpage();
                     fp.lock();
                     fp.begin_update();
@@ -285,9 +288,9 @@ impl GpuFsMount {
         fp.unlock();
         let pf = self.frames.pframe(frame);
         if let Some(pristine) = pf.pristine_frame() {
-            self.frames.release(pristine);
+            self.retire_frame(0, pristine);
         }
-        self.frames.release(frame);
+        self.retire_frame(0, frame);
         true
     }
 

@@ -15,13 +15,12 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use gpusim::BlockCtx;
 use simtime::bw_time_ns;
 
 use crate::cache::{diff_extents, nonzero_extents, Extents, FrameIdx, PageState};
 use crate::config::GOpenMode;
 use crate::error::GpufsResult;
-use crate::mount::GpuFsMount;
+use crate::mount::{GpuFsMount, Lane};
 use crate::rpc::{PageWrite, Request, RespOk};
 use crate::table::GFile;
 
@@ -65,8 +64,15 @@ struct GatheredPage {
 
 impl GpuFsMount {
     /// Write back every dirty, unpinned page of `file`, gathered into
-    /// capped multi-page `WritePages` batches.
-    pub(crate) fn flush_dirty(&self, blk: &mut BlockCtx<'_>, file: &Arc<GFile>) -> GpufsResult<()> {
+    /// capped multi-page `WritePages` batches. Returns the number of
+    /// dirty pages the scan found (shipped or already drained by a
+    /// concurrent pass) — `0` means the file had nothing left to flush,
+    /// which is what `gfsync`'s drain loop terminates on.
+    pub(crate) fn flush_dirty<L: Lane>(
+        &self,
+        blk: &mut L,
+        file: &Arc<GFile>,
+    ) -> GpufsResult<usize> {
         let mut dirty_pages = Vec::new();
         file.tree().for_each_page(|idx, fp| {
             if fp.state() == PageState::Ready {
@@ -97,7 +103,7 @@ impl GpuFsMount {
                 .collect();
             self.writeback_frames(blk, file, &pages)?;
         }
-        Ok(())
+        Ok(dirty_pages.len())
     }
 
     /// Largest number of pages one `WritePages` batch may carry.
@@ -114,9 +120,9 @@ impl GpuFsMount {
     }
 
     /// Write back a single page (`gmsync`, and the batch-of-one case).
-    pub(crate) fn writeback_frame(
+    pub(crate) fn writeback_frame<L: Lane>(
         &self,
-        blk: &mut BlockCtx<'_>,
+        blk: &mut L,
         file: &GFile,
         page_idx: u64,
         frame: FrameIdx,
@@ -131,9 +137,9 @@ impl GpuFsMount {
     ///
     /// On a failed batch every page of that batch has its dirty flag
     /// re-armed (pages of earlier, successful batches stay propagated).
-    pub(crate) fn writeback_frames(
+    pub(crate) fn writeback_frames<L: Lane>(
         &self,
-        blk: &mut BlockCtx<'_>,
+        blk: &mut L,
         file: &GFile,
         pages: &[(u64, FrameIdx)],
     ) -> GpufsResult<usize> {
@@ -146,9 +152,30 @@ impl GpuFsMount {
 
     /// Gather the dirty extents of `chunk` and ship them in one
     /// `WritePages` round-trip.
-    fn ship_batch(
+    fn ship_batch<L: Lane>(
         &self,
-        blk: &mut BlockCtx<'_>,
+        blk: &mut L,
+        file: &GFile,
+        chunk: &[(u64, FrameIdx)],
+    ) -> GpufsResult<usize> {
+        // Advertise the batch before gathering: `gather_page` clears
+        // dirty bits, so from a syncer's point of view these pages look
+        // clean the moment they are gathered — `wb_inflight` is what says
+        // "but their bytes have not reached the host yet".
+        file.wb_begin();
+        let r = self.ship_batch_inner(blk, file, chunk);
+        if let Ok(n) = r {
+            if n > 0 {
+                file.note_flush_horizon(blk.now());
+            }
+        }
+        file.wb_end();
+        r
+    }
+
+    fn ship_batch_inner<L: Lane>(
+        &self,
+        blk: &mut L,
         file: &GFile,
         chunk: &[(u64, FrameIdx)],
     ) -> GpufsResult<usize> {
@@ -189,10 +216,14 @@ impl GpuFsMount {
                 // silently marks the whole batch clean and its bytes are
                 // lost.
                 for g in &gathered {
-                    self.frames
+                    if !self
+                        .frames
                         .pframe(g.frame)
                         .dirty
-                        .store(true, Ordering::Release);
+                        .swap(true, Ordering::AcqRel)
+                    {
+                        self.dirty.pages.fetch_add(1, Ordering::AcqRel);
+                    }
                 }
                 return Err(e);
             }
@@ -232,9 +263,9 @@ impl GpuFsMount {
     /// pristine copy for read-write files, or against zeros for
     /// `O_GWRONCE` (paper §3.1). Returns `None` for clean pages and pages
     /// whose diff is empty.
-    fn gather_page(
+    fn gather_page<L: Lane>(
         &self,
-        blk: &mut BlockCtx<'_>,
+        blk: &mut L,
         file: &GFile,
         page_idx: u64,
         frame: FrameIdx,
@@ -249,7 +280,13 @@ impl GpuFsMount {
         // them — are guaranteed a later write-back. Clearing after the
         // scan instead would let a write that slipped in between be
         // wiped from the flag without ever being shipped.
-        pf.dirty.store(false, Ordering::Release);
+        if pf.dirty.swap(false, Ordering::AcqRel) {
+            self.dirty.pages.fetch_sub(1, Ordering::AcqRel);
+        } else {
+            // A concurrent pass drained it between the check above and
+            // the swap; the ledger entry was theirs to settle.
+            return None;
+        }
         let ds = pf.data_size.load(Ordering::Acquire);
         let ptr = self.frames.frame_ptr(frame);
         // SAFETY: the caller holds a pin (or has detached the frame from

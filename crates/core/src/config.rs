@@ -134,6 +134,42 @@ pub struct GpufsConfig {
     /// Host-side state, validated at `mount` like
     /// [`GpufsConfig::rpc_channels`].
     pub daemon_workers: usize,
+    /// Staging depth, in chunks, of the daemon's pipelined read engine.
+    /// `2` (the default) is classic double-buffering and reproduces the
+    /// prior engine bit-for-bit: the `ReadPages` response is returned
+    /// only once the *last* chunk's DMA has landed, so every page of the
+    /// batch becomes ready at the response time. Depths ≥ 3 let up to
+    /// `io_depth - 2` trailing chunk DMAs outlive the response: the RPC
+    /// returns as soon as the staging window allows, and the response
+    /// carries a *per-page* ready time (its own chunk's DMA completion)
+    /// so prefetched pages become pinnable individually while later
+    /// chunks are still in flight. Host-side state, validated at `mount`
+    /// like [`GpufsConfig::rpc_channels`]; clamped to ≥ 2.
+    pub io_depth: usize,
+    /// Shard count of the buffer-cache control plane: the frame freelist,
+    /// the radix node arena/leaf registry, and the open/closed/path-lock
+    /// file tables each split into this many independently locked shards
+    /// (frames are keyed by the faulting threadblock, tables by key hash)
+    /// so concurrent misses on different shards never contend on one
+    /// `Mutex`. `1` reproduces the original single-freelist layout; frame
+    /// allocation steals from sibling shards on local exhaustion, so
+    /// capacity semantics are shard-count-independent. Client-side only —
+    /// not validated against the host daemon.
+    pub cache_shards: usize,
+    /// High watermark, in dirty pages, of the asynchronous write-back
+    /// throttle. `0` (the default) disables the background flusher
+    /// entirely: write-back happens synchronously at `gfsync`/eviction
+    /// exactly as before. When > 0, each mount runs a flusher thread that
+    /// gathers dirty pages into the batched `WritePages` path while
+    /// foreground faults proceed; a writer that would push the mount's
+    /// dirty-page count to `dirty_high_pages` or beyond blocks until the
+    /// flusher drains it back to [`GpufsConfig::dirty_low_pages`].
+    pub dirty_high_pages: usize,
+    /// Low watermark of the async write-back throttle: once engaged, the
+    /// flusher drains the mount's dirty-page count below this level
+    /// before throttled writers resume. Meaningful only when
+    /// [`GpufsConfig::dirty_high_pages`] > 0; clamped below it.
+    pub dirty_low_pages: usize,
 }
 
 impl Default for GpufsConfig {
@@ -150,6 +186,10 @@ impl Default for GpufsConfig {
             io_chunk_pages: 2,
             rpc_channels: 1,
             daemon_workers: 1,
+            io_depth: 2,
+            cache_shards: 8,
+            dirty_high_pages: 0,
+            dirty_low_pages: 0,
         }
     }
 }
@@ -223,6 +263,39 @@ impl GpufsConfig {
         Self {
             rpc_channels: channels.max(1),
             daemon_workers: workers.max(1),
+            ..self
+        }
+    }
+
+    /// Copy with the daemon's read-staging depth set to `chunks` (clamped
+    /// to ≥ 2; `2` = classic double-buffering, the bit-for-bit compat
+    /// setting).
+    #[must_use]
+    pub fn with_io_depth(self, chunks: usize) -> Self {
+        Self {
+            io_depth: chunks.max(2),
+            ..self
+        }
+    }
+
+    /// Copy with the cache control-plane shard count set to `shards`
+    /// (clamped to ≥ 1; `1` = the original unsharded layout).
+    #[must_use]
+    pub fn with_cache_shards(self, shards: usize) -> Self {
+        Self {
+            cache_shards: shards.max(1),
+            ..self
+        }
+    }
+
+    /// Copy with asynchronous write-back enabled behind a `high`/`low`
+    /// dirty-page watermark pair (`high = 0` disables the flusher; `low`
+    /// is clamped below `high` when the flusher is on).
+    #[must_use]
+    pub fn with_async_writeback(self, high: usize, low: usize) -> Self {
+        Self {
+            dirty_high_pages: high,
+            dirty_low_pages: if high == 0 { low } else { low.min(high - 1) },
             ..self
         }
     }
@@ -309,6 +382,45 @@ mod tests {
             "0 is the serialized-compat setting, never clamped away"
         );
         assert_eq!(GpufsConfig::small_test().with_io_chunk(7).io_chunk_pages, 7);
+    }
+
+    #[test]
+    fn io_depth_defaults_to_double_buffering_and_clamps() {
+        assert_eq!(
+            GpufsConfig::default().io_depth,
+            2,
+            "double-buffering (the prior engine) by default"
+        );
+        assert_eq!(GpufsConfig::small_test().with_io_depth(0).io_depth, 2);
+        assert_eq!(GpufsConfig::small_test().with_io_depth(5).io_depth, 5);
+    }
+
+    #[test]
+    fn cache_shards_default_on_and_clamp() {
+        assert!(
+            GpufsConfig::default().cache_shards > 1,
+            "sharding defaults on"
+        );
+        assert_eq!(
+            GpufsConfig::small_test().with_cache_shards(0).cache_shards,
+            1
+        );
+        assert_eq!(
+            GpufsConfig::small_test().with_cache_shards(4).cache_shards,
+            4
+        );
+    }
+
+    #[test]
+    fn async_writeback_defaults_off_and_watermarks_order() {
+        let c = GpufsConfig::default();
+        assert_eq!((c.dirty_high_pages, c.dirty_low_pages), (0, 0));
+        let c = GpufsConfig::small_test().with_async_writeback(8, 2);
+        assert_eq!((c.dirty_high_pages, c.dirty_low_pages), (8, 2));
+        let c = GpufsConfig::small_test().with_async_writeback(8, 99);
+        assert_eq!(c.dirty_low_pages, 7, "low clamps below high");
+        let c = GpufsConfig::small_test().with_async_writeback(0, 5);
+        assert_eq!(c.dirty_high_pages, 0, "0 high = flusher off");
     }
 
     #[test]

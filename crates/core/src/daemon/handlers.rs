@@ -19,12 +19,14 @@ use crate::rpc::{Request, RespOk};
 /// Serve one request. Returns the response and the virtual time at which
 /// the requester may proceed (which, for reads, includes DMA the worker
 /// itself does not wait for).
+#[allow(clippy::too_many_arguments)]
 pub(super) fn serve(
     fs: &HostFs,
     gpus: &[Arc<Gpu>],
     stats: &ServeStats<'_>,
     clock: &mut Clock,
     io_chunk_pages: usize,
+    io_depth: usize,
     _gpu: usize,
     req: &Request,
 ) -> (Result<RespOk, FsError>, Nanos) {
@@ -69,9 +71,16 @@ pub(super) fn serve(
             let r = fs.close(*fd).map(|()| RespOk::Done);
             (r, clock.now())
         }
-        Request::ReadPages { fd, pages, gpu } => {
-            pipeline::read_pages(fs, &gpus[*gpu], stats, clock, io_chunk_pages, *fd, pages)
-        }
+        Request::ReadPages { fd, pages, gpu } => pipeline::read_pages(
+            fs,
+            &gpus[*gpu],
+            stats,
+            clock,
+            io_chunk_pages,
+            io_depth,
+            *fd,
+            pages,
+        ),
         Request::WritePages { fd, pages, gpu } => {
             pipeline::write_pages(fs, &gpus[*gpu], stats, clock, io_chunk_pages, *fd, pages)
         }
@@ -148,7 +157,7 @@ mod tests {
             },
         )
         .unwrap();
-        let RespOk::Read { ns } = ok else {
+        let RespOk::Read { ns, .. } = ok else {
             panic!("expected Read")
         };
         assert_eq!(ns, vec![11]);

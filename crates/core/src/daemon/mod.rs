@@ -117,6 +117,7 @@ pub struct GpufsHost {
     per_gpu_stats: Vec<Arc<DaemonStats>>,
     worker_count: usize,
     io_chunk_pages: usize,
+    io_depth: usize,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -131,7 +132,7 @@ impl GpufsHost {
 
     /// Start the host daemon with the host-side knobs of `config`
     /// ([`GpufsConfig::rpc_channels`], [`GpufsConfig::daemon_workers`],
-    /// and [`GpufsConfig::io_chunk_pages`]).
+    /// [`GpufsConfig::io_chunk_pages`], and [`GpufsConfig::io_depth`]).
     #[must_use]
     pub fn with_config(fs: Arc<HostFs>, gpus: Vec<Arc<Gpu>>, config: &GpufsConfig) -> Self {
         Self::with_opts(
@@ -140,6 +141,7 @@ impl GpufsHost {
             config.rpc_channels,
             config.daemon_workers,
             config.io_chunk_pages,
+            config.io_depth,
         )
     }
 
@@ -161,6 +163,7 @@ impl GpufsHost {
             rpc_channels,
             daemon_workers,
             GpufsConfig::default().io_chunk_pages,
+            GpufsConfig::default().io_depth,
         )
     }
 
@@ -170,6 +173,7 @@ impl GpufsHost {
         rpc_channels: usize,
         daemon_workers: usize,
         io_chunk_pages: usize,
+        io_depth: usize,
     ) -> Self {
         let hub = Arc::new(RpcHub::with_channels(rpc_channels));
         let stats = Arc::new(DaemonStats::default());
@@ -177,6 +181,7 @@ impl GpufsHost {
             .map(|_| Arc::new(DaemonStats::default()))
             .collect();
         let worker_count = daemon_workers.max(1);
+        let io_depth = io_depth.max(2);
         let workers = (0..worker_count)
             .map(|w| {
                 let fs = Arc::clone(&fs);
@@ -186,7 +191,9 @@ impl GpufsHost {
                 let per_gpu = per_gpu_stats.clone();
                 std::thread::Builder::new()
                     .name(format!("gpufs-worker-{w}"))
-                    .spawn(move || worker_loop(&fs, &gpus, &hub, &stats, &per_gpu, io_chunk_pages))
+                    .spawn(move || {
+                        worker_loop(&fs, &gpus, &hub, &stats, &per_gpu, io_chunk_pages, io_depth)
+                    })
                     .unwrap_or_else(|e| {
                         // No daemon without its worker threads: spawn
                         // failure (EAGAIN at process thread limits) is fatal
@@ -204,6 +211,7 @@ impl GpufsHost {
             per_gpu_stats,
             worker_count,
             io_chunk_pages,
+            io_depth,
             workers,
         }
     }
@@ -260,6 +268,13 @@ impl GpufsHost {
         self.io_chunk_pages
     }
 
+    /// Staging depth (in chunks) of the pipelined read engine this host
+    /// was started with; `2` is classic double-buffering.
+    #[must_use]
+    pub fn io_depth(&self) -> usize {
+        self.io_depth
+    }
+
     /// Stop the worker pool. Idempotent. Requests queued before the stop
     /// are served first (each worker drains claims until none remain);
     /// calls arriving after it fail with
@@ -286,6 +301,7 @@ impl Drop for GpufsHost {
 
 /// One worker of the daemon pool: claim requests from the hub's channels
 /// until shutdown, serving each against the host FS and DMA engines.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     fs: &HostFs,
     gpus: &[Arc<Gpu>],
@@ -293,6 +309,7 @@ fn worker_loop(
     stats: &DaemonStats,
     per_gpu: &[Arc<DaemonStats>],
     io_chunk_pages: usize,
+    io_depth: usize,
 ) {
     let timings = fs.timings().clone();
     while let Some(env) = hub.next() {
@@ -316,6 +333,7 @@ fn worker_loop(
             &stats,
             &mut clock,
             io_chunk_pages,
+            io_depth,
             env.gpu,
             &env.req,
         );
@@ -357,7 +375,15 @@ pub(crate) mod testutil {
     pub(crate) fn host_chunked(io_chunk_pages: usize) -> GpufsHost {
         let fs = Arc::new(HostFs::new(HostFsConfig::default()));
         let gpu = Arc::new(Gpu::new(0, GpuSpec::small_test()));
-        GpufsHost::with_opts(fs, vec![gpu], 1, 1, io_chunk_pages)
+        GpufsHost::with_opts(fs, vec![gpu], 1, 1, io_chunk_pages, 2)
+    }
+
+    /// A single-channel/single-worker host with a given chunk size and
+    /// read-staging depth.
+    pub(crate) fn host_depth(io_chunk_pages: usize, io_depth: usize) -> GpufsHost {
+        let fs = Arc::new(HostFs::new(HostFsConfig::default()));
+        let gpu = Arc::new(Gpu::new(0, GpuSpec::small_test()));
+        GpufsHost::with_opts(fs, vec![gpu], 1, 1, io_chunk_pages, io_depth)
     }
 
     pub(crate) fn call(h: &GpufsHost, req: Request) -> crate::error::GpufsResult<(RespOk, Nanos)> {
@@ -581,7 +607,9 @@ mod tests {
                                 },
                             )
                             .unwrap();
-                        let RespOk::Read { ns } = ok else { panic!() };
+                        let RespOk::Read { ns, .. } = ok else {
+                            panic!()
+                        };
                         assert_eq!(ns, vec![512]);
                         let mut out = vec![0u8; 512];
                         h.gpus()[0].global().read(dst, &mut out);

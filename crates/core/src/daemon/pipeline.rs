@@ -51,15 +51,28 @@ fn chunk_len(io_chunk_pages: usize, len: usize) -> usize {
 }
 
 /// Serve a `ReadPages` batch: pread chunk *k+1* while the scatter-gather
-/// DMA of chunk *k* is in flight. Returns the per-page byte counts and
-/// the virtual time the requester may proceed (the end of the last
-/// chunk's DMA — which the worker itself never waits for).
+/// DMA of chunk *k* is in flight. Returns the per-page byte counts, the
+/// per-page ready times, and the virtual time the requester may proceed.
+///
+/// `io_depth` is the staging depth in chunks. At the default `2`
+/// (classic double-buffering) the engine behaves exactly as before:
+/// staging is effectively unbounded within the batch and the response
+/// time is the end of the *last* chunk's DMA, so every page's ready time
+/// equals the response time. At depths ≥ 3 the engine models a ring of
+/// `io_depth` staging buffers — chunk *j*'s pread waits for chunk
+/// *j − io_depth*'s DMA to free its buffer — and responds *early*: up to
+/// `io_depth − 2` trailing chunk DMAs may outlive the response, with
+/// each page's individual ready time (its chunk's DMA completion)
+/// carried back so the client can gate pins per page instead of on the
+/// whole batch.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn read_pages(
     fs: &HostFs,
     gpu: &Gpu,
     stats: &ServeStats<'_>,
     clock: &mut Clock,
     io_chunk_pages: usize,
+    io_depth: usize,
     fd: HostFd,
     pages: &[PageRead],
 ) -> (Result<RespOk, FsError>, Nanos) {
@@ -69,11 +82,26 @@ pub(super) fn read_pages(
             s.pages_per_rpc.add(pages.len() as u64);
         });
     }
+    let deep = io_depth > 2;
     let submit_ns = fs.timings().dma_chunk_ns;
     let mut ns = Vec::with_capacity(pages.len());
+    let mut ready: Vec<Nanos> = Vec::with_capacity(pages.len());
+    // When each chunk's staging buffer frees again: its DMA end, or 0 for
+    // chunks that shipped nothing.
+    let mut free_at: Vec<Nanos> = Vec::new();
     let mut dma_end: Nanos = 0;
     let mut first_chunk = true;
-    for chunk in pages.chunks(chunk_len(io_chunk_pages, pages.len())) {
+    for (j, chunk) in pages
+        .chunks(chunk_len(io_chunk_pages, pages.len()))
+        .enumerate()
+    {
+        // Depth-k staging bound: chunk j reuses the buffer of chunk
+        // j - io_depth and must wait for that DMA to complete. Double
+        // buffering keeps the prior engine's unbounded-within-the-batch
+        // staging for bit-for-bit compatibility.
+        if deep && j >= io_depth {
+            clock.wait_until(free_at[j - io_depth]);
+        }
         // Stage 1 — host file I/O of this chunk, serialized on the
         // worker's clock (the host file system pipelines/serializes the
         // individual preads as its cost model says).
@@ -99,7 +127,9 @@ pub(super) fn read_pages(
             .filter(|(buf, _)| !buf.is_empty())
             .map(|(buf, page)| (buf.as_slice(), page.dst))
             .collect();
-        if !parts.is_empty() {
+        let chunk_ready = if parts.is_empty() {
+            0
+        } else {
             if !first_chunk {
                 clock.advance(submit_ns);
             }
@@ -111,9 +141,29 @@ pub(super) fn read_pages(
             });
             dma_end = r.end;
             first_chunk = false;
+            r.end
+        };
+        free_at.push(chunk_ready);
+        for buf in &staging {
+            ready.push(if buf.is_empty() { 0 } else { chunk_ready });
         }
     }
-    (Ok(RespOk::Read { ns }), dma_end.max(clock.now()))
+    let t = if deep {
+        // Early response: all but the last io_depth - 2 chunk DMAs must
+        // have landed (the demand page rides in chunk 0, so chunk 0 is
+        // always covered); trailing chunks gate their pages through the
+        // per-page ready times instead.
+        let covered = free_at.len().saturating_sub(io_depth - 2).max(1);
+        let gate = free_at[..covered].iter().copied().max().unwrap_or(0);
+        gate.max(clock.now())
+    } else {
+        dma_end.max(clock.now())
+    };
+    if !deep {
+        // The drained engine's pages are all ready at the response.
+        ready.fill(t);
+    }
+    (Ok(RespOk::Read { ns, ready }), t)
 }
 
 /// Serve a `WritePages` batch: the D2H gather of chunk *k+1* overlaps the
@@ -204,7 +254,7 @@ pub(super) fn write_pages(
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::{call, host, host_chunked};
+    use super::super::testutil::{call, host, host_chunked, host_depth};
     use super::super::GpufsHost;
     use crate::rpc::{PageRead, PageWrite, Request, RespOk};
     use simtime::{Nanos, Timings};
@@ -228,7 +278,9 @@ mod tests {
 
     fn read_batch(h: &GpufsHost, fd: hostfs::HostFd, pages: Vec<PageRead>) -> (Vec<usize>, Nanos) {
         let (ok, t) = call(h, Request::ReadPages { fd, pages, gpu: 0 }).unwrap();
-        let RespOk::Read { ns } = ok else { panic!() };
+        let RespOk::Read { ns, .. } = ok else {
+            panic!()
+        };
         (ns, t)
     }
 
@@ -599,6 +651,119 @@ mod tests {
             1,
             "3 pages under a chunk of 8 = one chunk, one setup"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Depth-k staging ring coverage.
+    // ------------------------------------------------------------------
+
+    /// Run one `n_pages`-page read batch on a `host_depth(io_chunk,
+    /// io_depth)` rig; return (response t, per-page ready times, bytes).
+    fn depth_read(
+        io_chunk: usize,
+        io_depth: usize,
+        n_pages: usize,
+    ) -> (Nanos, Vec<Nanos>, Vec<u8>) {
+        let page = 64 << 10;
+        let h = host_depth(io_chunk, io_depth);
+        h.fs().create_synthetic("/deep", 4 << 20, 13).unwrap();
+        let fd = open(&h, "/deep", false);
+        let dst = h.gpus()[0].global().alloc(n_pages * page).unwrap();
+        let pages: Vec<PageRead> = (0..n_pages)
+            .map(|i| PageRead {
+                offset: (i * page) as u64,
+                len: page,
+                dst: dst + i * page,
+            })
+            .collect();
+        let (ok, t) = call(&h, Request::ReadPages { fd, pages, gpu: 0 }).unwrap();
+        let RespOk::Read { ns, ready } = ok else {
+            panic!()
+        };
+        assert_eq!(ns, vec![page; n_pages]);
+        let mut bytes = vec![0u8; n_pages * page];
+        h.gpus()[0].global().read(dst, &mut bytes);
+        (t, ready, bytes)
+    }
+
+    #[test]
+    fn deep_staging_responds_earlier_than_double_buffering() {
+        // An 8-chunk read at depth 4 may leave the last two chunk DMAs in
+        // flight at response time, so the RPC completes strictly earlier
+        // than the depth-2 engine which drains every DMA first — with
+        // identical bytes, and with every page still carrying a ready
+        // time the client can gate on.
+        let (t2, ready2, bytes2) = depth_read(1, 2, 8);
+        let (t4, ready4, bytes4) = depth_read(1, 4, 8);
+        assert_eq!(bytes2, bytes4);
+        assert!(
+            t4 < t2,
+            "depth-4 early response ({t4}) must beat the drained depth-2 \
+             response ({t2})"
+        );
+        // Depth 2 publishes every page at the engine's response time
+        // (the returned t adds the RPC completion overhead on top);
+        // depth 4's trailing pages become ready after even that.
+        assert!(ready2.iter().all(|&r| r == ready2[0] && r <= t2));
+        assert!(ready4.iter().all(|&r| r > 0));
+        let past_response = ready4.iter().filter(|&&r| r > t4).count();
+        assert!(
+            (1..=2).contains(&past_response),
+            "up to io_depth - 2 = 2 trailing chunks may outlive the \
+             response, got {past_response}"
+        );
+        // The last page is always among the uncovered tail; chunk 0 (the
+        // demand page's chunk) is always covered by the response gate.
+        assert!(ready4[7] > t4);
+        assert!(ready4[0] <= t4);
+    }
+
+    #[test]
+    fn deep_staging_ready_times_are_monotone_per_chunk() {
+        // Chunk DMAs of one transaction never overlap each other, so the
+        // per-page ready times must be non-decreasing in page order (all
+        // pages of one chunk share the chunk's DMA completion).
+        let (_, ready, _) = depth_read(2, 5, 12);
+        for w in ready.windows(2) {
+            assert!(w[0] <= w[1], "ready times regressed: {ready:?}");
+        }
+        // 12 pages / chunk 2 = 6 distinct chunk completions.
+        let mut distinct: Vec<Nanos> = ready.clone();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 6);
+    }
+
+    #[test]
+    fn deep_staging_bounds_pread_lead_over_dma() {
+        // The ring bound itself: at depth 3 chunk j's pread cannot start
+        // before chunk j-3's DMA frees its buffer, so a long batch at
+        // depth 3 must respond no earlier than at a deeper setting that
+        // relaxes the bound (and strictly later than unbounded depth-2
+        // staging would allow the DMA lane to lag... measured simply:
+        // deeper staging never hurts).
+        let (t3, _, bytes3) = depth_read(1, 3, 10);
+        let (t6, _, bytes6) = depth_read(1, 6, 10);
+        assert_eq!(bytes3, bytes6);
+        assert!(
+            t6 <= t3,
+            "a deeper ring ({t6}) can only relax the staging bound vs \
+             depth 3 ({t3})"
+        );
+    }
+
+    #[test]
+    fn singleton_and_single_chunk_batches_ignore_io_depth() {
+        // A batch that fits in one chunk has no trailing DMAs to leave in
+        // flight: `covered` clamps to 1 and the response equals the lone
+        // chunk's DMA end — bit-for-bit the depth-2 engine. This is the
+        // fig4/fig5 compat guarantee for the hot window-1 path.
+        for (io_chunk, n_pages) in [(0, 1), (0, 4), (8, 3)] {
+            let (t2, ready2, bytes2) = depth_read(io_chunk, 2, n_pages);
+            let (t7, ready7, bytes7) = depth_read(io_chunk, 7, n_pages);
+            assert_eq!(t2, t7, "chunkless batch must not see io_depth");
+            assert_eq!(ready2, ready7);
+            assert_eq!(bytes2, bytes7);
+        }
     }
 
     #[test]

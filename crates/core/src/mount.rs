@@ -28,17 +28,66 @@
 //! calling threadblock ("GPUfs code hijacking the calling thread to
 //! perform paging", §4.2), preserving the pay-as-you-go principle of §3.4.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use gpusim::{BlockCtx, Gpu};
 use simtime::Timings;
 
-use crate::cache::{CacheCounters, FrameArena};
+use crate::cache::{CacheCounters, FrameArena, FrameIdx};
 use crate::config::GpufsConfig;
 use crate::daemon::GpufsHost;
 use crate::error::GpufsResult;
 use crate::rpc::{Request, RespOk, RpcHub};
 use crate::table::Tables;
+
+/// Mount-wide dirty-page accounting shared by the foreground write path,
+/// the background flusher, and the reclaim/discard paths.
+///
+/// `pages` counts buffer-cache pages whose `PFrame::dirty` bit is set; it
+/// moves on exactly the transitions that flip that bit (arm on write,
+/// clear on gather, re-arm on a failed write-back batch, clear on
+/// discard), so `pages == 0` means no page in the cache carries
+/// unwritten data. `flush_vtime` is the virtual time at which the
+/// background flusher last observed the ledger at or below the low
+/// watermark — throttled writers resume no earlier than this.
+#[derive(Debug, Default)]
+pub(crate) struct DirtyLedger {
+    pub(crate) pages: AtomicUsize,
+    pub(crate) flush_vtime: AtomicU64,
+}
+
+/// A virtual-time execution lane: the clock/identity surface the paging
+/// and write-back layers need from whoever is driving them.
+///
+/// Threadblocks ([`BlockCtx`]) are the usual lane — every `g*` call runs
+/// on the faulting block, pay-as-you-go (§3.4). The background flusher is
+/// the one exception: it runs on a host-side thread with its own
+/// [`simtime::Clock`], issuing at the mount's virtual frontier, so the
+/// shared write-back code is generic over this trait instead of taking a
+/// `BlockCtx` outright.
+pub(crate) trait Lane {
+    fn now(&self) -> u64;
+    fn advance(&mut self, dur: u64);
+    fn wait_until(&mut self, t: u64);
+    /// RPC channel slot (threadblock slot for blocks).
+    fn lane_id(&self) -> usize;
+}
+
+impl Lane for BlockCtx<'_> {
+    fn now(&self) -> u64 {
+        BlockCtx::now(self)
+    }
+    fn advance(&mut self, dur: u64) {
+        BlockCtx::advance(self, dur);
+    }
+    fn wait_until(&mut self, t: u64) {
+        BlockCtx::wait_until(self, t);
+    }
+    fn lane_id(&self) -> usize {
+        self.block_id()
+    }
+}
 
 /// One GPU's GPUfs instance (see module docs).
 pub struct GpuFsMount {
@@ -54,6 +103,16 @@ pub struct GpuFsMount {
     /// and no daemon round-trip, which is what keeps closed-file-table
     /// revival cheap (paper §4.1: reopen must avoid CPU communication).
     pub(crate) host_fs: Arc<hostfs::HostFs>,
+    /// Dirty-page ledger driving the async write-back throttle.
+    pub(crate) dirty: DirtyLedger,
+    /// Latest virtual time any threadblock has reached on this mount.
+    /// The background flusher issues its RPCs at this frontier so its
+    /// traffic lands "now" rather than in the virtual past.
+    pub(crate) virtual_frontier: AtomicU64,
+    /// Background flusher control: set to request shutdown, joined on
+    /// drop. `None` when async write-back is off.
+    pub(crate) flusher_stop: Arc<std::sync::atomic::AtomicBool>,
+    pub(crate) flusher: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for GpuFsMount {
@@ -76,24 +135,31 @@ impl GpufsHost {
     ///
     /// Fails if the GPU cannot hold the configured buffer cache, or if
     /// the mount's host-side knobs ([`GpufsConfig::rpc_channels`],
-    /// [`GpufsConfig::daemon_workers`], [`GpufsConfig::io_chunk_pages`])
-    /// disagree with the daemon this host was started with — all three
-    /// are daemon state, so a config that names different values would be
-    /// a silent no-op; build the host with [`GpufsHost::with_config`] (or
-    /// matching [`GpufsHost::with_concurrency`] values) instead.
+    /// [`GpufsConfig::daemon_workers`], [`GpufsConfig::io_chunk_pages`],
+    /// [`GpufsConfig::io_depth`]) disagree with the daemon this host was
+    /// started with — all four are daemon state, so a config that names
+    /// different values would be a silent no-op; build the host with
+    /// [`GpufsHost::with_config`] (or matching
+    /// [`GpufsHost::with_concurrency`] values) instead.
     pub fn mount(&self, gpu_id: usize, config: GpufsConfig) -> GpufsResult<Arc<GpuFsMount>> {
         if config.rpc_channels.max(1) != self.hub().num_channels()
             || config.daemon_workers.max(1) != self.daemon_workers()
             || config.io_chunk_pages != self.io_chunk_pages()
+            || config.io_depth.max(2) != self.io_depth()
         {
             return Err(crate::error::GpufsError::InvalidMode(
-                "mount rpc_channels/daemon_workers/io_chunk_pages do not match \
-                 the host daemon (build the host with GpufsHost::with_config)",
+                "mount rpc_channels/daemon_workers/io_chunk_pages/io_depth do not \
+                 match the host daemon (build the host with GpufsHost::with_config)",
             ));
         }
         let gpu = Arc::clone(&self.gpus()[gpu_id]);
-        let frames = FrameArena::new(gpu.global(), config.page_size, config.num_frames())?;
-        Ok(Arc::new(GpuFsMount {
+        let frames = FrameArena::new(
+            gpu.global(),
+            config.page_size,
+            config.num_frames(),
+            config.cache_shards,
+        )?;
+        let mount = Arc::new(GpuFsMount {
             timings: gpu.timings().clone(),
             hub: Arc::clone(self.hub()),
             gpu,
@@ -102,7 +168,13 @@ impl GpufsHost {
             tables: Tables::new(),
             counters: CacheCounters::new(),
             host_fs: Arc::clone(self.fs()),
-        }))
+            dirty: DirtyLedger::default(),
+            virtual_frontier: AtomicU64::new(0),
+            flusher_stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            flusher: parking_lot::Mutex::new(None),
+        });
+        crate::cache::flusher::spawn_if_configured(&mount)?;
+        Ok(mount)
     }
 }
 
@@ -139,11 +211,40 @@ impl GpuFsMount {
     /// channels`, paper §4.3): blocks resident on different slots post to
     /// independent queues and can have requests in flight simultaneously,
     /// while one block's own synchronous calls stay FIFO.
-    pub(crate) fn rpc(&self, blk: &mut BlockCtx<'_>, req: Request) -> GpufsResult<RespOk> {
-        let (ok, t) =
-            self.hub
-                .call(blk.block_id(), self.gpu.id(), blk.now(), &self.timings, req)?;
+    pub(crate) fn rpc<L: Lane>(&self, blk: &mut L, req: Request) -> GpufsResult<RespOk> {
+        let (ok, t) = self
+            .hub
+            .call(blk.lane_id(), self.gpu.id(), blk.now(), &self.timings, req)?;
         blk.wait_until(t);
+        self.note_frontier(blk.now());
         Ok(ok)
+    }
+
+    /// Record that a threadblock has reached virtual time `now`, advancing
+    /// the mount-wide frontier the background flusher issues at.
+    pub(crate) fn note_frontier(&self, now: u64) {
+        self.virtual_frontier.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Return `frame` to shard `hint`'s freelist, settling its dirty bit
+    /// against the mount ledger first — the single exit point for frames
+    /// whose contents are being discarded. `FrameArena::release` wipes the
+    /// page metadata, so the bit must be read here, before the handoff.
+    pub(crate) fn retire_frame(&self, hint: usize, frame: FrameIdx) {
+        if self
+            .frames
+            .pframe(frame)
+            .dirty
+            .swap(false, Ordering::AcqRel)
+        {
+            self.dirty.pages.fetch_sub(1, Ordering::AcqRel);
+        }
+        self.frames.release(hint, frame);
+    }
+}
+
+impl Drop for GpuFsMount {
+    fn drop(&mut self) {
+        crate::cache::flusher::stop(self);
     }
 }

@@ -33,8 +33,16 @@ impl GpuFsMount {
     pub fn open(&self, blk: &mut BlockCtx<'_>, path: &str, mode: GOpenMode) -> GpufsResult<GFd> {
         blk.advance(self.timings.gpufs_page_op_ns);
         let plock = self.tables.path_lock(path);
-        let _guard = plock.lock();
+        let r = {
+            let _guard = plock.lock();
+            self.open_locked(blk, path, mode)
+        };
+        drop(plock);
+        self.tables.gc_path_lock(path);
+        r
+    }
 
+    fn open_locked(&self, blk: &mut BlockCtx<'_>, path: &str, mode: GOpenMode) -> GpufsResult<GFd> {
         if let Some(f) = self.tables.get_open(path) {
             if f.mode() != mode {
                 return Err(GpufsError::InvalidMode(
@@ -170,7 +178,17 @@ impl GpuFsMount {
             return Ok(());
         }
         let plock = self.tables.path_lock(file.path());
-        let _guard = plock.lock();
+        let r = {
+            let _guard = plock.lock();
+            self.close_locked(blk, &file)
+        };
+        drop(plock);
+        self.tables.gc_path_lock(file.path());
+        r
+    }
+
+    fn close_locked(&self, blk: &mut BlockCtx<'_>, file: &Arc<GFile>) -> GpufsResult<()> {
+        let file = Arc::clone(file);
         if file.refcount() > 0 {
             return Ok(()); // a concurrent gopen revived it first
         }

@@ -9,8 +9,10 @@
 //! will reopen the file are still queued) revives the cache instead of
 //! refetching it.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use hostfs::{HostFd, Ino};
@@ -63,6 +65,14 @@ pub struct GFile {
     seq_streams: [AtomicU64; SEQ_STREAMS],
     /// Round-robin victim pointer for claiming a stream slot.
     seq_victim: AtomicU64,
+    /// Write-back batches currently in flight for this file (gathered —
+    /// dirty bits already cleared — but not yet confirmed by the host).
+    /// `gfsync`'s drain loop waits this out: a page can look clean while
+    /// its bytes are still travelling.
+    wb_inflight: AtomicUsize,
+    /// Virtual time of the latest confirmed write-back shipment; the
+    /// clock floor a draining `gfsync` synchronizes its caller to.
+    flush_horizon: AtomicU64,
     /// The file's page cache.
     tree: RadixTree,
 }
@@ -90,6 +100,8 @@ impl GFile {
             host_valid: AtomicU64::new(0),
             seq_streams: std::array::from_fn(|_| AtomicU64::new(SEQ_VACANT)),
             seq_victim: AtomicU64::new(0),
+            wb_inflight: AtomicUsize::new(0),
+            flush_horizon: AtomicU64::new(0),
             tree: RadixTree::new(),
         }
     }
@@ -219,28 +231,110 @@ impl GFile {
     pub fn revive(&self) {
         self.refs.store(1, Ordering::Release);
     }
+
+    /// Enter a write-back batch (see `wb_inflight`).
+    pub(crate) fn wb_begin(&self) {
+        self.wb_inflight.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Leave a write-back batch.
+    pub(crate) fn wb_end(&self) {
+        self.wb_inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Write-back batches currently in flight for this file.
+    #[must_use]
+    pub(crate) fn wb_inflight(&self) -> usize {
+        self.wb_inflight.load(Ordering::Acquire)
+    }
+
+    /// Record a confirmed shipment at virtual time `t`.
+    pub(crate) fn note_flush_horizon(&self, t: u64) {
+        self.flush_horizon.fetch_max(t, Ordering::AcqRel);
+    }
+
+    /// Virtual time of the latest confirmed shipment.
+    #[must_use]
+    pub(crate) fn flush_horizon(&self) -> u64 {
+        self.flush_horizon.load(Ordering::Acquire)
+    }
 }
 
-/// The open-file table (by path) and closed-file table (by inode).
-#[derive(Debug, Default)]
+/// A hash-sharded `Mutex<HashMap>`: one lock per shard, keys spread by
+/// the std `DefaultHasher` (fixed-key SipHash — deterministic across
+/// runs, so shard assignment never perturbs reproducible measurements).
+/// Every operation touches exactly one shard lock, so opens of unrelated
+/// files no longer serialize on one table-wide mutex.
+#[derive(Debug)]
+struct ShardedMap<K, V> {
+    shards: Box<[Mutex<HashMap<K, V>>]>,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    fn shard<Q: Hash + ?Sized>(&self, key: &Q) -> &Mutex<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn values(&self) -> Vec<V>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().values().cloned());
+        }
+        out
+    }
+}
+
+/// The open-file table (by path) and closed-file table (by inode), each
+/// hash-sharded (see `ShardedMap` above).
+#[derive(Debug)]
 pub struct Tables {
-    open: Mutex<HashMap<String, Arc<GFile>>>,
-    closed: Mutex<HashMap<Ino, Arc<GFile>>>,
+    open: ShardedMap<String, Arc<GFile>>,
+    closed: ShardedMap<Ino, Arc<GFile>>,
     /// Path → inode hint so `gopen` can consult the closed-file table
     /// *before* any host interaction (paper §4.1: "gopen checks the
     /// closed file table first").
-    closed_paths: Mutex<HashMap<String, Ino>>,
+    closed_paths: ShardedMap<String, Ino>,
     /// Per-path serialization of open/close transitions, so concurrent
     /// `gopen`s of one file coalesce into a single host RPC (paper
-    /// Table 1) without blocking opens of other files.
-    path_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Table 1) without blocking opens of other files. Entries are
+    /// garbage-collected by [`Tables::gc_path_lock`] once the last user
+    /// drops its handle.
+    path_locks: ShardedMap<String, Arc<Mutex<()>>>,
+}
+
+impl Default for Tables {
+    fn default() -> Self {
+        Self::with_shards(crate::config::GpufsConfig::default().cache_shards)
+    }
 }
 
 impl Tables {
-    /// Empty tables.
+    /// Empty tables with the default shard count.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty tables spread over `shards` locks per map.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            open: ShardedMap::new(shards),
+            closed: ShardedMap::new(shards),
+            closed_paths: ShardedMap::new(shards),
+            path_locks: ShardedMap::new(shards),
+        }
     }
 
     /// The serialization lock for `path`.
@@ -248,27 +342,52 @@ impl Tables {
     pub fn path_lock(&self, path: &str) -> Arc<Mutex<()>> {
         Arc::clone(
             self.path_locks
+                .shard(path)
                 .lock()
                 .entry(path.to_owned())
                 .or_insert_with(|| Arc::new(Mutex::new(()))),
         )
     }
 
+    /// Drop `path`'s serialization lock if nobody holds a handle to it
+    /// anymore. Open/close call this after releasing the lock; without
+    /// it every path ever opened leaks a map entry for the mount's
+    /// lifetime. A handle count of one means the map's own reference is
+    /// the last: any concurrent `path_lock` needs the shard lock held
+    /// here, so the check cannot race a new user in.
+    pub fn gc_path_lock(&self, path: &str) {
+        let mut locks = self.path_locks.shard(path).lock();
+        if let Some(l) = locks.get(path) {
+            if Arc::strong_count(l) == 1 {
+                locks.remove(path);
+            }
+        }
+    }
+
+    /// Live `path_locks` entries (test hook for the gc above).
+    #[must_use]
+    pub fn path_locks_len(&self) -> usize {
+        self.path_locks.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
     /// Currently open file at `path`, if any.
     #[must_use]
     pub fn get_open(&self, path: &str) -> Option<Arc<GFile>> {
-        self.open.lock().get(path).cloned()
+        self.open.shard(path).lock().get(path).cloned()
     }
 
     /// Install `file` in the open table.
     pub fn insert_open(&self, file: Arc<GFile>) {
-        self.open.lock().insert(file.path().to_owned(), file);
+        self.open
+            .shard(file.path())
+            .lock()
+            .insert(file.path().to_owned(), file);
     }
 
     /// Remove `file` from the open table if it is still the installed
     /// entry. Returns whether it was removed.
     pub fn remove_open(&self, file: &Arc<GFile>) -> bool {
-        let mut open = self.open.lock();
+        let mut open = self.open.shard(file.path()).lock();
         match open.get(file.path()) {
             Some(cur) if Arc::ptr_eq(cur, file) => {
                 open.remove(file.path());
@@ -281,9 +400,9 @@ impl Tables {
     /// Take the closed-table entry for `ino`, if present.
     #[must_use]
     pub fn take_closed(&self, ino: Ino) -> Option<Arc<GFile>> {
-        let taken = self.closed.lock().remove(&ino);
+        let taken = self.closed.shard(&ino).lock().remove(&ino);
         if let Some(f) = &taken {
-            let mut paths = self.closed_paths.lock();
+            let mut paths = self.closed_paths.shard(f.path()).lock();
             if paths.get(f.path()) == Some(&ino) {
                 paths.remove(f.path());
             }
@@ -294,7 +413,7 @@ impl Tables {
     /// Inode hint for a parked path, if any.
     #[must_use]
     pub fn closed_ino_for_path(&self, path: &str) -> Option<Ino> {
-        self.closed_paths.lock().get(path).copied()
+        self.closed_paths.shard(path).lock().get(path).copied()
     }
 
     /// Park `file` in the closed table; returns any displaced entry
@@ -302,36 +421,57 @@ impl Tables {
     #[must_use]
     pub fn park_closed(&self, file: Arc<GFile>) -> Option<Arc<GFile>> {
         self.closed_paths
+            .shard(file.path())
             .lock()
             .insert(file.path().to_owned(), file.ino());
-        self.closed.lock().insert(file.ino(), file)
+        let ino = file.ino();
+        self.closed.shard(&ino).lock().insert(ino, file)
     }
 
     /// Snapshot of closed files (eviction victims of first resort:
     /// "GPUfs first looks at closed files, which are not in use", §4.2).
     #[must_use]
     pub fn closed_files(&self) -> Vec<Arc<GFile>> {
-        self.closed.lock().values().cloned().collect()
+        self.closed.values()
     }
 
     /// Snapshot of open files, read-only ones first (the eviction order
     /// after closed files).
     #[must_use]
     pub fn open_files_by_eviction_priority(&self) -> Vec<Arc<GFile>> {
-        let mut files: Vec<Arc<GFile>> = self.open.lock().values().cloned().collect();
+        let mut files: Vec<Arc<GFile>> = self.open.values();
         files.sort_by_key(|f| f.mode().writable());
+        files
+    }
+
+    /// Snapshot of every file — open or parked — whose mode syncs to the
+    /// host: the background flusher's work list. `O_NOSYNC` temporaries
+    /// are excluded on purpose; only eviction pressure spills those.
+    #[must_use]
+    pub fn syncable_files(&self) -> Vec<Arc<GFile>> {
+        let mut files: Vec<Arc<GFile>> = self
+            .open
+            .values()
+            .into_iter()
+            .chain(self.closed.values())
+            .filter(|f| f.mode().syncs_to_host())
+            .collect();
+        // A file can sit in both tables mid-transition; ship each once.
+        files.sort_by_key(|f| Arc::as_ptr(f) as usize);
+        files.dedup_by(|a, b| Arc::ptr_eq(a, b));
         files
     }
 
     /// Remove `file` from the closed table if it is still parked there.
     pub fn remove_closed(&self, file: &Arc<GFile>) -> bool {
-        let mut closed = self.closed.lock();
-        match closed.get(&file.ino()) {
+        let ino = file.ino();
+        let mut closed = self.closed.shard(&ino).lock();
+        match closed.get(&ino) {
             Some(cur) if Arc::ptr_eq(cur, file) => {
-                closed.remove(&file.ino());
+                closed.remove(&ino);
                 drop(closed);
-                let mut paths = self.closed_paths.lock();
-                if paths.get(file.path()) == Some(&file.ino()) {
+                let mut paths = self.closed_paths.shard(file.path()).lock();
+                if paths.get(file.path()) == Some(&ino) {
                     paths.remove(file.path());
                 }
                 true
@@ -415,6 +555,68 @@ mod tests {
         let c = t.path_lock("/y");
         assert!(Arc::ptr_eq(&a, &b));
         assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn path_lock_gc_reclaims_unused_entries() {
+        let t = Tables::new();
+        let a = t.path_lock("/x");
+        let _b = t.path_lock("/y");
+        assert_eq!(t.path_locks_len(), 2);
+        t.gc_path_lock("/x");
+        assert_eq!(t.path_locks_len(), 2, "a live handle pins the entry");
+        drop(a);
+        t.gc_path_lock("/x");
+        assert_eq!(
+            t.path_locks_len(),
+            1,
+            "last handle dropped: entry reclaimed"
+        );
+        // A fresh request after gc mints a new lock rather than erroring.
+        let _again = t.path_lock("/x");
+        assert_eq!(t.path_locks_len(), 2);
+    }
+
+    #[test]
+    fn sharded_tables_keep_every_entry_reachable() {
+        let t = Tables::with_shards(4);
+        for i in 0..64u64 {
+            t.insert_open(file(&format!("/f{i}"), i, GOpenMode::ReadOnly));
+        }
+        for i in 0..64u64 {
+            assert!(t.get_open(&format!("/f{i}")).is_some(), "/f{i} lost");
+        }
+        assert_eq!(t.open_files_by_eviction_priority().len(), 64);
+        for i in 0..64u64 {
+            let f = t.get_open(&format!("/f{i}")).unwrap();
+            assert!(t.park_closed(Arc::clone(&f)).is_none());
+            assert!(t.remove_open(&f));
+        }
+        assert_eq!(t.closed_files().len(), 64);
+        for i in 0..64u64 {
+            assert_eq!(t.closed_ino_for_path(&format!("/f{i}")), Some(i));
+            assert!(t.take_closed(i).is_some());
+        }
+        assert!(t.closed_files().is_empty());
+    }
+
+    #[test]
+    fn syncable_files_skips_nosync_and_dedups_tables() {
+        let t = Tables::new();
+        let rw = file("/rw", 1, GOpenMode::ReadWrite);
+        t.insert_open(Arc::clone(&rw));
+        t.insert_open(file("/tmp", 2, GOpenMode::Temp));
+        t.insert_open(file("/ro", 3, GOpenMode::ReadOnly));
+        // Mid-transition: the same Arc in both tables must ship once.
+        assert!(t.park_closed(Arc::clone(&rw)).is_none());
+        let files = t.syncable_files();
+        let mut paths: Vec<&str> = files.iter().map(|f| f.path()).collect();
+        paths.sort_unstable();
+        assert_eq!(
+            paths,
+            ["/rw"],
+            "temps and read-only files are not flushable"
+        );
     }
 
     #[test]

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Record the Figure-7 lock-free-vs-forced-locked block sweep into
+# BENCH_fig7.json (one JSON object per line, appended — the repo's perf
+# trajectory).
+#
+# Usage: scripts/bench_fig7.sh [OUT_PATH]   (default: BENCH_fig7.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p gpufs_bench --bin fig7_json -- "${1:-BENCH_fig7.json}"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Actually *run* the perf-trajectory recorder bins (fig4_json, fig5_json,
-# fig_scale_json) at a tiny scale, so the JSONL tooling cannot rot
+# fig7_json, fig_scale_json) at a tiny scale, so the JSONL tooling cannot rot
 # between perf PRs — tests/smoke_targets.rs only proves they still
 # build. Records go to a scratch directory, never to the repo's
 # BENCH_*.json files, and each emitted record is sanity-checked for the
@@ -26,6 +26,13 @@ grep -q '"bench":"fig5_breakdown"' "$out_dir/fig5.json"
 grep -q '"smoke":true' "$out_dir/fig5.json"
 grep -q '"overlap_64k"' "$out_dir/fig5.json"
 grep -q '"pipe"' "$out_dir/fig5.json"
+
+echo "== fig7_json (smoke) =="
+cargo run --release -q -p gpufs_bench --bin fig7_json -- "$out_dir/fig7.json"
+grep -q '"bench":"fig7_lockfree"' "$out_dir/fig7.json"
+grep -q '"smoke":true' "$out_dir/fig7.json"
+grep -q '"lockfree_speedup_28"' "$out_dir/fig7.json"
+grep -q '"mb_s_forced_locked"' "$out_dir/fig7.json"
 
 echo "== fig_scale_json (smoke: 2-GPU fleet) =="
 cargo run --release -q -p gpufs_bench --bin fig_scale_json -- "$out_dir/scale.json"

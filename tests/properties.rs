@@ -437,6 +437,88 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sharded frame arena: conservation under concurrent alloc/free/steal.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The sharded free list conserves frames under concurrent traffic:
+    /// with `threads` workers hammering alloc/release from different home
+    /// shards (so steals and migrations happen constantly), no frame is
+    /// ever lost, duplicated, or handed to two owners at once, and after
+    /// every worker returns what it took the arena is exactly full again
+    /// — regardless of the shard count or the alloc/release schedule.
+    #[test]
+    fn sharded_frame_arena_conserves_frames(
+        shards in 1usize..6,
+        threads in 2usize..6,
+        // Per-thread op tape: `true` = try to alloc, `false` = release
+        // one held frame (if any).
+        tapes in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 20..120),
+            6..7
+        )
+    ) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        use gpufs::cache::FrameArena;
+        use gpusim::GlobalMem;
+
+        const FRAMES: usize = 24;
+        let mem = GlobalMem::new(1 << 20);
+        let arena = FrameArena::new(&mem, 4096, FRAMES, shards).unwrap();
+        // One owner flag per frame: set on alloc, cleared on release. A
+        // frame handed out twice trips the swap assertion in the worker.
+        let owned: Vec<AtomicBool> = (0..FRAMES).map(|_| AtomicBool::new(false)).collect();
+
+        std::thread::scope(|s| {
+            for (t, tape) in tapes.iter().take(threads).enumerate() {
+                let arena = &arena;
+                let owned = &owned;
+                s.spawn(move || {
+                    let mut held: Vec<u32> = Vec::new();
+                    // Distinct home shards force cross-shard steals.
+                    for &do_alloc in tape {
+                        if do_alloc {
+                            if let Some(f) = arena.alloc(t) {
+                                assert!(
+                                    !owned[f as usize].swap(true, Ordering::AcqRel),
+                                    "frame {f} handed to two owners"
+                                );
+                                held.push(f);
+                            }
+                        } else if let Some(f) = held.pop() {
+                            assert!(
+                                owned[f as usize].swap(false, Ordering::AcqRel),
+                                "released frame {f} that was not owned"
+                            );
+                            arena.release(t, f);
+                        }
+                    }
+                    // Drain: every worker returns what it still holds.
+                    for f in held {
+                        assert!(owned[f as usize].swap(false, Ordering::AcqRel));
+                        arena.release(t, f);
+                    }
+                });
+            }
+        });
+
+        // Conservation: the arena is exactly full, every frame exactly
+        // once across all shards, no owner flag left set.
+        prop_assert_eq!(arena.free_frames(), FRAMES);
+        let mut seen = [false; FRAMES];
+        while let Some(f) = arena.alloc(0) {
+            prop_assert!(!seen[f as usize], "frame {} duplicated in the freelists", f);
+            seen[f as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "a frame vanished from the freelists");
+        prop_assert!(owned.iter().all(|o| !o.load(std::sync::atomic::Ordering::Acquire)));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

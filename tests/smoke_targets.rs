@@ -33,7 +33,7 @@ const BENCHES: &[&str] = &[
 ];
 
 /// Tooling binaries (perf-trajectory recorders driven by `scripts/`).
-const BINS: &[&str] = &["fig4_json", "fig5_json", "fig_scale_json"];
+const BINS: &[&str] = &["fig4_json", "fig5_json", "fig7_json", "fig_scale_json"];
 
 fn cargo() -> Command {
     let mut cmd = Command::new(env!("CARGO"));

@@ -27,6 +27,16 @@ const PAGE: usize = 4096;
 const READ_PAGES: usize = BLOCKS;
 
 fn one_round(channels: usize, workers: usize, write_batch: usize) {
+    one_round_wb(channels, workers, write_batch, 0, 0);
+}
+
+fn one_round_wb(
+    channels: usize,
+    workers: usize,
+    write_batch: usize,
+    dirty_high: usize,
+    dirty_low: usize,
+) {
     let fs = Arc::new(HostFs::new(HostFsConfig::default()));
     let base: Vec<u8> = (0..(2 * READ_PAGES * PAGE) as u32)
         .map(|i| (i % 239) as u8)
@@ -40,7 +50,8 @@ fn one_round(channels: usize, workers: usize, write_batch: usize) {
     let cfg = GpufsConfig::new(PAGE, 8 * PAGE)
         .with_concurrency(channels, workers)
         .with_write_batch(write_batch)
-        .with_readahead(2);
+        .with_readahead(2)
+        .with_async_writeback(dirty_high, dirty_low);
     let mount = host.mount(0, cfg).unwrap();
 
     gpu.launch(Grid::new(BLOCKS, 64), 0, |blk| {
@@ -120,5 +131,32 @@ fn stress_single_fifo_baseline_matches() {
     // never change correctness, only scheduling.
     for _ in 0..ROUNDS {
         one_round(1, 1, 1);
+    }
+}
+
+#[test]
+fn stress_async_flusher_and_throttle_under_eviction() {
+    // The same workload with the background flusher on and the dirty
+    // watermarks squeezed (high = 4 against 8 written pages), so the
+    // writer blocks repeatedly trip the throttle while the flusher, the
+    // fsync drain loop, and eviction's write-back all gather from the
+    // same dirty set across real threads. The round's own asserts carry
+    // the payload: the accounting identity `hits + misses == lockfree +
+    // locked` must survive the extra flusher traffic (its lane takes no
+    // counters), and the file must come out byte-exact even when every
+    // page's shipment may have happened on the flusher thread instead of
+    // the writer's fsync.
+    for _ in 0..ROUNDS {
+        one_round_wb(4, 3, 4, 4, 1);
+    }
+}
+
+#[test]
+fn stress_flusher_watermarks_wide_open() {
+    // Flusher on but never throttling (high above every dirty count this
+    // workload can reach): pure background draining racing foreground
+    // fsync; results must be indistinguishable from the sync rounds.
+    for _ in 0..ROUNDS {
+        one_round_wb(2, 2, 4, 64, 2);
     }
 }

@@ -1,6 +1,6 @@
 //! The `xtask lint` pass: source-level workspace invariants.
 //!
-//! Four rules, all motivated by the lockcheck layer and the repo's
+//! Five rules, all motivated by the lockcheck layer and the repo's
 //! concurrency-bug history (see ISSUE 6 / ARCHITECTURE.md):
 //!
 //! * **`std-sync`** — no direct `std::sync::{Mutex, RwLock, Condvar}`
@@ -18,6 +18,12 @@
 //! * **`unsafe-safety`** — every `unsafe` in non-test code under
 //!   `crates/` needs a `// SAFETY:` comment (or a `# Safety` doc
 //!   section) within the six preceding lines.
+//! * **`hot-mutex`** — no `Mutex`/`RwLock`/`parking_lot::` tokens in
+//!   the lock-free hot path ([`HOT_LOCKFREE`], currently the paging
+//!   layer): the paper's §4.2 protocol keeps `pin_page` mutex-free, and
+//!   a convenient slow-path lock quietly reintroduces the Figure-7
+//!   convoy. The fpage seqlock (`fp.lock()`) is part of the protocol
+//!   and does not trip this rule.
 //!
 //! A finding is fixed or waived, never ignored: waivers are inline
 //! `// lint:allow <rule> -- <reason>` comments on the offending line or
@@ -47,12 +53,20 @@ const UNWRAP_SCOPE: &[&str] = &[
     "crates/core/src/rpc.rs",
 ];
 
+/// Files whose non-test code must stay mutex-free (the `hot-mutex`
+/// rule): the page-lookup hot path. A mutex here puts every concurrent
+/// threadblock back in the Figure-7 convoy the lock-free protocol
+/// exists to avoid, so introducing one demands an inline waiver with a
+/// measured justification.
+const HOT_LOCKFREE: &[&str] = &["crates/core/src/cache/paging.rs"];
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Rule {
     StdSync,
     Unwrap,
     Sleep,
     UnsafeSafety,
+    HotMutex,
 }
 
 impl Rule {
@@ -62,6 +76,7 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::Sleep => "sleep",
             Rule::UnsafeSafety => "unsafe-safety",
+            Rule::HotMutex => "hot-mutex",
         }
     }
 }
@@ -136,6 +151,9 @@ xtask lint rules:
   unwrap         no .unwrap()/.expect( in non-test daemon/cache/cluster/rpc code
   sleep          no thread::sleep under crates/ outside crates/core/src/backoff.rs
   unsafe-safety  every unsafe needs a // SAFETY: comment within 6 lines above
+  hot-mutex      no Mutex/RwLock/parking_lot:: in the lock-free page-lookup
+                 hot path (crates/core/src/cache/paging.rs) — the fpage
+                 seqlock is the only sanctioned lock there
 waive a finding inline: // lint:allow <rule> -- <reason>   (reason required)
 ";
 
@@ -174,6 +192,7 @@ fn lint_file(rel: &str, text: &str) -> Vec<Finding> {
     let in_test = test_regions(&code);
     let unwrap_scoped = UNWRAP_SCOPE.iter().any(|p| rel.starts_with(p));
     let sleep_allowed = SLEEP_ALLOWED.contains(&rel);
+    let hot_lockfree = HOT_LOCKFREE.contains(&rel);
     let mut findings = Vec::new();
     for (i, code_line) in code.iter().enumerate() {
         let lineno = i + 1;
@@ -226,8 +245,35 @@ fn lint_file(rel: &str, text: &str) -> Vec<Finding> {
                 "unsafe without a // SAFETY: comment within the 6 preceding lines".into(),
             );
         }
+        if hot_lockfree {
+            if let Some(what) = mutex_use(code_line) {
+                report(
+                    Rule::HotMutex,
+                    format!(
+                        "{what} in the lock-free page-lookup hot path; \
+                         pin_page must stay mutex-free (paper §4.2) — \
+                         waive only with a measured justification"
+                    ),
+                );
+            }
+        }
     }
     findings
+}
+
+/// `Some(token)` when the stripped code line references a mutex-family
+/// lock type — any `Mutex`/`RwLock` identifier (std or shim) or a
+/// `parking_lot::` path. The fpage seqlock's `fp.lock()` carries none of
+/// these tokens, so the paper's own protocol passes untouched.
+fn mutex_use(code_line: &str) -> Option<&'static str> {
+    for what in ["Mutex", "RwLock"] {
+        if has_word(code_line, what) {
+            return Some(what);
+        }
+    }
+    code_line
+        .contains("parking_lot::")
+        .then_some("parking_lot::")
 }
 
 /// `Some(name)` when the stripped code line uses a std::sync lock type.
@@ -618,6 +664,38 @@ pub unsafe fn slice(&self) -> &[u8] { todo!() }
         assert_eq!(lint_file("crates/x/src/lib.rs", without_reason).len(), 1);
         let wrong_rule = "// lint:allow unwrap -- reasons\nfn f() { std::thread::sleep(d); }\n";
         assert_eq!(lint_file("crates/x/src/lib.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn hot_mutex_rule_guards_the_paging_hot_path() {
+        // Any mutex-family token in paging.rs fires, once per line.
+        let text = "use parking_lot::Mutex;\nfn f(m: &Mutex<u32>) { let _g = m.lock(); }\n";
+        let f = lint_file("crates/core/src/cache/paging.rs", text);
+        assert_eq!(f.len(), 2, "both mutex lines flagged: {f:?}");
+        assert!(f.iter().all(|x| x.rule.name() == "hot-mutex"));
+        // The rule is scoped: the same code elsewhere is fine (the shim
+        // Mutex is legal outside the hot path).
+        assert!(lint_file("crates/core/src/cache/radix.rs", text).is_empty());
+        // The fpage seqlock is the protocol, not a mutex.
+        assert!(lint_file("crates/core/src/cache/paging.rs", "fp.lock();\n").is_empty());
+        // RwLock fires too.
+        let f = lint_file("crates/core/src/cache/paging.rs", "let l: RwLock<u8>;\n");
+        assert_eq!(f.len(), 1);
+        // A bare `parking_lot::` path fires even when the import renames
+        // the lock away from the Mutex/RwLock tokens.
+        let f = lint_file(
+            "crates/core/src/cache/paging.rs",
+            "use parking_lot::const_mutex as m;\n",
+        );
+        assert_eq!(f.len(), 1);
+        // Waivers need a reason, as everywhere.
+        let waived = "// lint:allow hot-mutex -- cold miss path only; measured zero contention\nuse parking_lot::Mutex;\n";
+        assert!(lint_file("crates/core/src/cache/paging.rs", waived).is_empty());
+        let reasonless = "// lint:allow hot-mutex\nuse parking_lot::Mutex;\n";
+        assert_eq!(
+            lint_file("crates/core/src/cache/paging.rs", reasonless).len(),
+            1
+        );
     }
 
     #[test]
