@@ -121,7 +121,7 @@ fn flusher_loop(mount: &Weak<GpuFsMount>, stop: &AtomicBool) {
         }
         let shipped_before = m.counters.writebacks.get();
         flush_pass(&m, stop);
-        m.counters.flusher_passes.incr();
+        m.count_for(FLUSHER_LANE, |c| c.flusher_passes.incr());
         if m.counters.writebacks.get() > shipped_before {
             fruitless = 0;
         } else {
@@ -171,7 +171,7 @@ impl GpuFsMount {
         if high == 0 || self.dirty.pages.load(Ordering::Acquire) < high {
             return;
         }
-        self.counters.throttle_stalls.incr();
+        self.count_for(blk.block_id(), |c| c.throttle_stalls.incr());
         // Make sure the flusher issues at (at least) this writer's time.
         self.note_frontier(Lane::now(blk));
         let mut fruitless = 0usize;

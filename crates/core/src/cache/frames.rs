@@ -45,6 +45,10 @@ pub struct PFrame {
     /// Set when readahead (not a demand miss) brought this page in; the
     /// first pin consumes the flag so the mount can count readahead hits.
     pub prefetched: AtomicBool,
+    /// Tenant the frame is charged to while allocated (0 when free or on
+    /// single-tenant mounts). Reclaim reads it to evict an over-quota
+    /// tenant's own pages first.
+    pub tenant: AtomicUsize,
 }
 
 impl PFrame {
@@ -57,6 +61,7 @@ impl PFrame {
             ready_at: AtomicU64::new(0),
             pristine: AtomicU64::new(u64::from(NO_FRAME)),
             prefetched: AtomicBool::new(false),
+            tenant: AtomicUsize::new(0),
         }
     }
 
@@ -69,6 +74,7 @@ impl PFrame {
         self.ready_at.store(0, Ordering::Relaxed);
         self.pristine.store(u64::from(NO_FRAME), Ordering::Relaxed);
         self.prefetched.store(false, Ordering::Relaxed);
+        self.tenant.store(0, Ordering::Relaxed);
     }
 
     /// The pristine frame index, if any.
@@ -109,12 +115,22 @@ impl PFrame {
 /// allocation pops the caller's shard first and *steals* from sibling
 /// shards when it runs dry, so exhaustion semantics are independent of
 /// the shard count: `alloc` fails only when every shard is empty.
+/// Soft per-tenant quotas layer on top: every allocated frame is charged
+/// to a tenant, quotas cap nothing at allocation time (steal-when-idle —
+/// free frames always serve whoever faults), but reclaim consults
+/// [`FrameArena::over_quota`] to make an over-quota tenant evict its own
+/// pages first.
 #[derive(Debug)]
 pub struct FrameArena {
     base: DevPtr,
     page_size: usize,
     pframes: Box<[PFrame]>,
     shards: Box<[Mutex<Vec<FrameIdx>>]>,
+    /// Frames currently charged to each tenant. Invariant:
+    /// `sum(holdings) + free_frames() == num_frames()`.
+    holdings: Box<[AtomicUsize]>,
+    /// Soft frame quota per tenant (`usize::MAX` = unlimited).
+    quotas: Box<[usize]>,
 }
 
 impl FrameArena {
@@ -130,6 +146,24 @@ impl FrameArena {
         num_frames: usize,
         shards: usize,
     ) -> Result<Self, MemError> {
+        Self::with_quotas(mem, page_size, num_frames, shards, 1, &[])
+    }
+
+    /// [`FrameArena::new`] plus tenant accounting: `tenants` holding
+    /// counters (clamped to ≥ 1) and soft per-tenant frame `quotas`
+    /// (missing or zero entries mean unlimited).
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocator error if GPU memory cannot hold the array.
+    pub fn with_quotas(
+        mem: &GlobalMem,
+        page_size: usize,
+        num_frames: usize,
+        shards: usize,
+        tenants: usize,
+        quotas: &[usize],
+    ) -> Result<Self, MemError> {
         let base = mem.alloc(page_size * num_frames)?;
         let pframes = (0..num_frames).map(|_| PFrame::new()).collect();
         let n = shards.max(1);
@@ -142,11 +176,21 @@ impl FrameArena {
             lists[(i as usize) % n].push(i);
         }
         let shards = lists.into_iter().map(Mutex::new).collect();
+        let tenants = tenants.max(1);
+        let holdings = (0..tenants).map(|_| AtomicUsize::new(0)).collect();
+        let quotas = (0..tenants)
+            .map(|t| match quotas.get(t) {
+                Some(&q) if q > 0 => q,
+                _ => usize::MAX,
+            })
+            .collect();
         Ok(Self {
             base,
             page_size,
             pframes,
             shards,
+            holdings,
+            quotas,
         })
     }
 
@@ -181,6 +225,39 @@ impl FrameArena {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
+    /// Tenant classes the arena accounts for (≥ 1).
+    #[must_use]
+    pub fn num_tenants(&self) -> usize {
+        self.holdings.len()
+    }
+
+    /// Frames currently charged to `tenant` (clamped to the last tenant).
+    #[must_use]
+    pub fn tenant_held(&self, tenant: usize) -> usize {
+        self.holdings[tenant.min(self.holdings.len() - 1)].load(Ordering::Relaxed)
+    }
+
+    /// Soft frame quota of `tenant` (`usize::MAX` = unlimited).
+    #[must_use]
+    pub fn tenant_quota(&self, tenant: usize) -> usize {
+        self.quotas[tenant.min(self.quotas.len() - 1)]
+    }
+
+    /// Whether `tenant` currently holds more frames than its soft quota —
+    /// the signal reclaim uses to steer eviction at its own pages first.
+    #[must_use]
+    pub fn over_quota(&self, tenant: usize) -> bool {
+        let t = tenant.min(self.holdings.len() - 1);
+        self.holdings[t].load(Ordering::Relaxed) > self.quotas[t]
+    }
+
+    /// Whether any tenant carries a finite quota (false on default,
+    /// unpartitioned mounts — lets reclaim skip tenant steering entirely).
+    #[must_use]
+    pub fn has_quotas(&self) -> bool {
+        self.quotas.iter().any(|&q| q != usize::MAX)
+    }
+
     /// Device address of frame `idx`.
     ///
     /// # Panics
@@ -210,10 +287,23 @@ impl FrameArena {
     /// one shard lock is held at a time, so the lock-order graph stays a
     /// set of leaves.
     pub fn alloc(&self, hint: usize) -> Option<FrameIdx> {
+        self.alloc_owned(hint, 0)
+    }
+
+    /// [`FrameArena::alloc`] charged to `tenant` (clamped): the frame's
+    /// pframe is stamped with the owner and the tenant's holding counter
+    /// incremented. Quotas are soft — a free frame is never refused, even
+    /// over quota (steal-when-idle); pressure is applied at reclaim time
+    /// instead.
+    pub fn alloc_owned(&self, hint: usize, tenant: usize) -> Option<FrameIdx> {
         let n = self.shards.len();
         let home = self.shard_of(hint);
         for step in 0..n {
-            if let Some(f) = self.shards[(home + step) % n].lock().pop() {
+            let popped = self.shards[(home + step) % n].lock().pop();
+            if let Some(f) = popped {
+                let t = tenant.min(self.holdings.len() - 1);
+                self.pframes[f as usize].tenant.store(t, Ordering::Relaxed);
+                self.holdings[t].fetch_add(1, Ordering::Relaxed);
                 return Some(f);
             }
         }
@@ -228,6 +318,8 @@ impl FrameArena {
     ///
     /// Panics in debug builds on double free.
     pub fn release(&self, hint: usize, idx: FrameIdx) {
+        let owner = self.pframe(idx).tenant.load(Ordering::Relaxed);
+        self.holdings[owner.min(self.holdings.len() - 1)].fetch_sub(1, Ordering::Relaxed);
         self.pframe(idx).clear();
         #[cfg(debug_assertions)]
         for s in self.shards.iter() {
@@ -348,5 +440,50 @@ mod tests {
     fn bad_frame_index_panics() {
         let (_mem, a) = arena();
         let _ = a.frame_ptr(99);
+    }
+
+    #[test]
+    fn tenant_holdings_track_alloc_and_release() {
+        let mem = GlobalMem::new(1 << 20);
+        let a = FrameArena::with_quotas(&mem, 4096, 16, 2, 2, &[3, 0]).unwrap();
+        assert_eq!(a.num_tenants(), 2);
+        assert_eq!(a.tenant_quota(0), 3);
+        assert_eq!(a.tenant_quota(1), usize::MAX, "quota 0 means unlimited");
+        assert!(a.has_quotas());
+        let f0 = a.alloc_owned(0, 0).unwrap();
+        let f1 = a.alloc_owned(0, 1).unwrap();
+        assert_eq!(a.tenant_held(0), 1);
+        assert_eq!(a.tenant_held(1), 1);
+        assert_eq!(a.pframe(f1).tenant.load(Ordering::Relaxed), 1);
+        assert_eq!(a.tenant_held(0) + a.tenant_held(1) + a.free_frames(), 16);
+        a.release(0, f1);
+        assert_eq!(a.tenant_held(1), 0);
+        a.release(0, f0);
+        assert_eq!(a.tenant_held(0), 0);
+        assert_eq!(a.free_frames(), 16);
+    }
+
+    #[test]
+    fn soft_quota_never_refuses_a_free_frame() {
+        let mem = GlobalMem::new(1 << 20);
+        let a = FrameArena::with_quotas(&mem, 4096, 8, 1, 2, &[2, 2]).unwrap();
+        // Tenant 0 takes 5 of 8 frames: over its quota of 2, yet every
+        // alloc succeeds because frames are free (steal-when-idle).
+        let got: Vec<_> = (0..5).map(|_| a.alloc_owned(0, 0).unwrap()).collect();
+        assert_eq!(got.len(), 5);
+        assert!(a.over_quota(0));
+        assert!(!a.over_quota(1));
+    }
+
+    #[test]
+    fn default_arena_is_unpartitioned() {
+        let (_mem, a) = arena();
+        assert_eq!(a.num_tenants(), 1);
+        assert!(!a.has_quotas());
+        assert!(!a.over_quota(0));
+        let f = a.alloc(7).unwrap();
+        assert_eq!(a.tenant_held(0), 1);
+        a.release(7, f);
+        assert_eq!(a.tenant_held(0), 0);
     }
 }

@@ -93,6 +93,29 @@ impl CacheCounters {
         self.flusher_passes.take();
         self.throttle_stalls.take();
     }
+
+    /// Every counter as a `(name, value)` row — the one list tests and
+    /// reporters iterate so a newly added counter cannot silently escape
+    /// the per-tenant sum-to-aggregate invariant.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("lockfree_accesses", self.lockfree_accesses.get()),
+            ("locked_accesses", self.locked_accesses.get()),
+            ("pages_reclaimed", self.pages_reclaimed.get()),
+            ("hits", self.hits.get()),
+            ("misses", self.misses.get()),
+            ("writebacks", self.writebacks.get()),
+            ("readahead_hits", self.readahead_hits.get()),
+            ("read_rpcs", self.read_rpcs.get()),
+            ("batched_rpcs", self.batched_rpcs.get()),
+            ("pages_per_rpc", self.pages_per_rpc.get()),
+            ("write_rpcs", self.write_rpcs.get()),
+            ("pages_per_write_rpc", self.pages_per_write_rpc.get()),
+            ("flusher_passes", self.flusher_passes.get()),
+            ("throttle_stalls", self.throttle_stalls.get()),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -215,12 +215,14 @@ impl GpuFsMount {
                 };
             match snap {
                 Snapshot::Pinned(frame) => {
-                    if contended {
-                        self.counters.locked_accesses.incr();
-                    } else {
-                        self.counters.lockfree_accesses.incr();
-                    }
-                    self.counters.hits.incr();
+                    self.count_for(blk.block_id(), |c| {
+                        if contended {
+                            c.locked_accesses.incr();
+                        } else {
+                            c.lockfree_accesses.incr();
+                        }
+                        c.hits.incr();
+                    });
                     let pf = self.frames.pframe(frame);
                     // Relaxed-load guard: with readahead off (or the page
                     // demand-fetched) this stays a read, keeping the
@@ -231,7 +233,7 @@ impl GpuFsMount {
                         // First pin of a page readahead brought in: the
                         // round-trip this access would have paid was
                         // amortized into an earlier batch.
-                        self.counters.readahead_hits.incr();
+                        self.count_for(blk.block_id(), |c| c.readahead_hits.incr());
                     }
                     debug_assert_eq!(pf.file_uid.load(Ordering::Relaxed), file.tree().uid());
                     debug_assert_eq!(pf.page_idx.load(Ordering::Relaxed), page_idx);
@@ -366,10 +368,13 @@ impl GpuFsMount {
         window: usize,
         demand_through: u64,
     ) -> GpufsResult<PagePin> {
-        self.counters.misses.incr();
-        // Initialization holds the fpage lock for its state transitions:
-        // it is a locked access in the paper's accounting.
-        self.counters.locked_accesses.incr();
+        self.count_for(blk.block_id(), |c| {
+            c.misses.incr();
+            // Initialization holds the fpage lock for its state
+            // transitions: it is a locked access in the paper's
+            // accounting.
+            c.locked_accesses.incr();
+        });
         let fetch = self.page_fetches(file, page_idx);
         // A fetched read-write page needs its pristine frame too; the two
         // are allocated as an atomic pair (see `alloc_frame_pair` for the
@@ -409,11 +414,13 @@ impl GpuFsMount {
                     dst: self.frames.frame_ptr(extra.frame),
                 });
             }
-            self.counters.read_rpcs.incr();
-            if pages.len() > 1 {
-                self.counters.batched_rpcs.incr();
-                self.counters.pages_per_rpc.add(pages.len() as u64);
-            }
+            self.count_for(blk.block_id(), |c| {
+                c.read_rpcs.incr();
+                if pages.len() > 1 {
+                    c.batched_rpcs.incr();
+                    c.pages_per_rpc.add(pages.len() as u64);
+                }
+            });
             let resp = self.rpc(
                 blk,
                 Request::ReadPages {
@@ -445,8 +452,10 @@ impl GpuFsMount {
                 // A batched initialization is a locked page operation
                 // like any other fault; it is a miss in the "unique pages
                 // faulted" sense.
-                self.counters.misses.incr();
-                self.counters.locked_accesses.incr();
+                self.count_for(blk.block_id(), |c| {
+                    c.misses.incr();
+                    c.locked_accesses.incr();
+                });
                 self.publish_fetched_page(
                     blk,
                     file,

@@ -90,11 +90,12 @@ impl GpuFsMount {
         let mut fruitless = 0usize;
         while fruitless < RECLAIM_ROUNDS {
             let shard = blk.block_id();
-            if let Some(first) = self.frames.alloc(shard) {
+            let tenant = self.tenant_of(blk.block_id());
+            if let Some(first) = self.frames.alloc_owned(shard, tenant) {
                 if !pair {
                     return Ok((first, None));
                 }
-                if let Some(second) = self.frames.alloc(shard) {
+                if let Some(second) = self.frames.alloc_owned(shard, tenant) {
                     return Ok((first, Some(second)));
                 }
                 // All-or-nothing: never hold one frame while waiting for
@@ -124,13 +125,14 @@ impl GpuFsMount {
     /// on a loaded cache.
     pub(crate) fn alloc_frame_opportunistic(&self, blk: &mut BlockCtx<'_>) -> Option<FrameIdx> {
         let shard = blk.block_id();
-        if let Some(frame) = self.frames.alloc(shard) {
+        let tenant = self.tenant_of(blk.block_id());
+        if let Some(frame) = self.frames.alloc_owned(shard, tenant) {
             return Some(frame);
         }
         // A write-back error here surfaces later on the demand path that
         // touches the dirty page; readahead just narrows.
         let _ = self.reclaim(blk, RECLAIM_BATCH);
-        self.frames.alloc(shard)
+        self.frames.alloc_owned(shard, tenant)
     }
 
     /// Reclaim up to `want` frames, preferring closed files, then open
@@ -138,7 +140,44 @@ impl GpuFsMount {
     /// of each victim file are written back in batched `WritePages` RPCs
     /// (shared with `gfsync`, see [`crate::cache::writeback`]) rather
     /// than one round-trip per page.
+    ///
+    /// With tenant quotas configured, eviction is steered in two passes:
+    /// the first detaches only pages charged to the *preferred* victim
+    /// tenant — the over-quota caller itself, else the first over-quota
+    /// tenant — so a hot tenant evicts its own pages before anyone
+    /// else's; the second pass (only if the first came up short) is
+    /// unrestricted, keeping exhaustion semantics identical to the
+    /// unpartitioned arena.
     pub(crate) fn reclaim(&self, blk: &mut BlockCtx<'_>, want: usize) -> GpufsResult<usize> {
+        let prefer = if self.frames.has_quotas() {
+            let caller = self.tenant_of(blk.block_id());
+            if self.frames.over_quota(caller) {
+                Some(caller)
+            } else {
+                (0..self.frames.num_tenants()).find(|&t| self.frames.over_quota(t))
+            }
+        } else {
+            None
+        };
+        let mut freed = 0usize;
+        if prefer.is_some() {
+            freed = self.reclaim_pass(blk, want, prefer)?;
+            if freed >= want {
+                return Ok(freed);
+            }
+        }
+        Ok(freed + self.reclaim_pass(blk, want - freed, None)?)
+    }
+
+    /// One eviction sweep over the victim files; `owner` restricts
+    /// detachment to frames charged to that tenant (see
+    /// [`GpuFsMount::reclaim`]).
+    fn reclaim_pass(
+        &self,
+        blk: &mut BlockCtx<'_>,
+        want: usize,
+        owner: Option<usize>,
+    ) -> GpufsResult<usize> {
         let mut freed = 0usize;
         let mut victims = self.tables.closed_files();
         let closed_count = victims.len();
@@ -152,7 +191,10 @@ impl GpuFsMount {
                 if freed + detached.len() >= want {
                     return false;
                 }
-                if let Some(frame) = Self::try_detach_page(fp) {
+                let owner_ok = |f: FrameIdx| {
+                    owner.is_none_or(|t| self.frames.pframe(f).tenant.load(Ordering::Relaxed) == t)
+                };
+                if let Some(frame) = Self::try_detach_page(fp, &owner_ok) {
                     detached.push(Detached {
                         page_idx: idx,
                         frame,
@@ -198,7 +240,7 @@ impl GpuFsMount {
                     fp.set_state(PageState::Empty);
                     fp.end_update();
                     fp.unlock();
-                    self.counters.pages_reclaimed.incr();
+                    self.count_for(blk.block_id(), |c| c.pages_reclaimed.incr());
                     freed += 1;
                 }
             }
@@ -231,8 +273,10 @@ impl GpuFsMount {
 
     /// Try to detach one Ready, unpinned page from its frame: the fpage
     /// moves to `Initializing` (blocking new pins) and the frame — data
-    /// intact — is returned for write-back and release.
-    fn try_detach_page(fp: &FPage) -> Option<FrameIdx> {
+    /// intact — is returned for write-back and release. `owner_ok`
+    /// filters by the frame's charged tenant (checked under the fpage
+    /// lock, so the owner cannot change underneath a positive answer).
+    fn try_detach_page(fp: &FPage, owner_ok: &impl Fn(FrameIdx) -> bool) -> Option<FrameIdx> {
         if fp.state() != PageState::Ready || fp.refs() > 0 {
             return None;
         }
@@ -247,6 +291,10 @@ impl GpuFsMount {
             fp.unlock();
             return None;
         };
+        if !owner_ok(frame) {
+            fp.unlock();
+            return None;
+        }
         fp.begin_update();
         fp.set_state(PageState::Initializing); // blocks new pins
         fp.set_frame(None);

@@ -197,8 +197,10 @@ impl GpuFsMount {
                 extents: g.extents.clone(),
             })
             .collect();
-        self.counters.write_rpcs.incr();
-        self.counters.pages_per_write_rpc.add(gathered.len() as u64);
+        self.count_for(blk.lane_id(), |c| {
+            c.write_rpcs.incr();
+            c.pages_per_write_rpc.add(gathered.len() as u64);
+        });
         let resp = self.rpc(
             blk,
             Request::WritePages {
@@ -240,7 +242,7 @@ impl GpuFsMount {
             .consistency()
             .register_gpu_cache(file.ino(), self.gpu.id(), generation);
         for g in &gathered {
-            self.counters.writebacks.incr();
+            self.count_for(blk.lane_id(), |c| c.writebacks.incr());
             file.mark_host_valid(g.page_idx * ps + g.ds as u64);
             if let Some(snapshot) = &g.snapshot {
                 // Refresh the pristine copy: future diffs are relative to

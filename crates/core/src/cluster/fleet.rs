@@ -195,14 +195,17 @@ impl FleetBuilder {
                         c.rpc_channels.max(1),
                         c.daemon_workers.max(1),
                         c.io_chunk_pages,
+                        c.tenant_weights.clone(),
+                        c.tenant_admission.clone(),
                     )
                 };
                 for over in self.overrides.values() {
                     if key(over) != key(&self.base) {
                         return Err(GpufsError::InvalidMode(
                             "per-GPU override changes rpc_channels/daemon_workers/\
-                             io_chunk_pages under a shared daemon; use \
-                             DaemonTopology::PerGpu for per-GPU host-side knobs",
+                             io_chunk_pages/tenant_weights/tenant_admission under \
+                             a shared daemon; use DaemonTopology::PerGpu for \
+                             per-GPU host-side knobs",
                         ));
                     }
                 }

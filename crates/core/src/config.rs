@@ -170,6 +170,28 @@ pub struct GpufsConfig {
     /// before throttled writers resume. Meaningful only when
     /// [`GpufsConfig::dirty_high_pages`] > 0; clamped below it.
     pub dirty_low_pages: usize,
+    /// Weighted deficit-round-robin service weights per tenant, indexed by
+    /// [`crate::rpc::TenantId`]. Empty (the default) keeps the fair
+    /// round-robin channel scan of the original hub bit-for-bit; a
+    /// non-empty vector makes the daemon's dispatcher serve tenant queues
+    /// in proportion to these weights (a weight-0 tenant is clamped to 1).
+    /// Host-side state: consumed by [`crate::GpufsHost::with_config`] and
+    /// validated at `mount` like [`GpufsConfig::rpc_channels`].
+    pub tenant_weights: Vec<u32>,
+    /// Per-tenant admission caps: the most RPCs one tenant may have
+    /// posted-but-unanswered at once. `0` for a tenant means unlimited;
+    /// empty (the default) disables admission control entirely. A caller
+    /// over its cap spins-then-sleeps (`backoff.rs`) until a slot frees.
+    /// Host-side state, validated at `mount` like
+    /// [`GpufsConfig::rpc_channels`].
+    pub tenant_admission: Vec<usize>,
+    /// Per-tenant buffer-cache frame quotas, in pages. Soft quotas with
+    /// steal-when-idle: allocation is never refused while free frames
+    /// exist, but reclaim under pressure prefers the frames of over-quota
+    /// tenants (the caller's own first), so a hot tenant evicts its own
+    /// pages before anyone else's. Empty (the default) disables
+    /// partitioning. Client-side state, like [`GpufsConfig::cache_shards`].
+    pub tenant_frame_quotas: Vec<usize>,
 }
 
 impl Default for GpufsConfig {
@@ -190,6 +212,9 @@ impl Default for GpufsConfig {
             cache_shards: 8,
             dirty_high_pages: 0,
             dirty_low_pages: 0,
+            tenant_weights: Vec::new(),
+            tenant_admission: Vec::new(),
+            tenant_frame_quotas: Vec::new(),
         }
     }
 }
@@ -298,6 +323,48 @@ impl GpufsConfig {
             dirty_low_pages: if high == 0 { low } else { low.min(high - 1) },
             ..self
         }
+    }
+
+    /// Copy with weighted deficit-round-robin dispatch enabled for
+    /// `weights.len()` tenants (empty = the original fair scan).
+    #[must_use]
+    pub fn with_tenant_weights(self, weights: Vec<u32>) -> Self {
+        Self {
+            tenant_weights: weights,
+            ..self
+        }
+    }
+
+    /// Copy with per-tenant admission caps (`0` = unlimited for that
+    /// tenant; empty = no admission control).
+    #[must_use]
+    pub fn with_tenant_admission(self, caps: Vec<usize>) -> Self {
+        Self {
+            tenant_admission: caps,
+            ..self
+        }
+    }
+
+    /// Copy with per-tenant soft frame quotas, in pages (empty = no
+    /// cache partitioning).
+    #[must_use]
+    pub fn with_tenant_quotas(self, quotas: Vec<usize>) -> Self {
+        Self {
+            tenant_frame_quotas: quotas,
+            ..self
+        }
+    }
+
+    /// Number of tenant classes this configuration distinguishes: the
+    /// widest of the three tenant vectors, and at least 1 (the
+    /// single-tenant default).
+    #[must_use]
+    pub fn num_tenants(&self) -> usize {
+        self.tenant_weights
+            .len()
+            .max(self.tenant_admission.len())
+            .max(self.tenant_frame_quotas.len())
+            .max(1)
     }
 
     /// A small configuration for unit tests: 4 KB pages, 16 frames.
@@ -421,6 +488,23 @@ mod tests {
         assert_eq!(c.dirty_low_pages, 7, "low clamps below high");
         let c = GpufsConfig::small_test().with_async_writeback(0, 5);
         assert_eq!(c.dirty_high_pages, 0, "0 high = flusher off");
+    }
+
+    #[test]
+    fn tenant_knobs_default_off_and_count_tenants() {
+        let c = GpufsConfig::default();
+        assert!(c.tenant_weights.is_empty(), "fair scan by default");
+        assert!(c.tenant_admission.is_empty(), "no admission control");
+        assert!(c.tenant_frame_quotas.is_empty(), "no cache partitioning");
+        assert_eq!(c.num_tenants(), 1, "single-tenant default");
+        let c = GpufsConfig::small_test()
+            .with_tenant_weights(vec![3, 1])
+            .with_tenant_admission(vec![0, 4, 2])
+            .with_tenant_quotas(vec![8]);
+        assert_eq!(c.num_tenants(), 3, "widest tenant vector wins");
+        assert_eq!(c.tenant_weights, vec![3, 1]);
+        assert_eq!(c.tenant_admission, vec![0, 4, 2]);
+        assert_eq!(c.tenant_frame_quotas, vec![8]);
     }
 
     #[test]

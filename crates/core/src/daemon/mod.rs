@@ -79,23 +79,47 @@ pub struct DaemonStats {
     pub write_dma_chunks: Counter,
 }
 
-/// The stat sheets one served request lands on: the host-wide aggregate
-/// plus the per-GPU breakdown of the requesting GPU. Every counter
-/// update a handler makes goes through [`ServeStats::on`] so the two
-/// sheets can never drift apart — which is what makes
-/// [`GpufsHost::stats_for`] trustworthy when several mounts share one
-/// daemon.
+impl DaemonStats {
+    /// Every counter as a `(name, value)` row — the one list tests
+    /// iterate so a newly added counter cannot silently escape the
+    /// per-GPU / per-tenant sum-to-aggregate invariant.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("requests", self.requests.get()),
+            ("bytes_h2d", self.bytes_h2d.get()),
+            ("bytes_d2h", self.bytes_d2h.get()),
+            ("opens", self.opens.get()),
+            ("batched_rpcs", self.batched_rpcs.get()),
+            ("pages_per_rpc", self.pages_per_rpc.get()),
+            ("batched_write_rpcs", self.batched_write_rpcs.get()),
+            ("pages_per_write_rpc", self.pages_per_write_rpc.get()),
+            ("read_dma_chunks", self.read_dma_chunks.get()),
+            ("write_dma_chunks", self.write_dma_chunks.get()),
+        ]
+    }
+}
+
+/// The stat sheets one served request lands on: the host-wide aggregate,
+/// the per-GPU breakdown of the requesting GPU, and the per-tenant
+/// breakdown of the issuing tenant. Every counter update a handler makes
+/// goes through [`ServeStats::on`] so the three sheets can never drift
+/// apart — which is what makes [`GpufsHost::stats_for`] and
+/// [`GpufsHost::stats_for_tenant`] trustworthy when several mounts (or
+/// tenant classes) share one daemon.
 pub(crate) struct ServeStats<'a> {
     all: &'a DaemonStats,
     gpu: &'a DaemonStats,
+    tenant: &'a DaemonStats,
 }
 
 impl ServeStats<'_> {
-    /// Apply one counter update to both the aggregate and the per-GPU
-    /// sheet.
+    /// Apply one counter update to the aggregate, per-GPU, and
+    /// per-tenant sheets.
     pub(crate) fn on(&self, f: impl Fn(&DaemonStats)) {
         f(self.all);
         f(self.gpu);
+        f(self.tenant);
     }
 }
 
@@ -115,6 +139,11 @@ pub struct GpufsHost {
     /// the GPU that issued it (the envelope names it), so fleets can tell
     /// which GPU generated which RPC traffic.
     per_gpu_stats: Vec<Arc<DaemonStats>>,
+    /// Per-tenant breakdown of [`GpufsHost::stats`], indexed by
+    /// [`crate::rpc::TenantId`] — the multi-tenant mirror of the per-GPU
+    /// sheets (single-tenant hosts have exactly one, equal to the
+    /// aggregate).
+    per_tenant_stats: Vec<Arc<DaemonStats>>,
     worker_count: usize,
     io_chunk_pages: usize,
     io_depth: usize,
@@ -135,14 +164,7 @@ impl GpufsHost {
     /// [`GpufsConfig::io_chunk_pages`], and [`GpufsConfig::io_depth`]).
     #[must_use]
     pub fn with_config(fs: Arc<HostFs>, gpus: Vec<Arc<Gpu>>, config: &GpufsConfig) -> Self {
-        Self::with_opts(
-            fs,
-            gpus,
-            config.rpc_channels,
-            config.daemon_workers,
-            config.io_chunk_pages,
-            config.io_depth,
-        )
+        Self::with_opts(fs, gpus, config)
     }
 
     /// Start the host daemon with `rpc_channels` independent request
@@ -157,31 +179,27 @@ impl GpufsHost {
         rpc_channels: usize,
         daemon_workers: usize,
     ) -> Self {
-        Self::with_opts(
-            fs,
-            gpus,
-            rpc_channels,
-            daemon_workers,
-            GpufsConfig::default().io_chunk_pages,
-            GpufsConfig::default().io_depth,
-        )
+        let config = GpufsConfig::default().with_concurrency(rpc_channels, daemon_workers);
+        Self::with_opts(fs, gpus, &config)
     }
 
-    fn with_opts(
-        fs: Arc<HostFs>,
-        gpus: Vec<Arc<Gpu>>,
-        rpc_channels: usize,
-        daemon_workers: usize,
-        io_chunk_pages: usize,
-        io_depth: usize,
-    ) -> Self {
-        let hub = Arc::new(RpcHub::with_channels(rpc_channels));
+    fn with_opts(fs: Arc<HostFs>, gpus: Vec<Arc<Gpu>>, config: &GpufsConfig) -> Self {
+        let hub = Arc::new(RpcHub::with_tenancy(
+            config.rpc_channels,
+            config.num_tenants(),
+            &config.tenant_weights,
+            &config.tenant_admission,
+        ));
         let stats = Arc::new(DaemonStats::default());
         let per_gpu_stats: Vec<Arc<DaemonStats>> = (0..gpus.len())
             .map(|_| Arc::new(DaemonStats::default()))
             .collect();
-        let worker_count = daemon_workers.max(1);
-        let io_depth = io_depth.max(2);
+        let per_tenant_stats: Vec<Arc<DaemonStats>> = (0..hub.num_tenants())
+            .map(|_| Arc::new(DaemonStats::default()))
+            .collect();
+        let worker_count = config.daemon_workers.max(1);
+        let io_chunk_pages = config.io_chunk_pages;
+        let io_depth = config.io_depth.max(2);
         let workers = (0..worker_count)
             .map(|w| {
                 let fs = Arc::clone(&fs);
@@ -189,10 +207,20 @@ impl GpufsHost {
                 let hub = Arc::clone(&hub);
                 let stats = Arc::clone(&stats);
                 let per_gpu = per_gpu_stats.clone();
+                let per_tenant = per_tenant_stats.clone();
                 std::thread::Builder::new()
                     .name(format!("gpufs-worker-{w}"))
                     .spawn(move || {
-                        worker_loop(&fs, &gpus, &hub, &stats, &per_gpu, io_chunk_pages, io_depth)
+                        worker_loop(
+                            &fs,
+                            &gpus,
+                            &hub,
+                            &stats,
+                            &per_gpu,
+                            &per_tenant,
+                            io_chunk_pages,
+                            io_depth,
+                        )
                     })
                     .unwrap_or_else(|e| {
                         // No daemon without its worker threads: spawn
@@ -209,6 +237,7 @@ impl GpufsHost {
             hub,
             stats,
             per_gpu_stats,
+            per_tenant_stats,
             worker_count,
             io_chunk_pages,
             io_depth,
@@ -253,6 +282,20 @@ impl GpufsHost {
     #[must_use]
     pub fn stats_for(&self, gpu_id: usize) -> &DaemonStats {
         &self.per_gpu_stats[gpu_id]
+    }
+
+    /// Daemon activity counters attributed to `tenant` alone (clamped to
+    /// the last tenant, mirroring the dispatch-side clamp). Summing over
+    /// every tenant reproduces [`GpufsHost::stats`] counter for counter.
+    #[must_use]
+    pub fn stats_for_tenant(&self, tenant: crate::rpc::TenantId) -> &DaemonStats {
+        &self.per_tenant_stats[tenant.min(self.per_tenant_stats.len() - 1)]
+    }
+
+    /// Tenant classes this host's daemon distinguishes (≥ 1).
+    #[must_use]
+    pub fn num_tenants(&self) -> usize {
+        self.per_tenant_stats.len()
     }
 
     /// Size of the worker pool this host was started with.
@@ -308,6 +351,7 @@ fn worker_loop(
     hub: &RpcHub,
     stats: &DaemonStats,
     per_gpu: &[Arc<DaemonStats>],
+    per_tenant: &[Arc<DaemonStats>],
     io_chunk_pages: usize,
     io_depth: usize,
 ) {
@@ -316,6 +360,7 @@ fn worker_loop(
         let stats = ServeStats {
             all: stats,
             gpu: &per_gpu[env.gpu],
+            tenant: &per_tenant[env.tenant.min(per_tenant.len() - 1)],
         };
         stats.on(|s| s.requests.incr());
         // Each request is timed from its own issue point: poll-notice
@@ -373,9 +418,7 @@ pub(crate) mod testutil {
     /// A single-channel/single-worker host whose I/O engine chunks at
     /// `io_chunk_pages` (`0` = serialized).
     pub(crate) fn host_chunked(io_chunk_pages: usize) -> GpufsHost {
-        let fs = Arc::new(HostFs::new(HostFsConfig::default()));
-        let gpu = Arc::new(Gpu::new(0, GpuSpec::small_test()));
-        GpufsHost::with_opts(fs, vec![gpu], 1, 1, io_chunk_pages, 2)
+        host_depth(io_chunk_pages, 2)
     }
 
     /// A single-channel/single-worker host with a given chunk size and
@@ -383,11 +426,14 @@ pub(crate) mod testutil {
     pub(crate) fn host_depth(io_chunk_pages: usize, io_depth: usize) -> GpufsHost {
         let fs = Arc::new(HostFs::new(HostFsConfig::default()));
         let gpu = Arc::new(Gpu::new(0, GpuSpec::small_test()));
-        GpufsHost::with_opts(fs, vec![gpu], 1, 1, io_chunk_pages, io_depth)
+        let config = crate::config::GpufsConfig::default()
+            .with_io_chunk(io_chunk_pages)
+            .with_io_depth(io_depth);
+        GpufsHost::with_opts(fs, vec![gpu], &config)
     }
 
     pub(crate) fn call(h: &GpufsHost, req: Request) -> crate::error::GpufsResult<(RespOk, Nanos)> {
-        h.hub().call(0, 0, 0, &Timings::default(), req)
+        h.hub().call(0, 0, 0, 0, &Timings::default(), req)
     }
 }
 
@@ -423,6 +469,7 @@ mod tests {
                         for _ in 0..50 {
                             match hub.call(
                                 slot,
+                                0,
                                 0,
                                 0,
                                 &t,
@@ -475,6 +522,7 @@ mod tests {
                     0,
                     0,
                     0,
+                    0,
                     &t,
                     Request::Open {
                         path: "/attr".into(),
@@ -498,6 +546,7 @@ mod tests {
                 let (_, _) = h
                     .hub()
                     .call(
+                        0,
                         0,
                         gpu,
                         0,
@@ -527,6 +576,98 @@ mod tests {
             g0.read_dma_chunks.get() + g1.read_dma_chunks.get(),
             all.read_dma_chunks.get()
         );
+    }
+
+    #[test]
+    fn stats_are_attributed_per_tenant_and_sum_to_the_aggregate() {
+        use crate::config::GpufsConfig;
+        use crate::rpc::PageRead;
+        let fs = Arc::new(HostFs::new(hostfs::HostFsConfig::default()));
+        let gpu = Arc::new(Gpu::new(0, gpusim::GpuSpec::small_test()));
+        let cfg = GpufsConfig::default().with_tenant_weights(vec![2, 1]);
+        let h = GpufsHost::with_config(fs, vec![gpu], &cfg);
+        assert_eq!(h.num_tenants(), 2);
+        h.fs()
+            .create(
+                "/shared",
+                &(0u32..4096).map(|i| i as u8).collect::<Vec<_>>(),
+            )
+            .unwrap();
+        let t = Timings::default();
+        let (ok, _) = h
+            .hub()
+            .call(
+                0,
+                0,
+                0,
+                0,
+                &t,
+                Request::Open {
+                    path: "/shared".into(),
+                    write: false,
+                    create: false,
+                    truncate: false,
+                },
+            )
+            .unwrap();
+        let RespOk::Opened { fd, .. } = ok else {
+            panic!()
+        };
+        // Tenant 0 reads three pages, tenant 1 reads one: the envelope's
+        // tenant tag decides which breakdown sheet each request lands on.
+        for (tenant, reads) in [(0usize, 3u64), (1, 1)] {
+            for i in 0..reads {
+                let dst = h.gpus()[0].global().alloc(512).unwrap();
+                h.hub()
+                    .call(
+                        tenant,
+                        tenant,
+                        0,
+                        0,
+                        &t,
+                        Request::ReadPages {
+                            fd,
+                            pages: vec![PageRead {
+                                offset: i * 512,
+                                len: 512,
+                                dst,
+                            }],
+                            gpu: 0,
+                        },
+                    )
+                    .unwrap();
+            }
+        }
+        let (t0, t1, all) = (h.stats_for_tenant(0), h.stats_for_tenant(1), h.stats());
+        assert_eq!(t0.bytes_h2d.get(), 3 * 512);
+        assert_eq!(t1.bytes_h2d.get(), 512);
+        // The open was tagged tenant 0.
+        assert_eq!((t0.opens.get(), t1.opens.get()), (1, 0));
+        // Every counter row sums across tenant sheets to the aggregate —
+        // iterated over the snapshot so a future counter can't escape.
+        for (i, (name, total)) in all.snapshot().into_iter().enumerate() {
+            assert_eq!(
+                t0.snapshot()[i].1 + t1.snapshot()[i].1,
+                total,
+                "tenant sheets must sum to the aggregate for `{name}`"
+            );
+        }
+        // An out-of-range tenant tag clamps to the last sheet instead of
+        // panicking the worker, mirroring the hub's queue clamping.
+        let before = t1.requests.get();
+        h.hub()
+            .call(
+                0,
+                7,
+                0,
+                0,
+                &t,
+                Request::Stat {
+                    path: "/shared".into(),
+                },
+            )
+            .unwrap();
+        assert_eq!(h.stats_for_tenant(9).requests.get(), before + 1);
     }
 
     #[test]
@@ -593,6 +734,7 @@ mod tests {
                             .hub()
                             .call(
                                 slot,
+                                0,
                                 0,
                                 0,
                                 &t,

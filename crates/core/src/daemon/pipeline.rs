@@ -354,6 +354,7 @@ mod tests {
                 .call(
                     0,
                     0,
+                    0,
                     issue,
                     &Timings::default(),
                     Request::ReadPages {
@@ -421,6 +422,7 @@ mod tests {
                     let (_, t) = h
                         .hub()
                         .call(
+                            0,
                             0,
                             0,
                             issue,
@@ -555,6 +557,7 @@ mod tests {
                 let (_, t) = h
                     .hub()
                     .call(
+                        0,
                         0,
                         0,
                         issue,

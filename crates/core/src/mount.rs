@@ -38,8 +38,13 @@ use crate::cache::{CacheCounters, FrameArena, FrameIdx};
 use crate::config::GpufsConfig;
 use crate::daemon::GpufsHost;
 use crate::error::GpufsResult;
-use crate::rpc::{Request, RespOk, RpcHub};
+use crate::rpc::{Request, RespOk, RpcHub, TenantId};
 use crate::table::Tables;
+
+/// Size of the per-mount slot→tenant map. Threadblock slots map to a
+/// tenant through `slot % TENANT_SLOT_MAP`, so any realistic grid gets a
+/// stable per-slot assignment without unbounded storage.
+const TENANT_SLOT_MAP: usize = 1024;
 
 /// Mount-wide dirty-page accounting shared by the foreground write path,
 /// the background flusher, and the reclaim/discard paths.
@@ -98,6 +103,16 @@ pub struct GpuFsMount {
     pub(crate) frames: FrameArena,
     pub(crate) tables: Tables,
     pub(crate) counters: CacheCounters,
+    /// Per-tenant breakdown of [`GpuFsMount::counters`]: every cache
+    /// counter update lands on the aggregate sheet *and* the sheet of the
+    /// faulting lane's tenant through [`GpuFsMount::count_for`], so the
+    /// sheets can never drift apart (single-tenant mounts have exactly
+    /// one, equal to the aggregate).
+    pub(crate) tenant_counters: Vec<CacheCounters>,
+    /// Slot→tenant assignment (`slot % TENANT_SLOT_MAP`), default all
+    /// tenant 0. Kernels partition their blocks with
+    /// [`GpuFsMount::set_tenant`] before faulting.
+    tenant_of_slot: Box<[AtomicUsize]>,
     /// The consistency layer's per-file generation table, exported by the
     /// host into write-shared memory. Reading it costs one PCIe access
     /// and no daemon round-trip, which is what keeps closed-file-table
@@ -152,13 +167,31 @@ impl GpufsHost {
                  match the host daemon (build the host with GpufsHost::with_config)",
             ));
         }
+        // The tenant dispatch knobs are daemon state too: the hub's DRR
+        // weights and admission caps were fixed when the host started, and
+        // the daemon's per-tenant stat sheets must cover every tenant this
+        // mount will name.
+        if config.tenant_weights != self.hub().tenant_weights()
+            || config.tenant_admission != self.hub().tenant_admission()
+            || config.num_tenants() > self.hub().num_tenants()
+        {
+            return Err(crate::error::GpufsError::InvalidMode(
+                "mount tenant_weights/tenant_admission do not match the host \
+                 daemon (build the host with GpufsHost::with_config)",
+            ));
+        }
         let gpu = Arc::clone(&self.gpus()[gpu_id]);
-        let frames = FrameArena::new(
+        let frames = FrameArena::with_quotas(
             gpu.global(),
             config.page_size,
             config.num_frames(),
             config.cache_shards,
+            config.num_tenants(),
+            &config.tenant_frame_quotas,
         )?;
+        let tenant_counters = (0..config.num_tenants())
+            .map(|_| CacheCounters::new())
+            .collect();
         let mount = Arc::new(GpuFsMount {
             timings: gpu.timings().clone(),
             hub: Arc::clone(self.hub()),
@@ -167,6 +200,8 @@ impl GpufsHost {
             frames,
             tables: Tables::new(),
             counters: CacheCounters::new(),
+            tenant_counters,
+            tenant_of_slot: (0..TENANT_SLOT_MAP).map(|_| AtomicUsize::new(0)).collect(),
             host_fs: Arc::clone(self.fs()),
             dirty: DirtyLedger::default(),
             virtual_frontier: AtomicU64::new(0),
@@ -191,6 +226,45 @@ impl GpuFsMount {
         &self.counters
     }
 
+    /// Buffer-cache activity counters attributed to `tenant` alone
+    /// (clamped to the last tenant). Summing over every tenant reproduces
+    /// [`GpuFsMount::counters`] counter for counter.
+    #[must_use]
+    pub fn tenant_counters(&self, tenant: TenantId) -> &CacheCounters {
+        &self.tenant_counters[tenant.min(self.tenant_counters.len() - 1)]
+    }
+
+    /// Tenant classes this mount distinguishes (≥ 1).
+    #[must_use]
+    pub fn num_tenants(&self) -> usize {
+        self.tenant_counters.len()
+    }
+
+    /// Assign threadblock slot `slot` (modulo the slot-map size) to
+    /// `tenant`. Every fault, RPC, and cache counter of that slot is
+    /// attributed — and scheduled — as that tenant from then on. Slots
+    /// default to tenant 0.
+    pub fn set_tenant(&self, slot: usize, tenant: TenantId) {
+        let tenant = tenant.min(self.num_tenants() - 1);
+        self.tenant_of_slot[slot % TENANT_SLOT_MAP].store(tenant, Ordering::Relaxed);
+    }
+
+    /// The tenant threadblock slot `slot` is assigned to.
+    #[must_use]
+    pub fn tenant_of(&self, slot: usize) -> TenantId {
+        self.tenant_of_slot[slot % TENANT_SLOT_MAP]
+            .load(Ordering::Relaxed)
+            .min(self.num_tenants() - 1)
+    }
+
+    /// Apply one counter update to both the aggregate sheet and the sheet
+    /// of `lane`'s tenant — the single attribution path that keeps the
+    /// per-tenant breakdown summing to the aggregate.
+    pub(crate) fn count_for(&self, lane: usize, f: impl Fn(&CacheCounters)) {
+        f(&self.counters);
+        f(self.tenant_counters(self.tenant_of(lane)));
+    }
+
     /// Frames currently free in the raw data array.
     #[must_use]
     pub fn free_frames(&self) -> usize {
@@ -212,9 +286,14 @@ impl GpuFsMount {
     /// independent queues and can have requests in flight simultaneously,
     /// while one block's own synchronous calls stay FIFO.
     pub(crate) fn rpc<L: Lane>(&self, blk: &mut L, req: Request) -> GpufsResult<RespOk> {
-        let (ok, t) = self
-            .hub
-            .call(blk.lane_id(), self.gpu.id(), blk.now(), &self.timings, req)?;
+        let (ok, t) = self.hub.call(
+            blk.lane_id(),
+            self.tenant_of(blk.lane_id()),
+            self.gpu.id(),
+            blk.now(),
+            &self.timings,
+            req,
+        )?;
         blk.wait_until(t);
         self.note_frontier(blk.now());
         Ok(ok)

@@ -18,6 +18,26 @@
 //! the daemon's worker pool by a fair round-robin scan over the channels
 //! (see `RpcHub::next`).
 //!
+//! ## Multi-tenancy
+//!
+//! Every request carries a [`TenantId`] — a small integer naming the
+//! service class of the session that issued it. Three per-tenant
+//! mechanisms hang off it, all defaulting to off (empty vectors in
+//! [`crate::GpufsConfig`]), in which case the hub is bit-for-bit the
+//! original fair-scan FIFO:
+//!
+//! * **Weighted dispatch** (`tenant_weights` non-empty): the channel set
+//!   is replicated per tenant and the worker pool claims by *weighted
+//!   deficit round-robin* over the tenant queues — each tenant is served
+//!   up to `weight` requests per DRR round, so a bursty tenant's backlog
+//!   cannot monopolize the workers while a light tenant waits.
+//! * **Admission control** (`tenant_admission` non-empty): a tenant over
+//!   its in-flight cap spins-then-sleeps in `RpcHub::call` before its
+//!   request is ever queued, bounding the queue space and worker time one
+//!   tenant can hold.
+//! * Cache partitioning lives client-side (see `cache/reclaim.rs`), not
+//!   here.
+//!
 //! ## Shutdown protocol
 //!
 //! Posting a request and closing the hub are serialized on one lock, so
@@ -28,7 +48,7 @@
 //! stranded mid-shutdown with an envelope nobody will answer.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use gpusim::{DevPtr, GpuId};
@@ -37,6 +57,16 @@ use parking_lot::{Condvar, Mutex};
 use simtime::{Nanos, Timings};
 
 use crate::error::{GpufsError, GpufsResult};
+
+/// Service class of one GPUfs session. Tenant ids index the
+/// `tenant_weights` / `tenant_admission` / `tenant_frame_quotas` vectors
+/// of [`crate::GpufsConfig`]; ids beyond the configured tenant count are
+/// clamped to the last tenant.
+pub type TenantId = usize;
+
+/// Spin budget of the admission throttle before it starts sleeping
+/// (50 µs naps via `backoff::spin_then_sleep`).
+const ADMISSION_SPIN_ROUNDS: usize = 64;
 
 /// One page descriptor inside a [`Request::ReadPages`] batch.
 #[derive(Debug, Clone, Copy)]
@@ -188,6 +218,7 @@ pub enum RespOk {
 
 pub(crate) struct Envelope {
     pub req: Request,
+    pub tenant: TenantId,
     pub gpu: GpuId,
     pub issue: Nanos,
     pub tx: mpsc::SyncSender<(Result<RespOk, FsError>, Nanos)>,
@@ -197,9 +228,40 @@ impl std::fmt::Debug for Envelope {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Envelope")
             .field("req", &self.req)
+            .field("tenant", &self.tenant)
             .field("gpu", &self.gpu)
             .field("issue", &self.issue)
             .finish()
+    }
+}
+
+/// Shared dispatcher state: the queued-envelope count the shutdown
+/// protocol serializes on, plus the weighted-mode deficit-round-robin
+/// bookkeeping (all claims mutate it under the one lock, so the DRR
+/// schedule is a single global order even with many workers).
+#[derive(Debug)]
+struct HubState {
+    /// Count of queued-but-unclaimed envelopes across all queues.
+    pending: usize,
+    /// DRR credit per tenant (weighted mode only): how many more claims
+    /// this tenant may take in the current round.
+    credit: Vec<u64>,
+    /// Tenant the DRR scan resumes from.
+    tenant_cursor: usize,
+    /// Per-tenant rotating channel cursor, so channels within one tenant
+    /// still get the fair-scan treatment.
+    chan_cursor: Vec<usize>,
+}
+
+/// Decrement-on-drop handle for one admitted in-flight request; covers
+/// every exit path of `RpcHub::call` (answer, host error, daemon death).
+struct InflightGuard<'a>(Option<&'a AtomicUsize>);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(c) = self.0 {
+            c.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 }
 
@@ -209,15 +271,33 @@ impl std::fmt::Debug for Envelope {
 /// because each block's requests are synchronous and land on one channel.
 #[derive(Debug)]
 pub struct RpcHub {
-    /// Independent request FIFOs; a block posts to `slot % channels.len()`.
-    channels: Vec<Mutex<VecDeque<Envelope>>>,
-    /// Count of queued-but-unclaimed envelopes across all channels. Posts,
-    /// claims, and the close all serialize on this lock (see the module
-    /// docs for the shutdown protocol); the condvar wakes sleeping
+    /// Independent request FIFOs. Fair mode: one per channel, a block
+    /// posts to `slot % n_channels`. Weighted mode: the channel set is
+    /// replicated per tenant (`tenant * n_channels + slot % n_channels`),
+    /// so the dispatcher can serve tenants by weight.
+    queues: Vec<Mutex<VecDeque<Envelope>>>,
+    /// Channels per tenant (the paper's §4.3 channel count).
+    n_channels: usize,
+    /// Tenant classes this hub distinguishes (≥ 1).
+    tenants: usize,
+    /// DRR weights; empty = the original fair scan over channels.
+    weights: Vec<u32>,
+    /// Per-tenant in-flight caps; empty = no admission control, `0` for
+    /// one tenant = that tenant unlimited.
+    admission: Vec<usize>,
+    /// Requests admitted but not yet answered, per tenant.
+    inflight: Vec<AtomicUsize>,
+    /// Calls that had to wait at the admission throttle, per tenant.
+    stalls: Vec<AtomicU64>,
+    /// Posts, claims, and the close all serialize on this lock (see the
+    /// module docs for the shutdown protocol); the condvar wakes sleeping
     /// workers.
-    pending: Mutex<usize>,
+    state: Mutex<HubState>,
     ready: Condvar,
-    /// Round-robin scan cursor so no channel is starved by the workers.
+    /// Fair-mode scan cursor: persists across claims (each claim restarts
+    /// the scan at the channel after the one it popped), so under
+    /// saturation every channel gets served in turn instead of the scan
+    /// re-biasing toward low-numbered channels.
     scan: AtomicUsize,
     closed: AtomicBool,
 }
@@ -235,57 +315,167 @@ impl RpcHub {
         Self::default()
     }
 
-    /// An open, empty hub with `n` independent channels (clamped to ≥ 1).
+    /// An open, empty hub with `n` independent channels (clamped to ≥ 1)
+    /// and no tenant machinery — the original fair-scan hub.
     #[must_use]
     pub fn with_channels(n: usize) -> Self {
+        Self::with_tenancy(n, 1, &[], &[])
+    }
+
+    /// An open, empty hub with `n` channels (clamped to ≥ 1)
+    /// distinguishing at least `tenants` tenant classes (for per-tenant
+    /// stat attribution even when dispatch stays fair), weighted DRR
+    /// dispatch over `weights` tenants (empty = fair scan) and per-tenant
+    /// admission caps (`0`/empty = unlimited).
+    #[must_use]
+    pub fn with_tenancy(n: usize, tenants: usize, weights: &[u32], admission: &[usize]) -> Self {
+        let n_channels = n.max(1);
+        let tenants = tenants.max(weights.len()).max(admission.len()).max(1);
+        // Fair mode keeps the exact original queue layout so the default
+        // dispatch order is bit-for-bit unchanged; weighted mode
+        // replicates the channel set per tenant.
+        let n_queues = if weights.is_empty() {
+            n_channels
+        } else {
+            tenants * n_channels
+        };
         Self {
-            channels: (0..n.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
-            pending: Mutex::new(0),
+            queues: (0..n_queues).map(|_| Mutex::new(VecDeque::new())).collect(),
+            n_channels,
+            tenants,
+            weights: weights.to_vec(),
+            admission: admission.to_vec(),
+            inflight: (0..tenants).map(|_| AtomicUsize::new(0)).collect(),
+            stalls: (0..tenants).map(|_| AtomicU64::new(0)).collect(),
+            state: Mutex::new(HubState {
+                pending: 0,
+                credit: vec![0; tenants],
+                tenant_cursor: 0,
+                chan_cursor: vec![0; tenants],
+            }),
             ready: Condvar::new(),
             scan: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
         }
     }
 
-    /// Number of independent request channels.
+    /// Number of independent request channels (per tenant, in weighted
+    /// mode).
     #[must_use]
     pub fn num_channels(&self) -> usize {
-        self.channels.len()
+        self.n_channels
     }
 
-    /// Post a request on the channel of threadblock slot `slot` and block
-    /// until the daemon completes it.
+    /// Number of tenant classes this hub distinguishes (≥ 1).
+    #[must_use]
+    pub fn num_tenants(&self) -> usize {
+        self.tenants
+    }
+
+    /// The DRR weights this hub dispatches by (empty = fair scan).
+    #[must_use]
+    pub fn tenant_weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// The per-tenant admission caps (empty = no admission control).
+    #[must_use]
+    pub fn tenant_admission(&self) -> &[usize] {
+        &self.admission
+    }
+
+    /// Calls of `tenant` that had to wait at the admission throttle.
+    #[must_use]
+    pub fn tenant_stalls(&self, tenant: TenantId) -> u64 {
+        self.stalls[tenant.min(self.tenants - 1)].load(Ordering::Relaxed)
+    }
+
+    /// Requests of `tenant` currently admitted but unanswered.
+    #[must_use]
+    pub fn tenant_inflight(&self, tenant: TenantId) -> usize {
+        self.inflight[tenant.min(self.tenants - 1)].load(Ordering::Acquire)
+    }
+
+    /// Queue index for a post by `tenant` on threadblock slot `slot`.
+    fn queue_of(&self, tenant: usize, slot: usize) -> usize {
+        let chan = slot % self.n_channels;
+        if self.weights.is_empty() {
+            chan
+        } else {
+            tenant * self.n_channels + chan
+        }
+    }
+
+    /// Block until `tenant` is under its in-flight cap, claiming one
+    /// admission slot. Returns a guard that frees the slot on drop, or
+    /// `DaemonStopped` if the hub closes while waiting.
+    fn admit(&self, tenant: usize) -> GpufsResult<InflightGuard<'_>> {
+        let cap = self.admission.get(tenant).copied().unwrap_or(0);
+        if cap == 0 {
+            return Ok(InflightGuard(None));
+        }
+        let inflight = &self.inflight[tenant];
+        let mut fruitless = 0usize;
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(GpufsError::DaemonStopped);
+            }
+            let cur = inflight.load(Ordering::Acquire);
+            if cur < cap
+                && inflight
+                    .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                return Ok(InflightGuard(Some(inflight)));
+            }
+            if fruitless == 0 {
+                self.stalls[tenant].fetch_add(1, Ordering::Relaxed);
+            }
+            crate::backoff::spin_then_sleep(fruitless, ADMISSION_SPIN_ROUNDS);
+            fruitless += 1;
+        }
+    }
+
+    /// Post a request on the channel of threadblock slot `slot` as
+    /// `tenant` and block until the daemon completes it.
     ///
     /// `issue` is the client's virtual time when the slot was filled. The
     /// returned time is when the completion became visible to the GPU.
     pub(crate) fn call(
         &self,
         slot: usize,
+        tenant: TenantId,
         gpu: GpuId,
         issue: Nanos,
         timings: &Timings,
         req: Request,
     ) -> GpufsResult<(RespOk, Nanos)> {
+        let tenant = tenant.min(self.tenants - 1);
+        // Admission gate first: a throttled tenant waits *before* its
+        // envelope takes queue space or worker time. The guard releases
+        // the slot on every exit path below.
+        let _admitted = self.admit(tenant)?;
         let (tx, rx) = mpsc::sync_channel(1);
         {
             // The closed check and the post are one critical section on
-            // the pending lock: a request is either posted strictly before
+            // the state lock: a request is either posted strictly before
             // the hub closes — and then the worker pool drains it before
             // exiting — or rejected here. There is no in-between where an
             // envelope could be queued with nobody left to answer it.
-            let mut pending = self.pending.lock();
+            let mut st = self.state.lock();
             if self.closed.load(Ordering::Acquire) {
                 return Err(GpufsError::DaemonStopped);
             }
-            self.channels[slot % self.channels.len()]
+            self.queues[self.queue_of(tenant, slot)]
                 .lock()
                 .push_back(Envelope {
                     req,
+                    tenant,
                     gpu,
                     issue,
                     tx,
                 });
-            *pending += 1;
+            st.pending += 1;
             self.ready.notify_one();
         }
         // The round-trip blocks until a daemon worker answers; holding any
@@ -305,42 +495,114 @@ impl RpcHub {
     /// after shutdown once every queued request has been claimed.
     ///
     /// This is the dispatcher of the daemon's worker pool: workers park on
-    /// one condvar, claims are handed out one per wakeup, and the claimed
-    /// envelope is found by scanning the channels round-robin from a
-    /// shared cursor so a busy channel cannot starve the others.
+    /// one condvar and claims are handed out one per wakeup. In fair mode
+    /// the claimed envelope is found by scanning the channels round-robin
+    /// from a persistent cursor (each claim resumes after the channel it
+    /// popped) so a busy channel cannot starve — or be starved by — the
+    /// others. In weighted mode the claim is chosen by deficit round-robin
+    /// over the tenant queues under the state lock (see `claim_weighted`).
     pub(crate) fn next(&self) -> Option<Envelope> {
-        let mut pending = self.pending.lock();
+        let mut st = self.state.lock();
         loop {
-            if *pending > 0 {
-                *pending -= 1;
-                drop(pending);
-                // A claim corresponds to an envelope already pushed (the
-                // counter is incremented after the push, under the same
-                // lock), so the scan must eventually find one; concurrent
-                // claimants each take exactly one.
-                let n = self.channels.len();
-                let start = self.scan.fetch_add(1, Ordering::Relaxed);
-                loop {
-                    for i in 0..n {
-                        if let Some(env) = self.channels[(start + i) % n].lock().pop_front() {
-                            return Some(env);
-                        }
-                    }
-                    std::thread::yield_now();
+            if st.pending > 0 {
+                if self.weights.is_empty() {
+                    st.pending -= 1;
+                    drop(st);
+                    return Some(self.claim_fair());
+                }
+                if let Some(env) = self.claim_weighted(&mut st) {
+                    st.pending -= 1;
+                    return Some(env);
                 }
             }
             if self.closed.load(Ordering::Acquire) {
                 return None;
             }
-            self.ready.wait(&mut pending);
+            self.ready.wait(&mut st);
         }
+    }
+
+    /// Fair-mode claim: scan the channels from the persistent cursor.
+    /// A claim corresponds to an envelope already pushed (the counter is
+    /// incremented after the push, under the same lock), so the scan must
+    /// eventually find one; concurrent claimants each take exactly one.
+    fn claim_fair(&self) -> Envelope {
+        let n = self.queues.len();
+        let start = self.scan.load(Ordering::Relaxed);
+        loop {
+            for i in 0..n {
+                let idx = (start + i) % n;
+                if let Some(env) = self.queues[idx].lock().pop_front() {
+                    // Resume the next scan *after* the claimed channel:
+                    // with a reset-per-claim cursor, every wrap-around
+                    // lands on the lowest loaded channel first and
+                    // high-numbered channels starve under saturation.
+                    self.scan.store((idx + 1) % n, Ordering::Relaxed);
+                    return env;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Weighted-mode claim, entirely under the state lock (posts hold the
+    /// same lock, so queue contents are stable and `pending > 0` means an
+    /// envelope is certainly there): deficit round-robin over tenants —
+    /// each tenant spends up to `weight` credits per round, a tenant with
+    /// nothing queued forfeits its round's credit, and when every backed
+    /// tenant is out of credit a new round refills everyone.
+    fn claim_weighted(&self, st: &mut HubState) -> Option<Envelope> {
+        let (t_count, n) = (self.tenants, self.n_channels);
+        let backed =
+            |t: usize| -> bool { (0..n).any(|c| !self.queues[t * n + c].lock().is_empty()) };
+        let mut chosen = None;
+        for round in 0..2 {
+            for k in 0..t_count {
+                let t = (st.tenant_cursor + k) % t_count;
+                if !backed(t) {
+                    // DRR: an idle tenant does not bank credit.
+                    st.credit[t] = 0;
+                    continue;
+                }
+                if st.credit[t] > 0 {
+                    chosen = Some(t);
+                    break;
+                }
+            }
+            if chosen.is_some() || round == 1 {
+                break;
+            }
+            for t in 0..t_count {
+                st.credit[t] = u64::from(self.weights.get(t).copied().unwrap_or(1).max(1));
+            }
+        }
+        let t = chosen?;
+        for k in 0..n {
+            let c = (st.chan_cursor[t] + k) % n;
+            // Bind the pop so its queue guard drops here: `backed(t)`
+            // below re-locks this very queue, which would self-deadlock
+            // with the guard still live in an `if let` scrutinee.
+            let popped = self.queues[t * n + c].lock().pop_front();
+            if let Some(env) = popped {
+                st.chan_cursor[t] = (c + 1) % n;
+                st.credit[t] -= 1;
+                let still_backed = backed(t);
+                st.tenant_cursor = if st.credit[t] > 0 && still_backed {
+                    t
+                } else {
+                    (t + 1) % t_count
+                };
+                return Some(env);
+            }
+        }
+        None
     }
 
     /// Mark the hub closed and wake every worker so the pool can drain
     /// the queued requests and exit. Serialized with `RpcHub::call` on
-    /// the pending lock (see the module docs).
+    /// the state lock (see the module docs).
     pub(crate) fn close(&self) {
-        let _pending = self.pending.lock();
+        let _st = self.state.lock();
         self.closed.store(true, Ordering::Release);
         self.ready.notify_all();
     }
@@ -367,13 +629,28 @@ mod tests {
         })
     }
 
+    /// Push an envelope straight into `queue` (tests drive `next()`
+    /// single-threaded without a live caller blocked on the reply).
+    fn push_raw(hub: &RpcHub, queue: usize, tenant: TenantId, fd: u64) {
+        let (tx, rx) = mpsc::sync_channel(1);
+        std::mem::forget(rx);
+        hub.queues[queue].lock().push_back(Envelope {
+            req: Request::Fsync { fd },
+            tenant,
+            gpu: 0,
+            issue: 0,
+            tx,
+        });
+        hub.state.lock().pending += 1;
+    }
+
     #[test]
     fn call_roundtrips_through_a_fake_daemon() {
         let hub = Arc::new(RpcHub::new());
         let daemon = spawn_fake_daemon(&hub);
         let t = Timings::default();
         let (ok, visible) = hub
-            .call(0, 0, 1_000, &t, Request::Fsync { fd: 3 })
+            .call(0, 0, 0, 1_000, &t, Request::Fsync { fd: 3 })
             .expect("call should succeed");
         assert!(matches!(ok, RespOk::Done));
         assert_eq!(visible, 1_100 + t.rpc_complete_ns);
@@ -389,6 +666,7 @@ mod tests {
         let hub = RpcHub::default();
         assert!(!hub.is_closed());
         assert_eq!(hub.num_channels(), 1);
+        assert_eq!(hub.num_tenants(), 1);
         assert!(!RpcHub::new().is_closed());
     }
 
@@ -396,6 +674,19 @@ mod tests {
     fn channel_count_clamps_to_one() {
         assert_eq!(RpcHub::with_channels(0).num_channels(), 1);
         assert_eq!(RpcHub::with_channels(7).num_channels(), 7);
+    }
+
+    #[test]
+    fn tenancy_defaults_reproduce_the_fair_hub() {
+        let hub = RpcHub::with_tenancy(3, 1, &[], &[]);
+        assert_eq!(hub.num_channels(), 3);
+        assert_eq!(hub.num_tenants(), 1);
+        assert_eq!(hub.queues.len(), 3, "no per-tenant queue replication");
+        assert!(hub.tenant_weights().is_empty());
+        assert!(hub.tenant_admission().is_empty());
+        let weighted = RpcHub::with_tenancy(3, 1, &[2, 1], &[]);
+        assert_eq!(weighted.num_tenants(), 2);
+        assert_eq!(weighted.queues.len(), 6, "channel set replicated");
     }
 
     #[test]
@@ -409,7 +700,7 @@ mod tests {
                     let t = Timings::default();
                     for _ in 0..8 {
                         let (ok, _) = hub
-                            .call(slot, 0, 0, &t, Request::Fsync { fd: slot as u64 })
+                            .call(slot, 0, 0, 0, &t, Request::Fsync { fd: slot as u64 })
                             .unwrap();
                         assert!(matches!(ok, RespOk::Done));
                     }
@@ -426,24 +717,143 @@ mod tests {
     fn closed_hub_rejects_calls() {
         let hub = RpcHub::new();
         hub.close();
-        let err = hub.call(0, 0, 0, &Timings::default(), Request::Fsync { fd: 1 });
+        let err = hub.call(0, 0, 0, 0, &Timings::default(), Request::Fsync { fd: 1 });
         assert!(matches!(err, Err(GpufsError::DaemonStopped)));
     }
 
     #[test]
     fn next_returns_none_after_close_and_drain() {
         let hub = RpcHub::with_channels(2);
-        let (tx, _rx) = mpsc::sync_channel(1);
-        hub.channels[1].lock().push_back(Envelope {
-            req: Request::Unlink { path: "/x".into() },
-            gpu: 0,
-            issue: 0,
-            tx,
-        });
-        *hub.pending.lock() = 1;
+        push_raw(&hub, 1, 0, 9);
         hub.close();
         assert!(hub.next().is_some(), "queued request drains first");
         assert!(hub.next().is_none());
+    }
+
+    #[test]
+    fn saturated_scan_serves_loaded_channels_evenly() {
+        // Regression: a scan cursor that re-biases toward low channels
+        // would drain channel 0 before ever touching channel 1 under
+        // saturation. With 8 channels of which only 0 and 1 are loaded,
+        // the persistent cursor must alternate between them.
+        let hub = RpcHub::with_channels(8);
+        for i in 0..8u64 {
+            push_raw(&hub, 0, 0, i);
+            push_raw(&hub, 1, 0, 100 + i);
+        }
+        hub.close();
+        let mut claimed = Vec::new();
+        while let Some(env) = hub.next() {
+            let Request::Fsync { fd } = env.req else {
+                unreachable!("only fsyncs queued")
+            };
+            claimed.push(usize::from(fd >= 100));
+        }
+        assert_eq!(claimed.len(), 16);
+        for pair in claimed.chunks(2) {
+            assert_eq!(
+                pair.iter().sum::<usize>(),
+                1,
+                "each consecutive claim pair serves both channels, got {claimed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_claims_follow_deficit_round_robin() {
+        // Tenant 0 at weight 3, tenant 1 at weight 1, both saturated:
+        // service must interleave 3:1 per DRR round, not drain tenant 0.
+        let hub = RpcHub::with_tenancy(1, 1, &[3, 1], &[]);
+        for i in 0..6u64 {
+            push_raw(&hub, 0, 0, i);
+            push_raw(&hub, 1, 1, 100 + i);
+        }
+        hub.close();
+        let mut order = Vec::new();
+        while let Some(env) = hub.next() {
+            order.push(env.tenant);
+        }
+        assert_eq!(
+            order,
+            vec![0, 0, 0, 1, 0, 0, 0, 1, 1, 1, 1, 1],
+            "3:1 rounds while both are backed, then the survivor drains"
+        );
+    }
+
+    #[test]
+    fn weighted_hub_roundtrips_under_concurrency() {
+        let hub = Arc::new(RpcHub::with_tenancy(2, 1, &[4, 1], &[]));
+        let daemons: Vec<_> = (0..2).map(|_| spawn_fake_daemon(&hub)).collect();
+        std::thread::scope(|s| {
+            for slot in 0..8usize {
+                let hub = &hub;
+                s.spawn(move || {
+                    let t = Timings::default();
+                    for _ in 0..16 {
+                        let (ok, _) = hub
+                            .call(slot, slot % 2, 0, 0, &t, Request::Fsync { fd: 1 })
+                            .unwrap();
+                        assert!(matches!(ok, RespOk::Done));
+                    }
+                });
+            }
+        });
+        hub.close();
+        for d in daemons {
+            d.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn admission_cap_bounds_inflight_and_counts_stalls() {
+        // Tenant 0 capped at 1 in-flight; the daemon naps per request so
+        // 4 hammering callers overlap constantly. The cap invariant must
+        // hold at every claim and every call must still complete.
+        let hub = Arc::new(RpcHub::with_tenancy(1, 1, &[], &[1, 0]));
+        let daemon_hub = Arc::clone(&hub);
+        let daemon = std::thread::spawn(move || {
+            while let Some(env) = daemon_hub.next() {
+                assert!(
+                    daemon_hub.tenant_inflight(0) <= 1,
+                    "tenant 0 exceeded its in-flight cap"
+                );
+                crate::backoff::spin_then_sleep(usize::MAX, 0);
+                env.tx.send((Ok(RespOk::Done), env.issue)).unwrap();
+            }
+        });
+        std::thread::scope(|s| {
+            for slot in 0..4usize {
+                let hub = &hub;
+                s.spawn(move || {
+                    let t = Timings::default();
+                    for _ in 0..24 {
+                        hub.call(slot, 0, 0, 0, &t, Request::Fsync { fd: 1 })
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(hub.tenant_inflight(0), 0, "all slots released");
+        assert!(
+            hub.tenant_stalls(0) > 0,
+            "4 callers against a cap of 1 must stall at least once"
+        );
+        assert_eq!(hub.tenant_stalls(1), 0, "uncapped tenant never stalls");
+        hub.close();
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_tenant_clamps_to_last() {
+        let hub = Arc::new(RpcHub::with_tenancy(1, 1, &[2, 1], &[]));
+        let daemon = spawn_fake_daemon(&hub);
+        let t = Timings::default();
+        let (ok, _) = hub
+            .call(0, 99, 0, 0, &t, Request::Fsync { fd: 1 })
+            .expect("clamped, not out of bounds");
+        assert!(matches!(ok, RespOk::Done));
+        hub.close();
+        daemon.join().unwrap();
     }
 
     #[test]
@@ -461,7 +871,7 @@ mod tests {
                         let t = Timings::default();
                         let mut outcomes = Vec::new();
                         for _ in 0..16 {
-                            outcomes.push(hub.call(i, 0, 0, &t, Request::Fsync { fd: 1 }));
+                            outcomes.push(hub.call(i, 0, 0, 0, &t, Request::Fsync { fd: 1 }));
                         }
                         outcomes
                     })
@@ -477,8 +887,8 @@ mod tests {
                     );
                 }
             }
-            assert_eq!(*hub.pending.lock(), 0, "drain accounting balanced");
-            assert!(hub.channels.iter().all(|c| c.lock().is_empty()));
+            assert_eq!(hub.state.lock().pending, 0, "drain accounting balanced");
+            assert!(hub.queues.iter().all(|c| c.lock().is_empty()));
         }
     }
 
@@ -494,6 +904,7 @@ mod tests {
             }
         });
         let err = hub.call(
+            0,
             0,
             0,
             0,

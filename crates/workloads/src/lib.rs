@@ -20,6 +20,11 @@
 //! N GPUs through the fleet's work-distribution queue (static or
 //! work-stealing).
 //!
+//! [`traffic`] drives a fleet with synthesized production traffic —
+//! Zipf-popular files, bursty arrivals, mixed tenant classes — and
+//! measures per-tenant tail latency (p50/p99/p999, Jain fairness), the
+//! harness behind the multi-tenant dispatch/quota knobs in `gpufs`.
+//!
 //! Supporting modules: [`corpus`] generates the deterministic synthetic
 //! datasets standing in for the paper's inputs (Linux source tree,
 //! Shakespeare, image databases); [`compute`] holds the calibrated
@@ -36,3 +41,4 @@ pub mod gpustr;
 pub mod grep;
 pub mod imgmatch;
 pub mod matvec;
+pub mod traffic;

@@ -1,0 +1,149 @@
+//! Two tenants, one GPU: tail-latency isolation from the multi-tenant
+//! knobs (weighted dispatch, admission throttling, cache quotas).
+//!
+//! A latency-sensitive *victim* (2 threadblocks of point lookups over a
+//! 3-file hot set) shares a 64-frame buffer cache with a *hog* (8
+//! threadblocks streaming scans over the whole 64-file corpus). Both
+//! legs replay the identical synthesized trace (seed 42); the only
+//! difference is the mount configuration:
+//!
+//! * **FIFO leg** — stock `GpufsConfig`: one shared cache, first-come
+//!   dispatch. The hog's streaming scans continuously evict the victim's
+//!   hot pages, so the victim takes thousands of capacity misses and its
+//!   p99 lands in the disk-latency bucket.
+//! * **Weighted leg** — `with_tenant_weights([8,1])`,
+//!   `with_tenant_admission([0,4])`, `with_tenant_quotas([56,8])`: the
+//!   victim's 48 hot pages stay resident inside its 56-frame quota, so
+//!   after the compulsory cold faults every lookup is a cache hit.
+//!
+//! Measured (one representative run of this binary): FIFO victim
+//! p50/p99 = 831 ns / **49–74 µs** (run-to-run the p99 moves within the
+//! disk bucket) with ~2500 victim-visible cache misses; weighted victim
+//! p50/p99 = 831 ns / **6.7 µs** with exactly 48 misses (its compulsory
+//! cold faults) — a **7–11x** p99 improvement. Aggregate throughput is
+//! identical (55.4 MB/s both legs) and the hog's own p99 is unchanged:
+//! isolation here costs the hog nothing, because the pages the quota
+//! protects are ones the hog would have evicted and re-fetched anyway.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use gpufs::cluster::FleetBuilder;
+use gpufs::GpufsConfig;
+use simtime::Timings;
+use workloads::traffic::{run_traffic, TenantClass, TenantLoad, TrafficConfig};
+
+const PAGE: usize = 4 << 10;
+const FRAMES: usize = 64;
+
+fn trace() -> TrafficConfig {
+    TrafficConfig {
+        seed: 42,
+        dir: "/tail".into(),
+        n_files: 64,
+        file_bytes: 64 << 10,
+        zipf_s: 0.3,
+        op_bytes: PAGE,
+        pace_lag_ns: 200_000,
+        tenants: vec![
+            // Tenant 0: the latency-sensitive victim. 3 hot files
+            // (48 pages) — fits its 56-frame quota with room to spare.
+            TenantLoad {
+                class: TenantClass::PointLookup,
+                blocks: 2,
+                sessions: 800,
+                arrival_gap_ns: 20_000,
+                burst_sessions: 8,
+                off_gap_ns: 100_000,
+                ops_per_session: 8,
+                hot_files: 3,
+            },
+            // Tenant 1: the bandwidth hog, streaming the whole corpus.
+            TenantLoad {
+                class: TenantClass::Scan,
+                blocks: 8,
+                sessions: 96,
+                arrival_gap_ns: 5_000,
+                burst_sessions: 16,
+                off_gap_ns: 50_000,
+                ops_per_session: 16,
+                hot_files: 0,
+            },
+        ],
+    }
+}
+
+fn run_leg(name: &str, config: GpufsConfig) -> (u64, f64) {
+    let mut fleet = FleetBuilder::new(1)
+        .config(config)
+        .timings(Timings::default())
+        .build()
+        .expect("fleet");
+    let out = run_traffic(&fleet, &trace()).expect("traffic");
+
+    println!("\n{name}:");
+    for (t, d) in out.per_tenant.iter().enumerate() {
+        let who = if t == 0 { "victim" } else { "hog" };
+        println!(
+            "  t{t} {who:>6}: {:>5} ops, p50 {:>6} ns, p99 {:>9} ns, \
+             p999 {:>9} ns, max {:.2} ms",
+            d.ops,
+            d.p50,
+            d.p99,
+            d.p999,
+            d.max as f64 / 1e6,
+        );
+    }
+    let mount = fleet.mount(0);
+    let host = fleet.host_for(0);
+    for t in 0..mount.num_tenants() {
+        // With one tenant sheet (the FIFO leg) this is the aggregate.
+        let c = mount.tenant_counters(t);
+        let d = host.stats_for_tenant(t);
+        println!(
+            "  t{t} cache: {:>6} hits, {:>5} misses | rpc: {:>5} requests, \
+             {:>5} KB H2D, {:>3} admission stalls",
+            c.hits.get(),
+            c.misses.get(),
+            d.requests.get(),
+            d.bytes_h2d.get() >> 10,
+            host.hub().tenant_stalls(t),
+        );
+    }
+    println!(
+        "  aggregate: {:.1} MB/s, fairness {:.3}, elapsed {:.2} ms",
+        out.throughput_mb_s,
+        out.fairness,
+        out.elapsed as f64 / 1e6
+    );
+    let (p99, mb_s) = (out.per_tenant[0].p99, out.throughput_mb_s);
+    fleet.shutdown();
+    (p99, mb_s)
+}
+
+fn main() {
+    println!(
+        "two tenants on one GPU, {FRAMES}-frame cache: \
+         victim (point lookups, 3-file hot set) vs hog (streaming scans)"
+    );
+
+    let (fifo_p99, fifo_mb_s) =
+        run_leg("FIFO, unpartitioned", GpufsConfig::new(PAGE, FRAMES * PAGE));
+    let (weighted_p99, weighted_mb_s) = run_leg(
+        "weighted + admission + quotas",
+        GpufsConfig::new(PAGE, FRAMES * PAGE)
+            .with_tenant_weights(vec![8, 1])
+            .with_tenant_admission(vec![0, 4])
+            .with_tenant_quotas(vec![56, 8]),
+    );
+
+    let speedup = fifo_p99 as f64 / weighted_p99 as f64;
+    println!(
+        "\nvictim p99: {fifo_p99} ns -> {weighted_p99} ns ({speedup:.1}x better), \
+         throughput {fifo_mb_s:.1} -> {weighted_mb_s:.1} MB/s"
+    );
+    assert!(speedup >= 2.0, "isolation must hold the victim's tail");
+    assert!(
+        weighted_mb_s >= 0.9 * fifo_mb_s,
+        "isolation must not tax aggregate throughput"
+    );
+}

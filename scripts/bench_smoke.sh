@@ -42,4 +42,12 @@ grep -q '"speedup_max"' "$out_dir/scale.json"
 grep -q '"skew"' "$out_dir/scale.json"
 grep -q '"fleet1_fig4_compat"' "$out_dir/scale.json"
 
+echo "== tail_json (smoke) =="
+cargo run --release -q -p gpufs_bench --bin tail_json -- "$out_dir/tail.json"
+grep -q '"bench":"tail_multi_tenant"' "$out_dir/tail.json"
+grep -q '"smoke":true' "$out_dir/tail.json"
+grep -q '"victim_p99_speedup"' "$out_dir/tail.json"
+grep -q '"throughput_ratio"' "$out_dir/tail.json"
+grep -q '"compat"' "$out_dir/tail.json"
+
 echo "bench smoke OK (records in $out_dir, discarded)"

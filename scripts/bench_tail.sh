@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Record the multi-tenant tail-latency benchmark (FIFO/unpartitioned vs
+# weighted dispatch + admission + cache quotas under a skewed two-tenant
+# trace, plus the defaults-compat fig4/fig5 leg) into BENCH_tail.json
+# (one JSON object per line, appended — the repo's perf trajectory).
+#
+# Usage: scripts/bench_tail.sh [OUT_PATH]   (default: BENCH_tail.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p gpufs_bench --bin tail_json -- "${1:-BENCH_tail.json}"

@@ -283,3 +283,45 @@ fn daemon_shutdown_fails_calls_cleanly() {
         ));
     });
 }
+
+#[test]
+fn cache_counters_attribute_per_tenant_and_sum_to_the_aggregate() {
+    let fs = Arc::new(HostFs::new(HostFsConfig::default()));
+    let gpus: Vec<Arc<Gpu>> = vec![Arc::new(Gpu::new(0, GpuSpec::small_test()))];
+    let cfg = GpufsConfig::small_test().with_tenant_weights(vec![1, 1]);
+    let host = GpufsHost::with_config(Arc::clone(&fs), gpus.clone(), &cfg);
+    let mount = host.mount(0, cfg).unwrap();
+    for t in 0..2u8 {
+        fs.create(&format!("/tenant{t}"), &vec![t + 1; 4096])
+            .unwrap();
+    }
+    // Block slots map to tenants: block 0 serves tenant 0, block 1
+    // serves tenant 1, so their cache work lands on separate sheets.
+    mount.set_tenant(0, 0);
+    mount.set_tenant(1, 1);
+    gpus[0].launch(Grid::new(2, 32), 0, |blk| {
+        let path = format!("/tenant{}", blk.block_id());
+        let fd = mount.open(blk, &path, GOpenMode::ReadOnly).unwrap();
+        let mut buf = vec![0u8; 4096];
+        assert_eq!(mount.read(blk, &fd, 0, &mut buf).unwrap(), 4096);
+        assert!(buf.iter().all(|&b| b == blk.block_id() as u8 + 1));
+        mount.close(blk, fd).unwrap();
+    });
+    let (all, t0, t1) = (
+        mount.counters(),
+        mount.tenant_counters(0),
+        mount.tenant_counters(1),
+    );
+    // Both tenants did real cache work on their own sheets.
+    assert!(t0.misses.get() > 0, "tenant 0 faulted its file");
+    assert!(t1.misses.get() > 0, "tenant 1 faulted its file");
+    // Every counter row sums across tenant sheets to the aggregate —
+    // iterated over the snapshot so a future counter can't escape.
+    for (i, (name, total)) in all.snapshot().into_iter().enumerate() {
+        assert_eq!(
+            t0.snapshot()[i].1 + t1.snapshot()[i].1,
+            total,
+            "per-tenant cache sheets must sum to the aggregate for `{name}`"
+        );
+    }
+}

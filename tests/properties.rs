@@ -520,6 +520,107 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Per-tenant accounting conserves the arena: with concurrent workers
+    /// allocating on behalf of random tenants (`alloc_owned`) and
+    /// releasing from arbitrary shards, at every quiescent point
+    /// `sum(tenant_held) + free_frames == num_frames` — frames are
+    /// charged to exactly one tenant while out and to nobody once back,
+    /// regardless of quotas, shard count, or the interleaving. Quotas are
+    /// soft: allocation never fails while a free frame exists, even for a
+    /// tenant already over its quota, and `over_quota` answers exactly
+    /// `held > quota`.
+    #[test]
+    fn tenant_holdings_conserve_the_arena(
+        shards in 1usize..6,
+        threads in 2usize..6,
+        quota0 in 1usize..32,
+        quota1 in 1usize..32,
+        // Per-thread op tape: values 0..4 = alloc charged to that tenant
+        // (tenant 3 exceeds the sheet count, exercising clamping); 4..8 =
+        // release one held frame (if any).
+        tapes in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 20..120),
+            6..7
+        )
+    ) {
+        use gpufs::cache::FrameArena;
+        use gpusim::GlobalMem;
+
+        const FRAMES: usize = 24;
+        const TENANTS: usize = 3;
+        let mem = GlobalMem::new(1 << 20);
+        let arena = FrameArena::with_quotas(
+            &mem, 4096, FRAMES, shards, TENANTS, &[quota0, quota1],
+        ).unwrap();
+        prop_assert_eq!(arena.num_tenants(), TENANTS);
+        prop_assert_eq!(arena.tenant_quota(0), quota0);
+        prop_assert_eq!(arena.tenant_quota(1), quota1);
+        // Unlisted tenants get an unlimited quota; out-of-range lookups
+        // clamp to the last sheet.
+        prop_assert_eq!(arena.tenant_quota(2), usize::MAX);
+        prop_assert_eq!(arena.tenant_quota(99), usize::MAX);
+
+        std::thread::scope(|s| {
+            for (t, tape) in tapes.iter().take(threads).enumerate() {
+                let arena = &arena;
+                s.spawn(move || {
+                    let mut held: Vec<u32> = Vec::new();
+                    for &op in tape {
+                        if op < 4 {
+                            // Soft quotas: a free frame is never refused,
+                            // whoever asks.
+                            if let Some(f) = arena.alloc_owned(t, op) {
+                                held.push(f);
+                            }
+                        } else if let Some(f) = held.pop() {
+                            arena.release(t, f);
+                        }
+                    }
+                    for f in held {
+                        arena.release(t, f);
+                    }
+                });
+            }
+        });
+
+        // Conservation at quiescence: everything came back, and no tenant
+        // is still charged for anything.
+        let held_sum: usize = (0..TENANTS).map(|t| arena.tenant_held(t)).sum();
+        prop_assert_eq!(held_sum + arena.free_frames(), FRAMES);
+        prop_assert_eq!(arena.free_frames(), FRAMES);
+        for t in 0..TENANTS {
+            prop_assert_eq!(arena.tenant_held(t), 0);
+            prop_assert!(!arena.over_quota(t));
+        }
+
+        // Single-threaded replay of the invariant mid-flight: drain the
+        // arena charging alternating tenants and check the ledger balances
+        // after every step, including while tenants sit over quota.
+        let mut held: Vec<u32> = Vec::new();
+        let mut charged = 0usize;
+        while let Some(f) = arena.alloc_owned(0, charged % TENANTS) {
+            held.push(f);
+            charged += 1;
+            let held_now: usize = (0..TENANTS).map(|t| arena.tenant_held(t)).sum();
+            prop_assert_eq!(held_now, charged);
+            prop_assert_eq!(held_now + arena.free_frames(), FRAMES);
+        }
+        prop_assert_eq!(charged, FRAMES);
+        // With all 24 frames out across quotas of at most 31, over_quota
+        // must answer exactly `held > quota` for every tenant.
+        for (t, quota) in [(0, quota0), (1, quota1), (2, usize::MAX)] {
+            prop_assert_eq!(arena.over_quota(t), arena.tenant_held(t) > quota);
+        }
+        for f in held {
+            arena.release(0, f);
+        }
+        prop_assert_eq!(arena.free_frames(), FRAMES);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Mount-level stress on a single shared page: concurrent threadblocks

@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "grep_search",
     "image_search",
     "matvec_oom",
+    "multi_tenant",
     "quickstart",
 ];
 
@@ -33,7 +34,13 @@ const BENCHES: &[&str] = &[
 ];
 
 /// Tooling binaries (perf-trajectory recorders driven by `scripts/`).
-const BINS: &[&str] = &["fig4_json", "fig5_json", "fig7_json", "fig_scale_json"];
+const BINS: &[&str] = &[
+    "fig4_json",
+    "fig5_json",
+    "fig7_json",
+    "fig_scale_json",
+    "tail_json",
+];
 
 fn cargo() -> Command {
     let mut cmd = Command::new(env!("CARGO"));
