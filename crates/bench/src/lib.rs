@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use gpufs::cluster::{FleetBuilder, ShardStrategy};
+use gpufs::cluster::{FleetBuilder, HostFleet, ShardStrategy};
 use gpufs::{GOpenMode, GpufsConfig, GpufsHost};
 use gpusim::{Gpu, GpuSpec, Grid};
 use hostfs::{HostFs, HostFsConfig};
@@ -622,6 +622,113 @@ pub fn scale_phase(
         elapsed: out.elapsed,
         steals: out.steals,
         bytes_scanned: out.bytes_scanned,
+    }
+}
+
+/// Outcome of one [`dist_phase`] cross-host fleet run.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// Aggregate scan throughput, corpus bytes / fleet elapsed, MB/s.
+    pub mb_s: f64,
+    /// Fleet elapsed virtual time (slowest GPU).
+    pub elapsed: Nanos,
+    /// Work items migrated between shards.
+    pub steals: u64,
+    /// Database bytes scanned.
+    pub bytes_scanned: u64,
+    /// Host-cache hits summed over every host proxy.
+    pub host_hits: u64,
+    /// Host-cache misses summed over every host proxy.
+    pub host_misses: u64,
+    /// `host_hits / (host_hits + host_misses)`, `0.0` when the caches
+    /// saw no traffic (disabled, or a single host that never re-reads).
+    pub hit_ratio: f64,
+    /// Wire round-trips summed over every host proxy.
+    pub wire_rpcs: u64,
+}
+
+/// The [`scale_phase`] image-search workload run across hosts: the same
+/// corpus, queries, page/cache budgets, and work-stealing shard policy,
+/// but the `hosts * gpus_per_host` GPUs sit behind per-host
+/// [`gpufs::HostProxy`]s talking to one storage server over simulated
+/// links (`net_rtt_ns` / `net_mb_s`; both zero = the time-transparent
+/// link), each host fronted by a `cache_pages`-page host page cache
+/// (0 = disabled).
+///
+/// With one host, zero network, and the cache off this must reproduce
+/// [`scale_phase`] exactly — the recorder asserts that compat against
+/// the recorded BENCH_scale strong-scaling numbers.
+///
+/// # Panics
+///
+/// Panics if the fleet cannot be built or the search fails.
+#[must_use]
+pub fn dist_phase(
+    hosts: usize,
+    gpus_per_host: usize,
+    db_files: usize,
+    net_rtt_ns: Nanos,
+    net_mb_s: f64,
+    cache_pages: usize,
+) -> DistOutcome {
+    let t = Timings {
+        net_rtt_ns,
+        net_mb_s,
+        ..Timings::default()
+    };
+    let fs = paper_host_fs(&t, 8 << 30);
+    let ds = gen_image_dataset(
+        &fs,
+        &ImageDatasetConfig {
+            dir: "/scaledbs".into(),
+            db_sizes: vec![SCALE_DB_IMAGES; db_files],
+            n_queries: SCALE_QUERIES,
+            dim: SCALE_DIM,
+            match_fraction: 0.5,
+            plant_in_first_db_prefix: false,
+            seed: 1300,
+        },
+    );
+    for path in ds.db_paths.iter().chain([&ds.query_path]) {
+        let _ = fs.read_whole(path, 0).expect("warm host cache");
+    }
+    fs.reset_device_time();
+
+    let fleet = HostFleet::builder(hosts, gpus_per_host)
+        .spec(paper_gpu_spec(256 << 20))
+        .timings(t)
+        .config(GpufsConfig::new(64 << 10, 32 << 20))
+        .storage_fs(Arc::clone(&fs))
+        .host_cache_pages(cache_pages)
+        .build()
+        .expect("dist fleet");
+    let out = cluster_search(&fleet, &ds, 0.5, SCALE_CHUNK, ShardStrategy::WorkStealing)
+        .expect("cluster search");
+    assert_eq!(
+        out.matches, ds.planted,
+        "the host split must never change results"
+    );
+    let (mut hits, mut misses, mut wire_rpcs) = (0u64, 0u64, 0u64);
+    for h in 0..hosts {
+        let proxy = fleet.proxy(h);
+        hits += proxy.cache().stats().hits.get();
+        misses += proxy.cache().stats().misses.get();
+        wire_rpcs += proxy.wire().wire_rpcs.get();
+    }
+    let looked_up = hits + misses;
+    DistOutcome {
+        mb_s: throughput_mb_s(out.bytes_scanned, out.elapsed),
+        elapsed: out.elapsed,
+        steals: out.steals,
+        bytes_scanned: out.bytes_scanned,
+        host_hits: hits,
+        host_misses: misses,
+        hit_ratio: if looked_up == 0 {
+            0.0
+        } else {
+            hits as f64 / looked_up as f64
+        },
+        wire_rpcs,
     }
 }
 

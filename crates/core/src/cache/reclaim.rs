@@ -261,7 +261,7 @@ impl GpuFsMount {
                     // Nothing of the file is cached here any more.
                     self.host_fs
                         .consistency()
-                        .unregister_gpu_cache(victim.ino(), self.gpu.id());
+                        .unregister_gpu_cache(victim.ino(), self.coherence_id);
                 }
             }
             if freed >= want {
@@ -351,7 +351,7 @@ impl GpuFsMount {
         });
         self.host_fs
             .consistency()
-            .unregister_gpu_cache(file.ino(), self.gpu.id());
+            .unregister_gpu_cache(file.ino(), self.coherence_id);
     }
 }
 

@@ -240,7 +240,7 @@ impl GpuFsMount {
         file.observe_generation(generation);
         self.host_fs
             .consistency()
-            .register_gpu_cache(file.ino(), self.gpu.id(), generation);
+            .register_gpu_cache(file.ino(), self.coherence_id, generation);
         for g in &gathered {
             self.count_for(blk.lane_id(), |c| c.writebacks.incr());
             file.mark_host_valid(g.page_idx * ps + g.ds as u64);

@@ -21,10 +21,11 @@
 use std::sync::Arc;
 
 use gpusim::Grid;
-use hostfs::Ino;
+use hostfs::{HostFs, Ino};
 use parking_lot::Mutex;
 
 use crate::cluster::fleet::GpuFleet;
+use crate::cluster::view::FleetView;
 use crate::config::GOpenMode;
 use crate::error::GpufsResult;
 
@@ -36,11 +37,14 @@ pub struct FileCoherence {
     pub ino: Ino,
     /// Current host generation.
     pub generation: u64,
-    /// Every registered GPU cache as `(gpu, cached_generation)`.
+    /// Every registered GPU cache as `(coherence_id, cached_generation)`
+    /// — the coherence id is the GPU id in a single-host fleet, and the
+    /// host-qualified [`crate::GpuFsMount::coherence_id`] in a
+    /// cross-host one.
     pub cachers: Vec<(usize, u64)>,
-    /// GPUs whose cached generation lags — still registered (lazy
-    /// invalidation has not reached them) but guaranteed to refetch on
-    /// their next open.
+    /// Coherence ids whose cached generation lags — still registered
+    /// (lazy invalidation has not reached them) but guaranteed to
+    /// refetch on their next open.
     pub stale: Vec<usize>,
 }
 
@@ -82,25 +86,44 @@ pub struct ScheduleReport {
 /// with ≤ 64 KB pages the two cells exercise two separate cache pages.
 const TAG_STRIDE: u64 = 64 << 10;
 
+/// Point-in-time coherence audit of every file `fs`'s registry tracks,
+/// sorted by inode — the shared engine behind both fleet types' audits.
+pub(crate) fn audit_registry(fs: &HostFs) -> Vec<FileCoherence> {
+    fs.consistency()
+        .snapshot()
+        .into_iter()
+        .map(|s| {
+            let stale = s.stale_cachers();
+            FileCoherence {
+                ino: s.ino,
+                generation: s.generation,
+                cachers: s.cachers,
+                stale,
+            }
+        })
+        .collect()
+}
+
+/// Per-file audit engine (one registry entry read, never the whole
+/// registry).
+pub(crate) fn audit_path(fs: &HostFs, path: &str) -> Option<FileCoherence> {
+    let ino = fs.ino_of(path).ok()?;
+    let s = fs.consistency().file_snapshot(ino)?;
+    let stale = s.stale_cachers();
+    Some(FileCoherence {
+        ino: s.ino,
+        generation: s.generation,
+        cachers: s.cachers,
+        stale,
+    })
+}
+
 impl GpuFleet {
     /// Point-in-time coherence audit of every file the shared registry
     /// tracks, sorted by inode.
     #[must_use]
     pub fn coherence_audit(&self) -> Vec<FileCoherence> {
-        self.fs()
-            .consistency()
-            .snapshot()
-            .into_iter()
-            .map(|s| {
-                let stale = s.stale_cachers();
-                FileCoherence {
-                    ino: s.ino,
-                    generation: s.generation,
-                    cachers: s.cachers,
-                    stale,
-                }
-            })
-            .collect()
+        audit_registry(self.fs())
     }
 
     /// Coherence audit of the file at `path`, if the registry tracks it
@@ -108,15 +131,7 @@ impl GpuFleet {
     /// whole registry).
     #[must_use]
     pub fn audit_file(&self, path: &str) -> Option<FileCoherence> {
-        let ino = self.fs().ino_of(path).ok()?;
-        let s = self.fs().consistency().file_snapshot(ino)?;
-        let stale = s.stale_cachers();
-        Some(FileCoherence {
-            ino: s.ino,
-            generation: s.generation,
-            cachers: s.cachers,
-            stale,
-        })
+        audit_path(self.fs(), path)
     }
 
     /// Run a sequential close-to-open schedule against `path` (created
@@ -141,87 +156,99 @@ impl GpuFleet {
         path: &str,
         ops: &[CoherenceOp],
     ) -> GpufsResult<ScheduleReport> {
-        if !self.fs().exists(path) {
-            self.fs()
-                .create(path, &vec![0u8; (TAG_STRIDE + 8) as usize])
-                .map_err(crate::GpufsError::Host)?;
-        }
-        let mut report = ScheduleReport::default();
-        // Seed the expectation from the file's current (host-visible)
-        // tag: every WriteClose publishes before returning, so on a
-        // reused path the first tag cell *is* the latest closed write —
-        // resetting to 0 instead would report phantom mismatches.
-        let mut latest: u64 = {
-            let (data, _) = self
-                .fs()
-                .read_whole(path, 0)
-                .map_err(crate::GpufsError::Host)?;
-            let mut cell = [0u8; 8];
-            let n = data.len().min(8);
-            cell[..n].copy_from_slice(&data[..n]);
-            u64::from_le_bytes(cell)
-        };
-        let failure: Arc<Mutex<Option<crate::GpufsError>>> = Arc::new(Mutex::new(None));
-        let observed: Arc<Mutex<Option<(u64, u64)>>> = Arc::new(Mutex::new(None));
-        for (i, &op) in ops.iter().enumerate() {
-            match op {
-                CoherenceOp::WriteClose { gpu, tag } => {
-                    let mount = Arc::clone(self.mount(gpu));
-                    let path = path.to_owned();
-                    let failure = Arc::clone(&failure);
-                    self.gpu(gpu).launch(Grid::new(1, 32), 0, move |blk| {
-                        let mut work = || -> GpufsResult<()> {
-                            let fd = mount.open(blk, &path, GOpenMode::ReadWrite)?;
-                            mount.write(blk, &fd, 0, &tag.to_le_bytes())?;
-                            mount.write(blk, &fd, TAG_STRIDE, &tag.to_le_bytes())?;
-                            mount.fsync(blk, &fd)?;
-                            mount.close(blk, fd)
-                        };
-                        if let Err(e) = work() {
+        run_schedule(self, path, ops)
+    }
+}
+
+/// The schedule driver behind [`GpuFleet::run_close_to_open_schedule`]
+/// (and its cross-host counterpart): ops name GPUs by the view's global
+/// index, so the same schedule type spans hosts when the view does.
+pub(crate) fn run_schedule<F: FleetView>(
+    fleet: &F,
+    path: &str,
+    ops: &[CoherenceOp],
+) -> GpufsResult<ScheduleReport> {
+    if !fleet.fs().exists(path) {
+        fleet
+            .fs()
+            .create(path, &vec![0u8; (TAG_STRIDE + 8) as usize])
+            .map_err(crate::GpufsError::Host)?;
+    }
+    let mut report = ScheduleReport::default();
+    // Seed the expectation from the file's current (host-visible)
+    // tag: every WriteClose publishes before returning, so on a
+    // reused path the first tag cell *is* the latest closed write —
+    // resetting to 0 instead would report phantom mismatches.
+    let mut latest: u64 = {
+        let (data, _) = fleet
+            .fs()
+            .read_whole(path, 0)
+            .map_err(crate::GpufsError::Host)?;
+        let mut cell = [0u8; 8];
+        let n = data.len().min(8);
+        cell[..n].copy_from_slice(&data[..n]);
+        u64::from_le_bytes(cell)
+    };
+    let failure: Arc<Mutex<Option<crate::GpufsError>>> = Arc::new(Mutex::new(None));
+    let observed: Arc<Mutex<Option<(u64, u64)>>> = Arc::new(Mutex::new(None));
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            CoherenceOp::WriteClose { gpu, tag } => {
+                let mount = Arc::clone(fleet.mount(gpu));
+                let path = path.to_owned();
+                let failure = Arc::clone(&failure);
+                fleet.gpu(gpu).launch(Grid::new(1, 32), 0, move |blk| {
+                    let mut work = || -> GpufsResult<()> {
+                        let fd = mount.open(blk, &path, GOpenMode::ReadWrite)?;
+                        mount.write(blk, &fd, 0, &tag.to_le_bytes())?;
+                        mount.write(blk, &fd, TAG_STRIDE, &tag.to_le_bytes())?;
+                        mount.fsync(blk, &fd)?;
+                        mount.close(blk, fd)
+                    };
+                    if let Err(e) = work() {
+                        failure.lock().get_or_insert(e);
+                    }
+                });
+                latest = tag;
+            }
+            CoherenceOp::OpenCheck { gpu } => {
+                let mount = Arc::clone(fleet.mount(gpu));
+                let path = path.to_owned();
+                let failure = Arc::clone(&failure);
+                let observed_in = Arc::clone(&observed);
+                fleet.gpu(gpu).launch(Grid::new(1, 32), 0, move |blk| {
+                    let mut work = || -> GpufsResult<(u64, u64)> {
+                        let fd = mount.open(blk, &path, GOpenMode::ReadOnly)?;
+                        let mut a = [0u8; 8];
+                        let mut b = [0u8; 8];
+                        mount.read(blk, &fd, 0, &mut a)?;
+                        mount.read(blk, &fd, TAG_STRIDE, &mut b)?;
+                        mount.close(blk, fd)?;
+                        Ok((u64::from_le_bytes(a), u64::from_le_bytes(b)))
+                    };
+                    match work() {
+                        Ok(tags) => *observed_in.lock() = Some(tags),
+                        Err(e) => {
                             failure.lock().get_or_insert(e);
                         }
-                    });
-                    latest = tag;
-                }
-                CoherenceOp::OpenCheck { gpu } => {
-                    let mount = Arc::clone(self.mount(gpu));
-                    let path = path.to_owned();
-                    let failure = Arc::clone(&failure);
-                    let observed_in = Arc::clone(&observed);
-                    self.gpu(gpu).launch(Grid::new(1, 32), 0, move |blk| {
-                        let mut work = || -> GpufsResult<(u64, u64)> {
-                            let fd = mount.open(blk, &path, GOpenMode::ReadOnly)?;
-                            let mut a = [0u8; 8];
-                            let mut b = [0u8; 8];
-                            mount.read(blk, &fd, 0, &mut a)?;
-                            mount.read(blk, &fd, TAG_STRIDE, &mut b)?;
-                            mount.close(blk, fd)?;
-                            Ok((u64::from_le_bytes(a), u64::from_le_bytes(b)))
-                        };
-                        match work() {
-                            Ok(tags) => *observed_in.lock() = Some(tags),
-                            Err(e) => {
-                                failure.lock().get_or_insert(e);
-                            }
-                        }
-                    });
-                    report.checks += 1;
-                    if let Some((a, b)) = observed.lock().take() {
-                        if a != latest {
-                            report.mismatches.push((i, latest, a));
-                        }
-                        if b != latest {
-                            report.mismatches.push((i, latest, b));
-                        }
+                    }
+                });
+                report.checks += 1;
+                if let Some((a, b)) = observed.lock().take() {
+                    if a != latest {
+                        report.mismatches.push((i, latest, a));
+                    }
+                    if b != latest {
+                        report.mismatches.push((i, latest, b));
                     }
                 }
             }
-            if let Some(e) = failure.lock().take() {
-                return Err(e);
-            }
         }
-        Ok(report)
+        if let Some(e) = failure.lock().take() {
+            return Err(e);
+        }
     }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ use crate::config::GpufsConfig;
 use crate::daemon::{DaemonStats, GpufsHost};
 use crate::error::{GpufsError, GpufsResult};
 use crate::mount::GpuFsMount;
+use crate::remote::HostProxy;
 
 /// How the fleet's GPUs share CPU-side daemon resources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +61,8 @@ pub struct FleetBuilder {
     gpu_timings: HashMap<usize, Timings>,
     topology: DaemonTopology,
     fs: Option<Arc<HostFs>>,
+    proxy: Option<Arc<HostProxy>>,
+    coherence_base: usize,
 }
 
 impl FleetBuilder {
@@ -75,6 +78,8 @@ impl FleetBuilder {
             gpu_timings: HashMap::new(),
             topology: DaemonTopology::Shared,
             fs: None,
+            proxy: None,
+            coherence_base: 0,
         }
     }
 
@@ -133,6 +138,30 @@ impl FleetBuilder {
         self
     }
 
+    /// Serve the fleet's daemon through a cross-host storage proxy
+    /// instead of a local file system: every request crosses `proxy`'s
+    /// simulated network link to the shared [`crate::StorageServer`].
+    /// The fleet's file-system handle aliases the server's (for seeding
+    /// corpora and auditing coherence); combine with
+    /// [`FleetBuilder::coherence_base`] so mounts of different hosts
+    /// register distinctly.
+    #[must_use]
+    pub fn proxy(mut self, proxy: Arc<HostProxy>) -> Self {
+        self.proxy = Some(proxy);
+        self
+    }
+
+    /// Offset every mount's consistency-registry identity by `base`
+    /// (GPU `g` registers as `base + g`). Hosts of a cross-host fleet
+    /// use disjoint bases so positional GPU ids never collide in the
+    /// shared registry. Default 0: identity = GPU id, the single-host
+    /// behaviour.
+    #[must_use]
+    pub fn coherence_base(mut self, base: usize) -> Self {
+        self.coherence_base = base;
+        self
+    }
+
     /// Effective configuration of GPU `gpu`.
     fn config_of(&self, gpu: usize) -> GpufsConfig {
         self.overrides
@@ -164,12 +193,26 @@ impl FleetBuilder {
                 "per-GPU config/timings override names a GPU outside the fleet",
             ));
         }
-        let fs = self.fs.clone().unwrap_or_else(|| {
-            Arc::new(HostFs::new(HostFsConfig {
-                timings: self.timings.clone(),
-                ..HostFsConfig::default()
-            }))
-        });
+        if let (Some(proxy), Some(fs)) = (&self.proxy, &self.fs) {
+            if !Arc::ptr_eq(proxy.server().fs(), fs) {
+                return Err(GpufsError::InvalidMode(
+                    "host_fs and proxy name different file systems; a proxied \
+                     fleet's fs is always its server's",
+                ));
+            }
+        }
+        let fs = match &self.proxy {
+            // A proxied fleet's device view *is* the server's file
+            // system: probing/seeding stays direct, data requests cross
+            // the wire.
+            Some(proxy) => Arc::clone(proxy.server().fs()),
+            None => self.fs.clone().unwrap_or_else(|| {
+                Arc::new(HostFs::new(HostFsConfig {
+                    timings: self.timings.clone(),
+                    ..HostFsConfig::default()
+                }))
+            }),
+        };
         let links: Vec<(GpuSpec, Timings)> = (0..self.n_gpus)
             .map(|g| {
                 (
@@ -209,10 +252,25 @@ impl FleetBuilder {
                         ));
                     }
                 }
-                let host = GpufsHost::with_config(Arc::clone(&fs), gpus.clone(), &self.base);
+                let host = match &self.proxy {
+                    Some(proxy) => {
+                        GpufsHost::with_proxy(Arc::clone(proxy), gpus.clone(), &self.base)
+                    }
+                    None => GpufsHost::with_config(Arc::clone(&fs), gpus.clone(), &self.base),
+                };
                 (vec![host], vec![0; self.n_gpus])
             }
             DaemonTopology::PerGpu => {
+                if self.proxy.is_some() {
+                    // One proxy models one host's network link; per-GPU
+                    // daemons multiplexed onto it would share the link's
+                    // descriptor table without sharing its queueing
+                    // discipline — nothing the simulation means to model.
+                    return Err(GpufsError::InvalidMode(
+                        "DaemonTopology::PerGpu cannot serve through a host \
+                         proxy; use the shared topology per host",
+                    ));
+                }
                 let hosts: Vec<GpufsHost> = (0..self.n_gpus)
                     .map(|g| {
                         GpufsHost::with_config(Arc::clone(&fs), gpus.clone(), &self.config_of(g))
@@ -224,7 +282,11 @@ impl FleetBuilder {
 
         let mut mounts = Vec::with_capacity(self.n_gpus);
         for g in 0..self.n_gpus {
-            mounts.push(hosts[host_of[g]].mount(g, self.config_of(g))?);
+            mounts.push(hosts[host_of[g]].mount_with_coherence_id(
+                g,
+                self.config_of(g),
+                self.coherence_base + g,
+            )?);
         }
         Ok(GpuFleet {
             fs,

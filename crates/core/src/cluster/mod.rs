@@ -23,11 +23,22 @@
 //!   generation (via the registry snapshot), and schedule drivers that
 //!   let tests interleave open→write→close→reopen across K GPUs and
 //!   assert every reopen observes the latest closed generation.
+//! * **[`hosts`]** — [`HostFleet`]: fleets of fleets. M hosts, each a
+//!   [`GpuFleet`] served through a [`crate::HostProxy`] over a simulated
+//!   network link, sharing one [`crate::StorageServer`] and registry;
+//!   coherence ids are host-qualified so audits and schedules span
+//!   hosts.
+//! * **[`view`]** — [`FleetView`]: the common driver surface both fleet
+//!   types implement, so workloads run unchanged over either.
 
 pub mod coherence;
 pub mod fleet;
+pub mod hosts;
 pub mod sched;
+pub mod view;
 
 pub use coherence::{CoherenceOp, FileCoherence, ScheduleReport};
 pub use fleet::{DaemonTopology, FleetBuilder, GpuFleet};
+pub use hosts::{HostFleet, HostFleetBuilder};
 pub use sched::{ShardStrategy, WorkItem, WorkQueue};
+pub use view::FleetView;

@@ -1,0 +1,58 @@
+//! [`FleetView`]: the surface workload drivers need from "a set of
+//! GPUfs mounts over one coherent file system".
+//!
+//! A single-host [`GpuFleet`] and a cross-host
+//! [`crate::cluster::HostFleet`] differ in what sits between a mount and
+//! the storage (nothing vs a wire), but not in how work is driven over
+//! them: pick a GPU, take its mount, launch kernels, audit the shared
+//! registry. Drivers written against this trait — the distributed image
+//! search, the close-to-open schedule runner — run unchanged over both.
+
+use std::sync::Arc;
+
+use gpusim::Gpu;
+use hostfs::HostFs;
+
+use crate::cluster::fleet::GpuFleet;
+use crate::mount::GpuFsMount;
+
+/// A fleet of GPUfs mounts addressable by one global GPU index, sharing
+/// one (coherence-bearing) host file system. See module docs.
+pub trait FleetView {
+    /// Total GPUs addressable through this view.
+    fn len(&self) -> usize;
+
+    /// Whether the view holds no GPUs (builders reject this, so `false`
+    /// for both fleet types).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// GPU `g` (global index).
+    fn gpu(&self, g: usize) -> &Arc<Gpu>;
+
+    /// GPU `g`'s mount (global index).
+    fn mount(&self, g: usize) -> &Arc<GpuFsMount>;
+
+    /// The shared host file system — the storage-server view in a
+    /// cross-host fleet — carrying the consistency registry.
+    fn fs(&self) -> &Arc<HostFs>;
+}
+
+impl FleetView for GpuFleet {
+    fn len(&self) -> usize {
+        GpuFleet::len(self)
+    }
+
+    fn gpu(&self, g: usize) -> &Arc<Gpu> {
+        GpuFleet::gpu(self, g)
+    }
+
+    fn mount(&self, g: usize) -> &Arc<GpuFsMount> {
+        GpuFleet::mount(self, g)
+    }
+
+    fn fs(&self) -> &Arc<HostFs> {
+        GpuFleet::fs(self)
+    }
+}

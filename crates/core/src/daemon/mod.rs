@@ -42,6 +42,7 @@ use hostfs::HostFs;
 use simtime::{Clock, Counter};
 
 use crate::config::GpufsConfig;
+use crate::remote::HostProxy;
 use crate::rpc::RpcHub;
 
 /// Activity counters of the host daemon.
@@ -147,6 +148,13 @@ pub struct GpufsHost {
     worker_count: usize,
     io_chunk_pages: usize,
     io_depth: usize,
+    /// When set, this daemon is the host side of a cross-host fleet:
+    /// workers serve requests through the proxy's wire boundary
+    /// (`remote::client::serve`) instead of calling the file system
+    /// directly. `fs` then aliases the storage server's file system —
+    /// kept for mount probing, seeding, and auditing, exactly the
+    /// WRAPFS-device view the paper's consistency layer assumes.
+    proxy: Option<Arc<HostProxy>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -183,7 +191,30 @@ impl GpufsHost {
         Self::with_opts(fs, gpus, &config)
     }
 
+    /// Start a *proxy-backed* host daemon: every request is served over
+    /// `proxy`'s wire boundary against the remote [`StorageServer`]
+    /// (with the proxy's host-local page cache in front), never against
+    /// a local file system. [`GpufsHost::fs`] returns the server's file
+    /// system — the shared WRAPFS-device view mounts probe and audits
+    /// read.
+    ///
+    /// [`StorageServer`]: crate::remote::StorageServer
+    #[must_use]
+    pub fn with_proxy(proxy: Arc<HostProxy>, gpus: Vec<Arc<Gpu>>, config: &GpufsConfig) -> Self {
+        let fs = Arc::clone(proxy.server().fs());
+        Self::build(fs, gpus, config, Some(proxy))
+    }
+
     fn with_opts(fs: Arc<HostFs>, gpus: Vec<Arc<Gpu>>, config: &GpufsConfig) -> Self {
+        Self::build(fs, gpus, config, None)
+    }
+
+    fn build(
+        fs: Arc<HostFs>,
+        gpus: Vec<Arc<Gpu>>,
+        config: &GpufsConfig,
+        proxy: Option<Arc<HostProxy>>,
+    ) -> Self {
         let hub = Arc::new(RpcHub::with_tenancy(
             config.rpc_channels,
             config.num_tenants(),
@@ -208,11 +239,13 @@ impl GpufsHost {
                 let stats = Arc::clone(&stats);
                 let per_gpu = per_gpu_stats.clone();
                 let per_tenant = per_tenant_stats.clone();
+                let proxy = proxy.clone();
                 std::thread::Builder::new()
                     .name(format!("gpufs-worker-{w}"))
                     .spawn(move || {
                         worker_loop(
                             &fs,
+                            proxy.as_deref(),
                             &gpus,
                             &hub,
                             &stats,
@@ -241,6 +274,7 @@ impl GpufsHost {
             worker_count,
             io_chunk_pages,
             io_depth,
+            proxy,
             workers,
         }
     }
@@ -261,6 +295,13 @@ impl GpufsHost {
     #[must_use]
     pub fn hub(&self) -> &Arc<RpcHub> {
         &self.hub
+    }
+
+    /// The host proxy this daemon serves through, when it is the host
+    /// side of a cross-host fleet (`None` for a local daemon).
+    #[must_use]
+    pub fn proxy(&self) -> Option<&Arc<HostProxy>> {
+        self.proxy.as_ref()
     }
 
     /// Daemon activity counters (aggregated over the worker pool and
@@ -347,6 +388,7 @@ impl Drop for GpufsHost {
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     fs: &HostFs,
+    proxy: Option<&HostProxy>,
     gpus: &[Arc<Gpu>],
     hub: &RpcHub,
     stats: &DaemonStats,
@@ -372,16 +414,30 @@ fn worker_loop(
         // real worker count (requests drain in claim order regardless).
         let mut clock = Clock::starting_at(env.issue + timings.rpc_poll_ns);
         clock.advance(timings.rpc_dispatch_ns);
-        let (result, end) = handlers::serve(
-            fs,
-            gpus,
-            &stats,
-            &mut clock,
-            io_chunk_pages,
-            io_depth,
-            env.gpu,
-            &env.req,
-        );
+        let (result, end) = match proxy {
+            // Host side of a cross-host fleet: the same serve sequence,
+            // but through the proxy's wire boundary and host cache.
+            Some(p) => crate::remote::client::serve(
+                p,
+                gpus,
+                &stats,
+                &mut clock,
+                io_chunk_pages,
+                io_depth,
+                env.gpu,
+                &env.req,
+            ),
+            None => handlers::serve(
+                fs,
+                gpus,
+                &stats,
+                &mut clock,
+                io_chunk_pages,
+                io_depth,
+                env.gpu,
+                &env.req,
+            ),
+        };
         // Sends fail only if the caller vanished (e.g. a panicking test
         // threadblock); the daemon itself must keep serving others.
         let _ = env.tx.send((result, end));

@@ -41,8 +41,9 @@ use super::ServeStats;
 use crate::rpc::{PageRead, PageWrite, RespOk};
 
 /// Pages per chunk for a batch of `len` pages under the `io_chunk_pages`
-/// setting (`0` = the whole batch in one chunk, i.e. serialized).
-fn chunk_len(io_chunk_pages: usize, len: usize) -> usize {
+/// setting (`0` = the whole batch in one chunk, i.e. serialized). Shared
+/// with the remote mirror of this engine in `remote::client`.
+pub(crate) fn chunk_len(io_chunk_pages: usize, len: usize) -> usize {
     if io_chunk_pages == 0 {
         len.max(1)
     } else {

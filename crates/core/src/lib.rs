@@ -71,6 +71,7 @@ mod daemon;
 mod error;
 mod mount;
 mod ofile;
+pub mod remote;
 pub mod rpc;
 mod table;
 #[cfg(test)]
@@ -78,11 +79,12 @@ pub(crate) mod testrig;
 
 pub use api::{GFd, GMap, GStat};
 pub use cluster::{
-    CoherenceOp, DaemonTopology, FileCoherence, FleetBuilder, GpuFleet, ScheduleReport,
-    ShardStrategy, WorkItem, WorkQueue,
+    CoherenceOp, DaemonTopology, FileCoherence, FleetBuilder, FleetView, GpuFleet, HostFleet,
+    HostFleetBuilder, ScheduleReport, ShardStrategy, WorkItem, WorkQueue,
 };
 pub use config::{GOpenMode, GpufsConfig};
 pub use daemon::{DaemonStats, GpufsHost};
 pub use error::{GpufsError, GpufsResult};
 pub use mount::GpuFsMount;
+pub use remote::{HostCacheStats, HostPageCache, HostProxy, ServerStats, StorageServer, WireStats};
 pub use table::{GFile, Tables};

@@ -97,6 +97,11 @@ impl Lane for BlockCtx<'_> {
 /// One GPU's GPUfs instance (see module docs).
 pub struct GpuFsMount {
     pub(crate) gpu: Arc<Gpu>,
+    /// This mount's identity in the host consistency registry. Defaults
+    /// to the GPU id; cross-host fleets override it so two hosts' GPU 0s
+    /// register as distinct cachers (the GPU id stays positional — DMA
+    /// engines, stat sheets — while this is the coherence name).
+    pub(crate) coherence_id: usize,
     pub(crate) hub: Arc<RpcHub>,
     pub(crate) timings: Timings,
     pub(crate) config: GpufsConfig,
@@ -157,6 +162,18 @@ impl GpufsHost {
     /// [`GpufsHost::with_config`] (or matching
     /// [`GpufsHost::with_concurrency`] values) instead.
     pub fn mount(&self, gpu_id: usize, config: GpufsConfig) -> GpufsResult<Arc<GpuFsMount>> {
+        self.mount_with_coherence_id(gpu_id, config, gpu_id)
+    }
+
+    /// [`GpufsHost::mount`] with an explicit consistency-registry
+    /// identity. Cross-host fleets use this to keep every mount's
+    /// registration unique when positional GPU ids repeat per host.
+    pub(crate) fn mount_with_coherence_id(
+        &self,
+        gpu_id: usize,
+        config: GpufsConfig,
+        coherence_id: usize,
+    ) -> GpufsResult<Arc<GpuFsMount>> {
         if config.rpc_channels.max(1) != self.hub().num_channels()
             || config.daemon_workers.max(1) != self.daemon_workers()
             || config.io_chunk_pages != self.io_chunk_pages()
@@ -196,6 +213,7 @@ impl GpufsHost {
             timings: gpu.timings().clone(),
             hub: Arc::clone(self.hub()),
             gpu,
+            coherence_id,
             config,
             frames,
             tables: Tables::new(),
@@ -275,6 +293,13 @@ impl GpuFsMount {
     #[must_use]
     pub fn gpu(&self) -> &Arc<Gpu> {
         &self.gpu
+    }
+
+    /// This mount's identity in the host consistency registry (the GPU
+    /// id, unless a cross-host fleet assigned a globally unique one).
+    #[must_use]
+    pub fn coherence_id(&self) -> usize {
+        self.coherence_id
     }
 
     /// Issue one RPC to the host daemon on the calling threadblock's

@@ -75,7 +75,7 @@ impl GpuFsMount {
                         blk.advance(self.timings.rpc_complete_ns);
                         let cons = self.host_fs.consistency();
                         let current = cons.generation(ino);
-                        cons.registered_generation(ino, self.gpu.id()) == Some(current)
+                        cons.registered_generation(ino, self.coherence_id) == Some(current)
                             && parked.generation() == current
                     } else {
                         false
@@ -128,7 +128,7 @@ impl GpuFsMount {
                 self.tables.insert_open(Arc::clone(&parked));
                 self.host_fs
                     .consistency()
-                    .register_gpu_cache(ino, self.gpu.id(), generation);
+                    .register_gpu_cache(ino, self.coherence_id, generation);
                 return Ok(GFd { file: parked });
             }
             // Stale (or mode-incompatible) cached copy: drop it lazily,
@@ -159,7 +159,7 @@ impl GpuFsMount {
         // multi-GPU audits via `cachers`) see it.
         self.host_fs
             .consistency()
-            .register_gpu_cache(ino, self.gpu.id(), generation);
+            .register_gpu_cache(ino, self.coherence_id, generation);
         Ok(GFd { file })
     }
 
@@ -229,7 +229,7 @@ impl GpuFsMount {
                 )?;
                 self.host_fs.consistency().register_gpu_cache(
                     file.ino(),
-                    self.gpu.id(),
+                    self.coherence_id,
                     file.generation(),
                 );
             }

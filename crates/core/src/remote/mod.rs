@@ -1,0 +1,37 @@
+//! The cross-host storage tier: proxy/server split over a wire format.
+//!
+//! The paper's design puts a narrow RPC boundary between GPU file
+//! clients and the host daemon (§4.3); this module extends that boundary
+//! across hosts. The single-host daemon owned its `HostFs` directly —
+//! here that ownership moves behind an explicit, versioned,
+//! length-prefixed wire format:
+//!
+//! * [`proto`] — the hand-rolled frame encoding of the request/response
+//!   surface (no serde; rejected-never-panicked decoding).
+//! * [`StorageServer`] — sole owner of the shared [`hostfs::HostFs`] and
+//!   its close-to-open consistency registry; serves decoded frames
+//!   through the same operation sequences as `daemon/handlers.rs`.
+//! * [`HostProxy`] — the per-host gateway: serializes requests, moves
+//!   frames over a simulated network link (per-direction
+//!   [`simtime::BandwidthResource`] + fixed RTT, the PCIe model's
+//!   shape, calibrated by [`simtime::Timings::net_rtt_ns`] /
+//!   [`simtime::Timings::net_mb_s`]), and keeps the [`HostPageCache`] so
+//!   repeat faults across a host's GPUs never cross the network.
+//! * [`client`](self) — the proxy-backed daemon serve path (crate
+//!   internal), mirroring the local handlers + pipelined I/O engine
+//!   line for line with frames in place of file-system calls.
+//!
+//! Under [`simtime::Timings::without_net`] with the host cache disabled
+//! the whole tier is virtually-time-transparent: a proxy-backed fleet
+//! reproduces the local fleet's BENCH_scale numbers to four digits.
+
+pub(crate) mod cache;
+pub(crate) mod client;
+pub mod proto;
+pub(crate) mod proxy;
+pub(crate) mod server;
+
+pub use cache::{HostCacheStats, HostPageCache};
+pub use proto::{ProtoError, WireRequest, WireResponse};
+pub use proxy::{HostProxy, WireStats};
+pub use server::{ServerStats, StorageServer};

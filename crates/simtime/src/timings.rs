@@ -64,6 +64,19 @@ pub struct Timings {
     pub radix_lock_hold_ns: Nanos,
     /// Cost of one GPU kernel launch as seen from the host.
     pub kernel_launch_ns: Nanos,
+    /// Round-trip latency of one host↔storage-server network exchange
+    /// (request on the wire to response on the wire, excluding
+    /// serialization time, which the bandwidth terms cover). Modeled the
+    /// way PCIe setup cost is: a fixed per-exchange charge split evenly
+    /// across the two directions. Default approximates a switched
+    /// datacenter link (~30 µs RTT).
+    pub net_rtt_ns: Nanos,
+    /// Per-direction bandwidth of the host↔storage-server link, MB/s.
+    /// Default approximates 100 GbE payload throughput. As with every
+    /// other bandwidth knob, `0.0` means the transfer is free
+    /// ([`crate::bw_time_ns`] returns 0) — the exclusion convention
+    /// [`Timings::without_net`] relies on.
+    pub net_mb_s: f64,
 }
 
 impl Default for Timings {
@@ -87,6 +100,8 @@ impl Default for Timings {
             gpu_mem_latency_ns: 600,
             radix_lock_hold_ns: 60,
             kernel_launch_ns: 7_000,
+            net_rtt_ns: 30_000,
+            net_mb_s: 11_600.0,
         }
     }
 }
@@ -129,6 +144,20 @@ impl Timings {
     pub fn rpc_and_cache_only(&self) -> Self {
         self.without_dma().without_host_io()
     }
+
+    /// Copy with the host↔storage network made free: zero round-trip
+    /// latency and free transfers. A proxy-backed daemon under this copy
+    /// must time identically to a daemon holding the file system
+    /// directly — the equivalence `bench_dist` asserts against the
+    /// recorded BENCH_scale numbers.
+    #[must_use]
+    pub fn without_net(&self) -> Self {
+        Self {
+            net_rtt_ns: 0,
+            net_mb_s: 0.0,
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +194,13 @@ mod tests {
         // RPC and GPUfs software costs always remain.
         assert!(bare.rpc_poll_ns > 0);
         assert!(bare.gpufs_page_op_ns > 0);
+
+        let no_net = t.without_net();
+        assert_eq!(no_net.net_rtt_ns, 0);
+        assert_eq!(no_net.net_mb_s, 0.0);
+        // Everything host-local untouched.
+        assert_eq!(no_net.pcie_mb_s, t.pcie_mb_s);
+        assert_eq!(no_net.host_cached_mb_s, t.host_cached_mb_s);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Distributed image search across a [`GpuFleet`] (paper §6).
+//! Distributed image search across any [`FleetView`] (paper §6).
 //!
 //! The paper's headline multi-GPU experiment shards one shared set of
 //! image-database files across up to 8 GPUs, every GPU running its own
@@ -22,7 +22,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use gpufs::cluster::{GpuFleet, ShardStrategy, WorkQueue};
+use gpufs::cluster::{FleetView, ShardStrategy, WorkQueue};
 use gpufs::{GOpenMode, GpufsResult};
 use gpusim::Grid;
 use simtime::Nanos;
@@ -98,6 +98,10 @@ pub struct ClusterSearchOutcome {
 /// the fleet in chunks of `chunk_imgs` images, distribute them under
 /// `strategy`, and compare every database image against every query.
 ///
+/// Generic over [`FleetView`], so the same driver runs a single-host
+/// [`gpufs::GpuFleet`] or a cross-host [`gpufs::HostFleet`] — GPUs are
+/// named by the view's global index either way.
+///
 /// # Errors
 ///
 /// Propagates GPUfs errors raised inside any kernel.
@@ -106,7 +110,7 @@ pub struct ClusterSearchOutcome {
 ///
 /// Panics if the fleet is empty or `chunk_imgs` is zero.
 pub fn cluster_search(
-    fleet: &GpuFleet,
+    fleet: &impl FleetView,
     ds: &ImageDataset,
     threshold: f32,
     chunk_imgs: usize,
@@ -277,7 +281,7 @@ mod tests {
     use gpusim::GpuSpec;
     use hostfs::HostFs;
 
-    fn fleet(n: usize, fs: &Arc<HostFs>) -> GpuFleet {
+    fn fleet(n: usize, fs: &Arc<HostFs>) -> gpufs::cluster::GpuFleet {
         FleetBuilder::new(n)
             .spec(GpuSpec::small_test())
             .config(GpufsConfig::new(8 << 10, 2 << 20))

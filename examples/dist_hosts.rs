@@ -1,0 +1,159 @@
+//! Cross-host storage tier end to end: 2 hosts × 2 GPUs behind per-host
+//! proxies and host page caches, one storage server over a simulated
+//! LAN link.
+//!
+//! Builds an image corpus on the storage server, mounts a `HostFleet`
+//! (each host a `GpuFleet` whose daemon serves every request through
+//! its `HostProxy`'s wire frames), runs the exhaustive image search
+//! across all four GPUs with work stealing, and prints the per-host
+//! accounting the tier adds: the daemon request sheet, the host-cache
+//! hit/miss/insertion counters, and the wire-RPC frame/byte counters.
+//! A cross-host close-to-open schedule then publishes from one host and
+//! reopens on the other, with the fleet-level audit showing the
+//! host-qualified coherence ids.
+//!
+//! Measured (this configuration, 2×2, 64 KB pages, 30 µs RTT /
+//! 11.6 GB/s link, 512-page host caches, warm server page cache): the
+//! search scans 1.5 MB of databases in **1.15 ms** aggregate with 15
+//! steals; the hosts' proxies cross the wire **19 and 23 times** (832
+//! and 1024 KB down), their caches absorb the re-reads of the shared
+//! query file, and the two wire counters sum exactly to the server's
+//! 42 served frames. The closing schedule then shows two stale host-
+//! cache pages dropped lazily at reopen — never broadcast-invalidated.
+//!
+//! Run with: `cargo run --release --example dist_hosts`
+
+use gpufs::cluster::{CoherenceOp, HostFleet, ShardStrategy};
+use gpufs::GpufsConfig;
+use gpusim::GpuSpec;
+use workloads::cluster::cluster_search;
+use workloads::corpus::{gen_image_dataset, ImageDatasetConfig};
+
+const HOSTS: usize = 2;
+const GPUS_PER_HOST: usize = 2;
+
+fn main() {
+    let fleet = HostFleet::builder(HOSTS, GPUS_PER_HOST)
+        .spec(GpuSpec {
+            memory_bytes: 128 << 20,
+            ..GpuSpec::tesla_c2075()
+        })
+        .config(GpufsConfig::new(64 << 10, 32 << 20))
+        .host_cache_pages(512)
+        .build()
+        .expect("host fleet");
+    println!(
+        "{fleet:?}: one storage server, {} proxied links ({} ns RTT, {:.0} MB/s)",
+        fleet.num_hosts(),
+        fleet.proxy(0).timings().net_rtt_ns,
+        fleet.proxy(0).timings().net_mb_s,
+    );
+
+    // The corpus lives on the storage server; the GPUs only ever see it
+    // through their host's proxy.
+    let fs = fleet.fs();
+    let ds = gen_image_dataset(
+        fs,
+        &ImageDatasetConfig {
+            dir: "/imagedbs".into(),
+            db_sizes: vec![384; 4],
+            n_queries: 64,
+            dim: 256,
+            match_fraction: 0.5,
+            plant_in_first_db_prefix: false,
+            seed: 41,
+        },
+    );
+    for path in ds.db_paths.iter().chain([&ds.query_path]) {
+        let _ = fs.read_whole(path, 0).expect("warm server cache");
+    }
+    fs.reset_device_time();
+
+    let out = cluster_search(&fleet, &ds, 0.5, 16, ShardStrategy::WorkStealing).expect("search");
+    assert_eq!(
+        out.matches, ds.planted,
+        "the host split never changes results"
+    );
+    println!(
+        "\nsearch: {} queries x {} images, {:.2} ms aggregate, {} steals, {} KB scanned",
+        ds.n_queries,
+        ds.db_sizes.iter().sum::<usize>(),
+        out.elapsed as f64 / 1e6,
+        out.steals,
+        out.bytes_scanned >> 10,
+    );
+
+    // Per-host accounting: daemon sheet, host cache, wire link.
+    let mut frames_sum = 0;
+    for h in 0..HOSTS {
+        let d = fleet.host_stats(h);
+        let cache = fleet.proxy(h).cache().stats();
+        let wire = fleet.proxy(h).wire();
+        frames_sum += wire.wire_rpcs.get();
+        let looked_up = cache.hits.get() + cache.misses.get();
+        println!(
+            "\nhost{h} daemon: {:>3} requests, {:>4} KB H2D, {} KB D2H",
+            d.requests.get(),
+            d.bytes_h2d.get() >> 10,
+            d.bytes_d2h.get() >> 10,
+        );
+        println!(
+            "host{h} cache:  {:>3} hits / {:<3} misses (ratio {:.2}), {} insertions, {} resident",
+            cache.hits.get(),
+            cache.misses.get(),
+            if looked_up == 0 {
+                0.0
+            } else {
+                cache.hits.get() as f64 / looked_up as f64
+            },
+            cache.insertions.get(),
+            fleet.proxy(h).cache().len(),
+        );
+        println!(
+            "host{h} wire:   {:>3} round-trips, {:>4} KB up / {} KB down, {} write-back batches",
+            wire.wire_rpcs.get(),
+            wire.wire_req_bytes.get() >> 10,
+            wire.wire_resp_bytes.get() >> 10,
+            wire.writeback_batches.get(),
+        );
+    }
+    assert_eq!(
+        frames_sum,
+        fleet.server().stats().frames.get(),
+        "the proxies' round-trips must sum to the server's frame count"
+    );
+    println!(
+        "\nproxy round-trips sum to the server's frame count: {frames_sum} \
+         ({} KB read / {} KB written server-side)",
+        fleet.server().stats().bytes_read.get() >> 10,
+        fleet.server().stats().bytes_written.get() >> 10,
+    );
+
+    // Close-to-open across hosts: GPU 0 (host 0) publishes, GPU 3
+    // (host 1) must observe it on reopen through its own host cache.
+    let report = fleet
+        .run_close_to_open_schedule(
+            "/shared.cfg",
+            &[
+                CoherenceOp::WriteClose { gpu: 0, tag: 7 },
+                CoherenceOp::OpenCheck { gpu: 3 },
+                CoherenceOp::WriteClose { gpu: 3, tag: 9 },
+                CoherenceOp::OpenCheck { gpu: 0 },
+                CoherenceOp::OpenCheck { gpu: 1 },
+            ],
+        )
+        .expect("schedule");
+    assert!(report.mismatches.is_empty(), "close-to-open must hold");
+    let audit = fleet.audit_file("/shared.cfg").expect("audited");
+    println!(
+        "\ncross-host close-to-open: {} reopens checked, 0 violations; \
+         /shared.cfg at generation {} cached by coherence ids {:?}",
+        report.checks,
+        audit.generation,
+        audit.cachers.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+    );
+    let lazy: u64 = (0..HOSTS)
+        .map(|h| fleet.proxy(h).cache().stats().lazy_invalidations.get())
+        .sum();
+    println!("host caches invalidated lazily on reopen: {lazy} stale pages dropped");
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Record the cross-host storage-tier benchmark (M hosts × N GPUs behind
+# per-host proxies + host page caches over one storage server, with the
+# zero-net 1-host compat sweep against BENCH_scale) into BENCH_dist.json
+# (one JSON object per line, appended — the repo's perf trajectory).
+#
+# Usage: scripts/bench_dist.sh [OUT_PATH]   (default: BENCH_dist.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p gpufs_bench --bin dist_json -- "${1:-BENCH_dist.json}"

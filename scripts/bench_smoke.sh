@@ -42,6 +42,14 @@ grep -q '"speedup_max"' "$out_dir/scale.json"
 grep -q '"skew"' "$out_dir/scale.json"
 grep -q '"fleet1_fig4_compat"' "$out_dir/scale.json"
 
+echo "== dist_json (smoke: 2x2 host fleet) =="
+cargo run --release -q -p gpufs_bench --bin dist_json -- "$out_dir/dist.json"
+grep -q '"bench":"dist_image_search"' "$out_dir/dist.json"
+grep -q '"smoke":true' "$out_dir/dist.json"
+grep -q '"compat"' "$out_dir/dist.json"
+grep -q '"hit_ratio"' "$out_dir/dist.json"
+grep -q '"wire_rpcs"' "$out_dir/dist.json"
+
 echo "== tail_json (smoke) =="
 cargo run --release -q -p gpufs_bench --bin tail_json -- "$out_dir/tail.json"
 grep -q '"bench":"tail_multi_tenant"' "$out_dir/tail.json"

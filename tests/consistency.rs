@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use gpufs::cluster::{CoherenceOp, FleetBuilder};
+use gpufs::cluster::{CoherenceOp, FleetBuilder, HostFleet};
 use gpufs::{GOpenMode, GpufsConfig, GpufsHost};
 use gpusim::{Gpu, GpuSpec, Grid};
 use hostfs::{HostFs, HostFsConfig};
@@ -185,6 +185,80 @@ proptest! {
             for &(gpu, gen) in &file.cachers {
                 prop_assert!(gpu < k);
                 prop_assert!(gen <= file.generation);
+            }
+        }
+    }
+
+    /// The same close-to-open property *across hosts*: M×N GPUs behind
+    /// per-host proxies (warm host page caches, non-zero network link)
+    /// interleave open→write→close→reopen on one file served by a single
+    /// storage server. Every reopen must observe the latest closed tag
+    /// even when writer and reader sit on different hosts and the
+    /// reader's host cache still holds the stale generation — and any
+    /// invalidation the host caches perform must be *lazy*: entries die
+    /// only when a later-generation read touches them, never by
+    /// broadcast at publication time.
+    #[test]
+    fn cross_host_randomized_close_to_open_schedules(
+        hosts in 2usize..4,
+        gpus_per_host in 1usize..3,
+        cached in any::<bool>(),
+        steps in proptest::collection::vec((any::<bool>(), any::<prop::sample::Index>()), 6..20),
+    ) {
+        let fleet = HostFleet::builder(hosts, gpus_per_host)
+            .spec(GpuSpec::small_test())
+            .config(GpufsConfig::small_test())
+            .host_cache_pages(if cached { 64 } else { 0 })
+            .build()
+            .expect("host fleet");
+        let k = hosts * gpus_per_host;
+        let mut tag = 0u64;
+        let ops: Vec<CoherenceOp> = steps
+            .iter()
+            .map(|&(write, ref gpu)| {
+                let gpu = gpu.index(k);
+                if write {
+                    tag += 1;
+                    CoherenceOp::WriteClose { gpu, tag }
+                } else {
+                    CoherenceOp::OpenCheck { gpu }
+                }
+            })
+            .collect();
+        let report = fleet
+            .run_close_to_open_schedule("/prop_xhost", &ops)
+            .expect("schedule runs clean");
+        prop_assert_eq!(
+            report.checks,
+            ops.iter()
+                .filter(|op| matches!(op, CoherenceOp::OpenCheck { .. }))
+                .count()
+        );
+        prop_assert!(
+            report.mismatches.is_empty(),
+            "cross-host close-to-open violated: {:?} under schedule {:?}",
+            report.mismatches,
+            ops
+        );
+        // The registry tracks host-qualified coherence ids, never an id
+        // outside the fleet, never a generation from the future.
+        for file in fleet.coherence_audit() {
+            for &(cid, gen) in &file.cachers {
+                prop_assert!(cid < k);
+                prop_assert!(gen <= file.generation);
+            }
+        }
+        // Lazy, never eager: a host cache entry is only ever invalidated
+        // by a read that found it stale, so the lazy-invalidation count
+        // can never exceed the misses that re-fetched (every
+        // invalidation immediately becomes a miss). With the cache
+        // disabled nothing is ever counted at all.
+        for h in 0..hosts {
+            let stats = fleet.proxy(h).cache().stats();
+            if cached {
+                prop_assert!(stats.lazy_invalidations.get() <= stats.misses.get());
+            } else {
+                prop_assert_eq!(stats.hits.get() + stats.misses.get(), 0);
             }
         }
     }

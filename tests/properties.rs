@@ -299,6 +299,182 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Wire protocol: randomized round-trips and hostile-input rejection.
+// ---------------------------------------------------------------------
+
+use gpufs::remote::proto::{
+    decode_request, decode_response, encode_request, encode_response, ProtoError, VERSION,
+};
+use gpufs::remote::{WireRequest, WireResponse};
+use hostfs::FsError;
+
+/// The largest payload a single page can carry on the wire (one 64 KiB
+/// buffer-cache page).
+const MAX_WIRE_PAGE: usize = 64 << 10;
+
+/// Paths as they appear on the wire: arbitrary bytes squeezed into UTF-8
+/// (lossily), so decoded strings always round-trip byte-identically.
+fn wire_path() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..24)
+        .prop_map(|b| format!("/{}", String::from_utf8_lossy(&b)))
+}
+
+/// Page payloads: mostly small random buffers, with a full max-size
+/// (64 KiB) page on half the draws so every batch shape sees the
+/// largest frames the cache ever ships.
+fn wire_page_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..48),
+        any::<u8>().prop_map(|b| vec![b; MAX_WIRE_PAGE]),
+    ]
+}
+
+/// Every server-side error variant, with arbitrary diagnostic payloads.
+fn wire_fs_error() -> impl Strategy<Value = FsError> {
+    prop_oneof![
+        wire_path().prop_map(FsError::NotFound),
+        wire_path().prop_map(FsError::AlreadyExists),
+        wire_path().prop_map(FsError::IsADirectory),
+        wire_path().prop_map(FsError::NotADirectory),
+        wire_path().prop_map(FsError::DirectoryNotEmpty),
+        wire_path().prop_map(FsError::PermissionDenied),
+        any::<u64>().prop_map(FsError::BadDescriptor),
+        wire_path().prop_map(FsError::InvalidPath),
+        wire_path().prop_map(FsError::ImmutableFile),
+    ]
+}
+
+/// All eight request variants with randomized fields, including
+/// max-size page batches.
+fn wire_request() -> impl Strategy<Value = WireRequest> {
+    prop_oneof![
+        (wire_path(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+            |(path, write, create, truncate)| WireRequest::Open {
+                path,
+                write,
+                create,
+                truncate,
+            }
+        ),
+        any::<u64>().prop_map(|fd| WireRequest::Close { fd }),
+        (
+            any::<u64>(),
+            proptest::collection::vec((any::<u64>(), 0u32..(MAX_WIRE_PAGE as u32 + 1)), 0..9),
+        )
+            .prop_map(|(fd, pages)| WireRequest::ReadPages { fd, pages }),
+        (
+            any::<u64>(),
+            proptest::collection::vec((any::<u64>(), wire_page_bytes()), 0..5),
+        )
+            .prop_map(|(fd, extents)| WireRequest::WritePages { fd, extents }),
+        any::<u64>().prop_map(|fd| WireRequest::Fsync { fd }),
+        wire_path().prop_map(|path| WireRequest::Unlink { path }),
+        (any::<u64>(), any::<u64>()).prop_map(|(fd, size)| WireRequest::Truncate { fd, size }),
+        wire_path().prop_map(|path| WireRequest::Stat { path }),
+    ]
+}
+
+/// All six response variants, including every [`FsError`] and max-size
+/// read payloads.
+fn wire_response() -> impl Strategy<Value = WireResponse> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(fd, ino, size, generation)| WireResponse::Opened {
+                fd,
+                ino,
+                size,
+                generation,
+            }
+        ),
+        proptest::collection::vec(wire_page_bytes(), 0..5)
+            .prop_map(|pages| WireResponse::Read { pages }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(n, generation)| WireResponse::Wrote { n, generation }),
+        (any::<u64>(), any::<u64>(), any::<bool>(), any::<u64>()).prop_map(
+            |(ino, size, writable, generation)| WireResponse::Stat {
+                ino,
+                size,
+                writable,
+                generation,
+            }
+        ),
+        (0u32..1).prop_map(|_| WireResponse::Done),
+        wire_fs_error().prop_map(WireResponse::Err),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_requests_round_trip(req in wire_request()) {
+        let frame = encode_request(&req);
+        prop_assert_eq!(decode_request(&frame), Ok(req));
+    }
+
+    #[test]
+    fn wire_responses_round_trip(resp in wire_response()) {
+        let frame = encode_response(&resp);
+        prop_assert_eq!(decode_response(&frame), Ok(resp));
+    }
+
+    /// Any strict prefix of a well-formed frame is rejected — the decoder
+    /// returns an error, it never panics or invents a value.
+    #[test]
+    fn truncated_wire_frames_reject(
+        req in wire_request(),
+        resp in wire_response(),
+        cut in any::<prop::sample::Index>()
+    ) {
+        let frame = encode_request(&req);
+        prop_assert!(decode_request(&frame[..cut.index(frame.len())]).is_err());
+        let frame = encode_response(&resp);
+        prop_assert!(decode_response(&frame[..cut.index(frame.len())]).is_err());
+    }
+
+    /// Flipping any single byte never panics the decoder: it either
+    /// rejects the frame or yields a value that is itself well-formed
+    /// (re-encodes to a decodable frame). Flips inside payload bytes may
+    /// legitimately decode to a *different* value; flips that break the
+    /// structure must come back as errors, not panics.
+    #[test]
+    fn corrupted_wire_frames_reject_or_stay_well_formed(
+        req in wire_request(),
+        resp in wire_response(),
+        at in any::<prop::sample::Index>(),
+        bit in 0u32..8
+    ) {
+        let mut frame = encode_request(&req);
+        let i = at.index(frame.len());
+        frame[i] ^= 1 << bit;
+        if let Ok(decoded) = decode_request(&frame) {
+            let regenerated = encode_request(&decoded);
+            prop_assert_eq!(decode_request(&regenerated), Ok(decoded));
+        }
+        let mut frame = encode_response(&resp);
+        let i = at.index(frame.len());
+        frame[i] ^= 1 << bit;
+        if let Ok(decoded) = decode_response(&frame) {
+            let regenerated = encode_response(&decoded);
+            prop_assert_eq!(decode_response(&regenerated), Ok(decoded));
+        }
+    }
+
+    /// Every version other than the one this build speaks is rejected
+    /// with `BadVersion` carrying the offending version.
+    #[test]
+    fn version_mismatched_wire_frames_reject(req in wire_request(), version in any::<u16>()) {
+        let mut frame = encode_request(&req);
+        frame[4..6].copy_from_slice(&version.to_le_bytes());
+        if version == VERSION {
+            prop_assert_eq!(decode_request(&frame), Ok(req));
+        } else {
+            prop_assert_eq!(decode_request(&frame), Err(ProtoError::BadVersion(version)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Paging-layer invariants: the lock-free pin protocol against a model.
 // ---------------------------------------------------------------------
 

@@ -11,6 +11,7 @@ use std::process::Command;
 
 const EXAMPLES: &[&str] = &[
     "cluster_search",
+    "dist_hosts",
     "grep_search",
     "image_search",
     "matvec_oom",
@@ -35,6 +36,7 @@ const BENCHES: &[&str] = &[
 
 /// Tooling binaries (perf-trajectory recorders driven by `scripts/`).
 const BINS: &[&str] = &[
+    "dist_json",
     "fig4_json",
     "fig5_json",
     "fig7_json",

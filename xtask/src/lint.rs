@@ -1,7 +1,8 @@
 //! The `xtask lint` pass: source-level workspace invariants.
 //!
-//! Five rules, all motivated by the lockcheck layer and the repo's
-//! concurrency-bug history (see ISSUE 6 / ARCHITECTURE.md):
+//! Six rules, motivated by the lockcheck layer, the repo's
+//! concurrency-bug history (see ISSUE 6 / ARCHITECTURE.md), and the
+//! cross-host storage tier's layering:
 //!
 //! * **`std-sync`** — no direct `std::sync::{Mutex, RwLock, Condvar}`
 //!   anywhere under `crates/`: every lock must go through the
@@ -24,6 +25,12 @@
 //!   a convenient slow-path lock quietly reintroduces the Figure-7
 //!   convoy. The fpage seqlock (`fp.lock()`) is part of the protocol
 //!   and does not trip this rule.
+//! * **`proxy-hostfs`** — no `HostFs` token in the non-test host-proxy
+//!   code ([`PROXY_NO_HOSTFS`]: the proxy, its page cache, and the
+//!   proxy-backed serve path): everything the proxy learns about server
+//!   state must arrive through the wire protocol, or the cross-host
+//!   split silently degenerates to shared-memory peeking and the
+//!   zero-net transparency test stops proving anything.
 //!
 //! A finding is fixed or waived, never ignored: waivers are inline
 //! `// lint:allow <rule> -- <reason>` comments on the offending line or
@@ -60,6 +67,17 @@ const UNWRAP_SCOPE: &[&str] = &[
 /// measured justification.
 const HOT_LOCKFREE: &[&str] = &["crates/core/src/cache/paging.rs"];
 
+/// Files on the host side of the wire (the `proxy-hostfs` rule): the
+/// proxy, its page cache, and the proxy-backed serve path. None of them
+/// may name `HostFs` — the storage server is the sole owner of the file
+/// system, and the proxy talks to it only in frames. Reaching around the
+/// wire here would un-split the tier while every test keeps passing.
+const PROXY_NO_HOSTFS: &[&str] = &[
+    "crates/core/src/remote/proxy.rs",
+    "crates/core/src/remote/cache.rs",
+    "crates/core/src/remote/client.rs",
+];
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Rule {
     StdSync,
@@ -67,6 +85,7 @@ enum Rule {
     Sleep,
     UnsafeSafety,
     HotMutex,
+    ProxyHostFs,
 }
 
 impl Rule {
@@ -77,6 +96,7 @@ impl Rule {
             Rule::Sleep => "sleep",
             Rule::UnsafeSafety => "unsafe-safety",
             Rule::HotMutex => "hot-mutex",
+            Rule::ProxyHostFs => "proxy-hostfs",
         }
     }
 }
@@ -154,6 +174,10 @@ xtask lint rules:
   hot-mutex      no Mutex/RwLock/parking_lot:: in the lock-free page-lookup
                  hot path (crates/core/src/cache/paging.rs) — the fpage
                  seqlock is the only sanctioned lock there
+  proxy-hostfs   no HostFs token in non-test host-proxy code
+                 (crates/core/src/remote/{proxy,cache,client}.rs) — the
+                 proxy reaches the storage server only through the wire
+                 protocol, never by touching the file system directly
 waive a finding inline: // lint:allow <rule> -- <reason>   (reason required)
 ";
 
@@ -193,6 +217,7 @@ fn lint_file(rel: &str, text: &str) -> Vec<Finding> {
     let unwrap_scoped = UNWRAP_SCOPE.iter().any(|p| rel.starts_with(p));
     let sleep_allowed = SLEEP_ALLOWED.contains(&rel);
     let hot_lockfree = HOT_LOCKFREE.contains(&rel);
+    let proxy_no_hostfs = PROXY_NO_HOSTFS.contains(&rel);
     let mut findings = Vec::new();
     for (i, code_line) in code.iter().enumerate() {
         let lineno = i + 1;
@@ -256,6 +281,14 @@ fn lint_file(rel: &str, text: &str) -> Vec<Finding> {
                     ),
                 );
             }
+        }
+        if proxy_no_hostfs && has_word(code_line, "HostFs") {
+            report(
+                Rule::ProxyHostFs,
+                "HostFs touched from host-proxy code; the proxy must reach \
+                 the storage server only through the wire protocol"
+                    .into(),
+            );
         }
     }
     findings
@@ -694,6 +727,51 @@ pub unsafe fn slice(&self) -> &[u8] { todo!() }
         let reasonless = "// lint:allow hot-mutex\nuse parking_lot::Mutex;\n";
         assert_eq!(
             lint_file("crates/core/src/cache/paging.rs", reasonless).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn proxy_hostfs_rule_keeps_the_proxy_behind_the_wire() {
+        // Any `HostFs` token in the scoped files fires, once per line.
+        let text = "use hostfs::HostFs;\nfn f(fs: &HostFs) {}\n";
+        for file in [
+            "crates/core/src/remote/proxy.rs",
+            "crates/core/src/remote/cache.rs",
+            "crates/core/src/remote/client.rs",
+        ] {
+            let f = lint_file(file, text);
+            assert_eq!(f.len(), 2, "{file}: both lines flagged: {f:?}");
+            assert!(f.iter().all(|x| x.rule.name() == "proxy-hostfs"));
+        }
+        // The server and the rest of the tree own the file system.
+        assert!(lint_file("crates/core/src/remote/server.rs", text).is_empty());
+        assert!(lint_file("crates/core/src/daemon/mod.rs", text).is_empty());
+        // Word boundaries: config/descriptor types carrying the prefix
+        // are not the file system.
+        assert!(lint_file(
+            "crates/core/src/remote/proxy.rs",
+            "use hostfs::{FsError, HostFsConfig};\nlet fd: HostFd = 0;\n",
+        )
+        .is_empty());
+        // Test fixtures may build a server-side fs directly.
+        assert!(lint_file(
+            "crates/core/src/remote/proxy.rs",
+            "#[cfg(test)]\nmod tests {\n    use hostfs::HostFs;\n}\n",
+        )
+        .is_empty());
+        // Comments and docs don't trip the stripper-fed check.
+        assert!(lint_file(
+            "crates/core/src/remote/proxy.rs",
+            "/// Mirrors `HostFs::reset_device_time`.\nfn f() {}\n",
+        )
+        .is_empty());
+        // Waivers need a reason, as everywhere.
+        let waived = "// lint:allow proxy-hostfs -- bootstrap only: handing the Arc to the server\nuse hostfs::HostFs;\n";
+        assert!(lint_file("crates/core/src/remote/proxy.rs", waived).is_empty());
+        let reasonless = "// lint:allow proxy-hostfs\nuse hostfs::HostFs;\n";
+        assert_eq!(
+            lint_file("crates/core/src/remote/proxy.rs", reasonless).len(),
             1
         );
     }
