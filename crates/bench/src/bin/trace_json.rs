@@ -1,0 +1,251 @@
+//! Append one fault-path latency-breakdown record to `BENCH_trace.json`
+//! (JSONL: one JSON object per line), measured from the span tracer
+//! rather than from counters — the record is the causal tree of the
+//! Figure-4 sequential read, collapsed into per-stage virtual time.
+//!
+//! Run from the repository root (or anywhere — the output path can be
+//! overridden; an optional second argument also dumps the raw Chrome
+//! trace-event JSON for loading into Perfetto):
+//!
+//! ```text
+//! cargo run --release -p gpufs_bench --bin trace_json [OUT_PATH] [CHROME_OUT]
+//! ```
+//!
+//! The workload is the Figure-4 geometry at the 64 KB reference point
+//! (28 threadblocks, sequential `gmmap` walk, readahead 8) with tracing
+//! enabled. Every span of every trace is partitioned into elementary
+//! intervals attributed to the *deepest* covering span, so the stage
+//! sums reconcile with the end-to-end root time exactly — asserted here
+//! to within 1%, per-record. The exported Chrome trace JSON is also
+//! validated (well-formed, > 0 events, per-trace monotone timestamps),
+//! which is what the `trace-smoke` CI job leans on.
+//!
+//! Set `GPUFS_BENCH_SMOKE=1` for a tiny-scale smoke run — used by CI to
+//! keep this bin from rotting; smoke records should be written to a
+//! scratch path, never to the repo's BENCH file.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use gpufs::{GOpenMode, GpufsConfig};
+use gpufs_bench::{rig_cfg, SCALE};
+use gpusim::Grid;
+use obs::SpanRecord;
+use simtime::Timings;
+
+/// Paper file: 1.8 GB, scaled like the bench target.
+const FILE_BYTES: u64 = (1800 << 20) / SCALE;
+/// The Figure-4 reference page size.
+const PAGE: usize = 64 << 10;
+/// Readahead window: the paper's batched configuration, so the trace
+/// shows batched `ReadPages` RPCs with pipelined pread/DMA chunks.
+const WINDOW: usize = 8;
+
+fn git_head() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Whether the working tree differs from HEAD — recorded so a
+/// measurement of uncommitted code is never mistaken for the revision
+/// it happens to sit on.
+fn git_dirty() -> bool {
+    Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_none_or(|o| !o.stdout.is_empty())
+}
+
+/// Run the Figure-4 walk with tracing on; return the drained spans.
+fn traced_fig4_run(file_bytes: u64) -> Vec<SpanRecord> {
+    let t = Timings::default();
+    let cache = (file_bytes as usize + 16 * PAGE).next_power_of_two();
+    let cfg = GpufsConfig::new(PAGE, cache).with_readahead(WINDOW);
+    let r = rig_cfg(1, cache + (64 << 20), 8 << 30, &t, &cfg);
+    r.fs.create_synthetic("/seq.bin", file_bytes, 4).unwrap();
+    let _ = r.fs.read_whole("/seq.bin", 0).unwrap();
+    r.fs.reset_device_time();
+    let mount = r.host.mount(0, cfg).unwrap();
+    r.host.set_tracing(true);
+    let blocks = r.gpus[0].spec().concurrent_blocks(); // 28, as in the paper
+    let per_block = file_bytes / blocks as u64;
+    let mnt = Arc::clone(&mount);
+    r.gpus[0].launch(Grid::new(blocks, 256), 0, move |blk| {
+        let fd = mnt.open(blk, "/seq.bin", GOpenMode::ReadOnly).unwrap();
+        let base = blk.block_id() as u64 * per_block;
+        let mut off = 0u64;
+        while off < per_block {
+            let map = mnt.mmap(blk, &fd, base + off, PAGE).unwrap();
+            let got = map.len() as u64;
+            mnt.munmap(blk, map);
+            off += got;
+        }
+        mnt.close(blk, fd).unwrap();
+    });
+    r.host.tracer().snapshot()
+}
+
+/// Collapse one trace's spans into per-stage time: the root's interval
+/// is cut at every span boundary, and each elementary slice is charged
+/// to the *deepest* covering span (ties: the later-starting, then the
+/// higher-id span). Slices no child covers are charged to `"other"` —
+/// by construction the stage sums equal the root's duration exactly.
+fn charge_trace(spans: &[SpanRecord], stage_ns: &mut HashMap<&'static str, u64>) -> u64 {
+    let Some(root) = spans.iter().find(|s| s.parent == 0) else {
+        return 0;
+    };
+    // Depth of each span (root = 0) via its parent chain.
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.span, s)).collect();
+    let depth = |s: &SpanRecord| {
+        let (mut d, mut p) = (0u32, s.parent);
+        while p != 0 {
+            d += 1;
+            p = by_id.get(&p).map_or(0, |up| up.parent);
+        }
+        d
+    };
+    let mut cuts: Vec<u64> = spans
+        .iter()
+        .flat_map(|s| [s.start, s.end])
+        .map(|t| t.clamp(root.start, root.end))
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        // The deepest span covering this whole slice.
+        let deepest = spans
+            .iter()
+            .filter(|s| s.start <= a && s.end >= b)
+            .max_by_key(|s| (depth(s), s.start, s.span))
+            .expect("the root covers every slice");
+        let stage = if deepest.span == root.span {
+            "other"
+        } else {
+            deepest.name
+        };
+        *stage_ns.entry(stage).or_default() += b - a;
+    }
+    root.end - root.start
+}
+
+/// Validate the Chrome trace-event export the way the `trace-smoke` CI
+/// job needs it: well-formed envelope, > 0 complete events, and `ts`
+/// monotone non-decreasing within each `tid` (one tid per trace).
+fn validate_chrome_json(json: &str, expect_events: usize) {
+    assert!(
+        json.starts_with("{\"traceEvents\":[") && json.ends_with("]}"),
+        "chrome trace envelope malformed"
+    );
+    let events: Vec<&str> = json.matches("\"ph\":\"X\"").collect();
+    assert!(!events.is_empty(), "chrome trace exported zero events");
+    assert_eq!(events.len(), expect_events, "one event per span");
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    for ev in json[len_of_envelope()..].split("},{") {
+        let field = |key: &str| -> &str {
+            let at = ev.find(key).map(|i| i + key.len()).unwrap_or_else(|| {
+                panic!("event missing {key}: {ev}");
+            });
+            ev[at..].split([',', '}']).next().unwrap()
+        };
+        let ts: f64 = field("\"ts\":").parse().expect("numeric ts");
+        let tid: u64 = field("\"tid\":").parse().expect("numeric tid");
+        if let Some(prev) = last_ts.insert(tid, ts) {
+            assert!(prev <= ts, "ts regressed within tid {tid}: {prev} > {ts}");
+        }
+    }
+}
+
+/// Byte offset of the first event object in the export envelope.
+const fn len_of_envelope() -> usize {
+    "{\"traceEvents\":[".len()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_trace.json".to_owned());
+    let chrome_out = std::env::args().nth(2);
+    let smoke = std::env::var("GPUFS_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let file_bytes = if smoke { FILE_BYTES / 16 } else { FILE_BYTES };
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let spans = traced_fig4_run(file_bytes);
+    assert!(!spans.is_empty(), "tracing produced no spans");
+
+    // Group by trace, then collapse each causal tree into stage time.
+    let mut traces: HashMap<u64, Vec<SpanRecord>> = HashMap::new();
+    for s in &spans {
+        traces.entry(s.trace).or_default().push(s.clone());
+    }
+    let mut stage_ns: HashMap<&'static str, u64> = HashMap::new();
+    let mut end_to_end_ns = 0u64;
+    for tree in traces.values() {
+        end_to_end_ns += charge_trace(tree, &mut stage_ns);
+    }
+    let stage_sum: u64 = stage_ns.values().sum();
+    let recon_err_pct = if end_to_end_ns == 0 {
+        0.0
+    } else {
+        (stage_sum as f64 - end_to_end_ns as f64).abs() / end_to_end_ns as f64 * 100.0
+    };
+    assert!(
+        recon_err_pct <= 1.0,
+        "stage sum {stage_sum} ns vs end-to-end {end_to_end_ns} ns: {recon_err_pct:.3}% off"
+    );
+
+    // Validate the Perfetto-loadable export (and optionally dump it).
+    let chrome = obs::chrome_trace_json(&spans);
+    validate_chrome_json(&chrome, spans.len());
+    if let Some(path) = chrome_out {
+        std::fs::write(&path, &chrome).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("chrome trace written to {path}");
+    }
+
+    let mut stages: Vec<(&str, u64)> = stage_ns.into_iter().collect();
+    stages.sort_by_key(|&(name, ns)| (std::cmp::Reverse(ns), name));
+    for &(name, ns) in &stages {
+        eprintln!(
+            "{name:>16}: {:>10.3} ms ({:>5.1}%)",
+            ns as f64 / 1e6,
+            ns as f64 / end_to_end_ns as f64 * 100.0
+        );
+    }
+    let breakdown: Vec<String> = stages
+        .iter()
+        .map(|&(name, ns)| format!("{{\"stage\":\"{name}\",\"ns\":{ns}}}"))
+        .collect();
+    let record = format!(
+        "{{\"bench\":\"trace_fault_path\",\"unix_time\":{unix_time},\"git\":\"{}\",\
+         \"dirty\":{},\"scale\":{SCALE},\"file_bytes\":{file_bytes},\"smoke\":{smoke},\
+         \"page\":{PAGE},\"window\":{WINDOW},\"traces\":{},\"spans\":{},\
+         \"end_to_end_ns\":{end_to_end_ns},\"stage_sum_ns\":{stage_sum},\
+         \"recon_err_pct\":{recon_err_pct:.4},\"breakdown\":[{}]}}",
+        git_head(),
+        git_dirty(),
+        traces.len(),
+        spans.len(),
+        breakdown.join(",")
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .unwrap_or_else(|e| panic!("cannot open {out_path}: {e}"));
+    writeln!(f, "{record}").expect("write record");
+    println!("{record}");
+    eprintln!("appended to {out_path}");
+}

@@ -160,6 +160,11 @@ impl GpuFsMount {
             return Ok(0);
         }
         let want = dst.len().min((size - offset) as usize);
+        // Trace root: every stage this call causes — pin misses, RPCs,
+        // daemon chunks, wire hops — nests under this span. Errors drop
+        // the guard without emitting.
+        let root = self.tracer.root("gread");
+        let t_entry = blk.now();
         let ps = self.config.page_size as u64;
         // With readahead off the stream table is dead weight: skip it so
         // window 1 is bit-for-bit the paper's on-demand paging hot path.
@@ -189,6 +194,11 @@ impl GpuFsMount {
             );
             done += n;
         }
+        root.finish_attrs(
+            t_entry,
+            blk.now(),
+            &[("offset", offset), ("bytes", done as u64)],
+        );
         Ok(done)
     }
 
@@ -212,6 +222,8 @@ impl GpuFsMount {
         if !file.mode().writable() {
             return Err(GpufsError::ReadOnly(file.path().to_owned()));
         }
+        let root = self.tracer.root("gwrite");
+        let t_entry = blk.now();
         // Async write-back throttle: above the high watermark, stall
         // until the background flusher drains the cache to the low one
         // (checked once per call — a single gwrite spans few pages).
@@ -239,6 +251,11 @@ impl GpuFsMount {
         }
         file.grow_to(offset + src.len() as u64);
         blk.threadfence_system();
+        root.finish_attrs(
+            t_entry,
+            blk.now(),
+            &[("offset", offset), ("bytes", done as u64)],
+        );
         Ok(done)
     }
 
@@ -271,6 +288,10 @@ impl GpuFsMount {
         if len == 0 || offset >= size {
             return Err(GpufsError::EmptyMapping);
         }
+        // Trace root: like gread, every fault this mapping triggers —
+        // pin misses, RPCs, daemon chunks, wire hops — nests under it.
+        let root = self.tracer.root("gmmap");
+        let t_entry = blk.now();
         let ps = self.config.page_size as u64;
         let (page_idx, in_page) = (offset / ps, (offset % ps) as usize);
         let avail = (self.config.page_size - in_page)
@@ -284,6 +305,11 @@ impl GpuFsMount {
             1
         };
         let pin = self.pin_page_windowed(blk, file, page_idx, window, page_idx)?;
+        root.finish_attrs(
+            t_entry,
+            blk.now(),
+            &[("offset", offset), ("bytes", avail as u64)],
+        );
         let frame_base = self.frames.frame_ptr(pin.frame());
         let ptr = frame_base + in_page;
         // The single-page contract of `GMap` (see its docs): the mapped
@@ -357,12 +383,16 @@ impl GpuFsMount {
         if !file.mode().syncs_to_host() {
             return Ok(()); // read-only and O_NOSYNC files have nothing to sync
         }
+        let root = self.tracer.root("gfsync");
+        let t_entry = blk.now();
         if self.config.dirty_high_pages == 0 {
             // Synchronous write-back: one pass, the paper prototype's
             // semantics (and virtual times) exactly. Every in-flight
             // batch belongs to some foreground caller who awaits its own
             // RPC, so there is no invisible shipment to drain.
-            return self.flush_dirty(blk, file).map(|_| ());
+            self.flush_dirty(blk, file)?;
+            root.finish(t_entry, blk.now());
+            return Ok(());
         }
         loop {
             let found = self.flush_dirty(blk, file)?;
@@ -379,6 +409,7 @@ impl GpuFsMount {
             }
         }
         blk.wait_until(file.flush_horizon());
+        root.finish(t_entry, blk.now());
         Ok(())
     }
 

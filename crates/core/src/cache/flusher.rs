@@ -142,6 +142,10 @@ fn flush_pass(m: &GpuFsMount, stop: &AtomicBool) {
     let mut lane = FlusherLane {
         clock: Clock::starting_at(m.virtual_frontier.load(Ordering::Acquire)),
     };
+    // Each flusher pass is its own trace root: its WritePages RPCs and
+    // their daemon spans nest here, not under any threadblock's trace.
+    let root = m.tracer.root("flush_pass");
+    let t_entry = lane.now();
     for file in m.tables.syncable_files() {
         if stop.load(Ordering::Acquire) {
             break;
@@ -159,6 +163,7 @@ fn flush_pass(m: &GpuFsMount, stop: &AtomicBool) {
         // virtual instant.
         m.dirty.flush_vtime.fetch_max(lane.now(), Ordering::AcqRel);
     }
+    root.finish(t_entry, lane.now());
 }
 
 impl GpuFsMount {

@@ -14,7 +14,7 @@ pub use diff::{diff_extents, extent_bytes, nonzero_extents, Extents};
 pub use frames::{FrameArena, FrameIdx, PFrame, NO_FRAME};
 pub use radix::{FPage, PageState, RadixTree, Snapshot, FANOUT, MAX_PAGES, TREE_LEVELS};
 
-use simtime::Counter;
+use obs::{Counter, Labels, Registry};
 
 /// Buffer-cache activity counters.
 ///
@@ -92,6 +92,58 @@ impl CacheCounters {
         self.pages_per_write_rpc.take();
         self.flusher_passes.take();
         self.throttle_stalls.take();
+    }
+
+    /// A read-only sum view over `parts`: each field aggregates the
+    /// matching field of every part. This is how the mount's aggregate
+    /// sheet is built from its per-tenant leaves — one write path, no
+    /// second copy to drift.
+    #[must_use]
+    pub fn sum_of(parts: &[&CacheCounters]) -> Self {
+        let field = |f: fn(&CacheCounters) -> &Counter| Counter::sum(parts.iter().map(|p| f(p)));
+        Self {
+            lockfree_accesses: field(|c| &c.lockfree_accesses),
+            locked_accesses: field(|c| &c.locked_accesses),
+            pages_reclaimed: field(|c| &c.pages_reclaimed),
+            hits: field(|c| &c.hits),
+            misses: field(|c| &c.misses),
+            writebacks: field(|c| &c.writebacks),
+            readahead_hits: field(|c| &c.readahead_hits),
+            read_rpcs: field(|c| &c.read_rpcs),
+            batched_rpcs: field(|c| &c.batched_rpcs),
+            pages_per_rpc: field(|c| &c.pages_per_rpc),
+            write_rpcs: field(|c| &c.write_rpcs),
+            pages_per_write_rpc: field(|c| &c.pages_per_write_rpc),
+            flusher_passes: field(|c| &c.flusher_passes),
+            throttle_stalls: field(|c| &c.throttle_stalls),
+        }
+    }
+
+    /// Register every field with `registry` under `labels`, prefixed
+    /// `cache_` (the same cells — the registry adds names, not copies).
+    pub fn register(&self, registry: &Registry, labels: Labels) {
+        for (name, counter) in self.fields() {
+            registry.register(name, labels, counter);
+        }
+    }
+
+    fn fields(&self) -> [(&'static str, &Counter); 14] {
+        [
+            ("cache_lockfree_accesses", &self.lockfree_accesses),
+            ("cache_locked_accesses", &self.locked_accesses),
+            ("cache_pages_reclaimed", &self.pages_reclaimed),
+            ("cache_hits", &self.hits),
+            ("cache_misses", &self.misses),
+            ("cache_writebacks", &self.writebacks),
+            ("cache_readahead_hits", &self.readahead_hits),
+            ("cache_read_rpcs", &self.read_rpcs),
+            ("cache_batched_rpcs", &self.batched_rpcs),
+            ("cache_pages_per_rpc", &self.pages_per_rpc),
+            ("cache_write_rpcs", &self.write_rpcs),
+            ("cache_pages_per_write_rpc", &self.pages_per_write_rpc),
+            ("cache_flusher_passes", &self.flusher_passes),
+            ("cache_throttle_stalls", &self.throttle_stalls),
+        ]
     }
 
     /// Every counter as a `(name, value)` row — the one list tests and

@@ -375,6 +375,10 @@ impl GpuFsMount {
             // accounting.
             c.locked_accesses.incr();
         });
+        // The fault-in span: frame allocation, the ReadPages round-trip
+        // (or zero-fill), and page publication all nest under it.
+        let sp = obs::span("pin_miss");
+        let t_miss = blk.now();
         let fetch = self.page_fetches(file, page_idx);
         // A fetched read-write page needs its pristine frame too; the two
         // are allocated as an atomic pair (see `alloc_frame_pair` for the
@@ -494,6 +498,7 @@ impl GpuFsMount {
             fp.unlock();
             blk.advance(self.timings.gpufs_page_op_ns);
         }
+        sp.finish_attrs(t_miss, blk.now(), &[("page", page_idx)]);
         Ok(PagePin::new(Arc::clone(file), fp, frame))
     }
 

@@ -399,11 +399,28 @@ mod tests {
         use crate::config::GOpenMode;
         use gpusim::Grid;
 
-        let hf = small(2, 2, 16);
+        // The full fleets-of-fleets matrix: 4 hosts × 8 GPUs × 2
+        // tenants. Every rollup anyone reads — per-cell, per-GPU,
+        // per-tenant, per-host, fleet-wide — must reconcile counter by
+        // counter, because they are all sum views over the same
+        // (gpu, tenant) leaf sheets.
+        const HOSTS: usize = 4;
+        const GPUS: usize = 8;
+        let hf = HostFleet::builder(HOSTS, GPUS)
+            .spec(GpuSpec::small_test())
+            .config(GpufsConfig::small_test().with_tenant_weights(vec![2, 1]))
+            .host_cache_pages(16)
+            .build()
+            .unwrap();
         hf.fs().create("/sum", &vec![7u8; 32 << 10]).unwrap();
-        for g in 0..4 {
+        for g in 0..HOSTS * GPUS {
             let mount = Arc::clone(FleetView::mount(&hf, g));
-            FleetView::gpu(&hf, g).launch(Grid::new(1, 32), 0, move |blk| {
+            // Odd blocks run as tenant 1, so both breakdown columns see
+            // traffic on every GPU (the lane is the block id).
+            for slot in 0..4 {
+                mount.set_tenant(slot, slot % 2);
+            }
+            FleetView::gpu(&hf, g).launch(Grid::new(4, 8), 0, move |blk| {
                 let fd = mount.open(blk, "/sum", GOpenMode::ReadOnly).unwrap();
                 let mut buf = [0u8; 4096];
                 mount.read(blk, &fd, 0, &mut buf).unwrap();
@@ -411,30 +428,48 @@ mod tests {
                 mount.close(blk, fd).unwrap();
             });
         }
-        // Daemon counters: each host's sheet covers exactly its GPUs;
-        // counter-by-counter the two sheets sum to the whole fleet's
-        // traffic (checked over the full snapshot, not a cherry-picked
-        // counter).
-        let a = hf.host_stats(0).snapshot();
-        let b = hf.host_stats(1).snapshot();
-        assert!(a.iter().any(|&(_, v)| v > 0));
-        for (&(name, va), &(nb, vb)) in a.iter().zip(&b) {
-            assert_eq!(name, nb);
-            let per_gpu: u64 = (0..4)
-                .map(|g| {
-                    let sheet = hf.fleet(hf.host_of(g)).stats_for(g % 2).snapshot();
-                    sheet.iter().find(|&&(n, _)| n == name).unwrap().1
-                })
-                .sum();
-            assert_eq!(
-                va + vb,
-                per_gpu,
-                "host sheets must sum to the per-GPU attribution for {name}"
-            );
+        let find =
+            |sheet: &[(&str, u64)], name: &str| sheet.iter().find(|&&(n, _)| n == name).unwrap().1;
+        let fleet_total: u64 = (0..HOSTS)
+            .map(|h| find(&hf.host_stats(h).snapshot(), "requests"))
+            .sum();
+        assert!(fleet_total > 0);
+        for h in 0..HOSTS {
+            let host = &hf.fleet(h).hosts()[0];
+            for (name, host_v) in host.stats().snapshot() {
+                // Host aggregate == Σ its per-GPU sheets == Σ its
+                // per-tenant sheets == Σ its (gpu, tenant) cells.
+                let by_gpu: u64 = (0..GPUS)
+                    .map(|g| find(&host.stats_for(g).snapshot(), name))
+                    .sum();
+                let by_tenant: u64 = (0..host.num_tenants())
+                    .map(|t| find(&host.stats_for_tenant(t).snapshot(), name))
+                    .sum();
+                let by_cell: u64 = (0..GPUS)
+                    .flat_map(|g| (0..host.num_tenants()).map(move |t| (g, t)))
+                    .map(|(g, t)| find(&host.stats_for_cell(g, t).snapshot(), name))
+                    .sum();
+                assert_eq!(host_v, by_gpu, "per-GPU attribution of {name} on host {h}");
+                assert_eq!(
+                    host_v, by_tenant,
+                    "per-tenant attribution of {name} on host {h}"
+                );
+                assert_eq!(
+                    host_v, by_cell,
+                    "per-cell attribution of {name} on host {h}"
+                );
+            }
+            // Both tenants really saw traffic on this host.
+            for t in 0..host.num_tenants() {
+                assert!(
+                    find(&host.stats_for_tenant(t).snapshot(), "requests") > 0,
+                    "tenant {t} idle on host {h}"
+                );
+            }
         }
         // Wire counters: every host RPC hit the shared server exactly
         // once, so per-host wire_rpcs sum to the server's frame count.
-        let wire: u64 = (0..2).map(|h| hf.proxy(h).wire().wire_rpcs.get()).sum();
+        let wire: u64 = (0..HOSTS).map(|h| hf.proxy(h).wire().wire_rpcs.get()).sum();
         assert_eq!(wire, hf.server().stats().frames.get());
     }
 }

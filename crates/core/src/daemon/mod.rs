@@ -39,11 +39,12 @@ use std::thread::JoinHandle;
 
 use gpusim::Gpu;
 use hostfs::HostFs;
-use simtime::{Clock, Counter};
+use obs::{Counter, Labels, Registry, Tracer};
+use simtime::Clock;
 
 use crate::config::GpufsConfig;
 use crate::remote::HostProxy;
-use crate::rpc::RpcHub;
+use crate::rpc::{Request, RpcHub};
 
 /// Activity counters of the host daemon.
 #[derive(Debug, Default)]
@@ -81,6 +82,48 @@ pub struct DaemonStats {
 }
 
 impl DaemonStats {
+    /// A read-only sum view over `parts`: each field aggregates the
+    /// matching field of every part. The host-wide aggregate, the per-GPU
+    /// and per-tenant breakdowns, and a fleet's per-host rollups are all
+    /// views built this way over the per-`(gpu, tenant)` leaf sheets —
+    /// one write path, so the books cannot drift.
+    #[must_use]
+    pub fn sum_of<'a>(parts: impl IntoIterator<Item = &'a DaemonStats> + Clone) -> Self {
+        let field =
+            |f: fn(&DaemonStats) -> &Counter| Counter::sum(parts.clone().into_iter().map(f));
+        Self {
+            requests: field(|s| &s.requests),
+            bytes_h2d: field(|s| &s.bytes_h2d),
+            bytes_d2h: field(|s| &s.bytes_d2h),
+            opens: field(|s| &s.opens),
+            batched_rpcs: field(|s| &s.batched_rpcs),
+            pages_per_rpc: field(|s| &s.pages_per_rpc),
+            batched_write_rpcs: field(|s| &s.batched_write_rpcs),
+            pages_per_write_rpc: field(|s| &s.pages_per_write_rpc),
+            read_dma_chunks: field(|s| &s.read_dma_chunks),
+            write_dma_chunks: field(|s| &s.write_dma_chunks),
+        }
+    }
+
+    /// Register every field with `registry` under `labels`, prefixed
+    /// `daemon_` (the same cells — the registry adds names, not copies).
+    pub fn register(&self, registry: &Registry, labels: Labels) {
+        for (name, counter) in [
+            ("daemon_requests", &self.requests),
+            ("daemon_bytes_h2d", &self.bytes_h2d),
+            ("daemon_bytes_d2h", &self.bytes_d2h),
+            ("daemon_opens", &self.opens),
+            ("daemon_batched_rpcs", &self.batched_rpcs),
+            ("daemon_pages_per_rpc", &self.pages_per_rpc),
+            ("daemon_batched_write_rpcs", &self.batched_write_rpcs),
+            ("daemon_pages_per_write_rpc", &self.pages_per_write_rpc),
+            ("daemon_read_dma_chunks", &self.read_dma_chunks),
+            ("daemon_write_dma_chunks", &self.write_dma_chunks),
+        ] {
+            registry.register(name, labels, counter);
+        }
+    }
+
     /// Every counter as a `(name, value)` row — the one list tests
     /// iterate so a newly added counter cannot silently escape the
     /// per-GPU / per-tenant sum-to-aggregate invariant.
@@ -101,26 +144,23 @@ impl DaemonStats {
     }
 }
 
-/// The stat sheets one served request lands on: the host-wide aggregate,
-/// the per-GPU breakdown of the requesting GPU, and the per-tenant
-/// breakdown of the issuing tenant. Every counter update a handler makes
-/// goes through [`ServeStats::on`] so the three sheets can never drift
-/// apart — which is what makes [`GpufsHost::stats_for`] and
+/// The stat sheet one served request lands on: the single
+/// per-`(gpu, tenant)` *leaf* sheet of the requesting GPU and issuing
+/// tenant. The host-wide aggregate and the per-GPU / per-tenant
+/// breakdowns are [`DaemonStats::sum_of`] views over these leaves, so
+/// the one write [`ServeStats::on`] makes here is visible on every sheet
+/// by construction — which is what makes [`GpufsHost::stats_for`] and
 /// [`GpufsHost::stats_for_tenant`] trustworthy when several mounts (or
 /// tenant classes) share one daemon.
 pub(crate) struct ServeStats<'a> {
-    all: &'a DaemonStats,
-    gpu: &'a DaemonStats,
-    tenant: &'a DaemonStats,
+    leaf: &'a DaemonStats,
 }
 
 impl ServeStats<'_> {
-    /// Apply one counter update to the aggregate, per-GPU, and
-    /// per-tenant sheets.
+    /// Apply one counter update to the request's leaf sheet (every
+    /// aggregate view reads through to it).
     pub(crate) fn on(&self, f: impl Fn(&DaemonStats)) {
-        f(self.all);
-        f(self.gpu);
-        f(self.tenant);
+        f(self.leaf);
     }
 }
 
@@ -134,17 +174,29 @@ pub struct GpufsHost {
     fs: Arc<HostFs>,
     gpus: Vec<Arc<Gpu>>,
     hub: Arc<RpcHub>,
+    /// The per-`(gpu, tenant)` leaf sheets, indexed `[gpu][tenant]` —
+    /// the only daemon stats ever written. Everything below is a
+    /// [`DaemonStats::sum_of`] view over this grid.
+    cell_stats: Vec<Vec<Arc<DaemonStats>>>,
+    /// Host-wide aggregate: a sum view over the whole leaf grid.
     stats: Arc<DaemonStats>,
     /// Per-GPU breakdown of [`GpufsHost::stats`], indexed by GPU id: when
     /// several mounts share this daemon, each request is attributed to
     /// the GPU that issued it (the envelope names it), so fleets can tell
-    /// which GPU generated which RPC traffic.
+    /// which GPU generated which RPC traffic. A sum view over the GPU's
+    /// row of the leaf grid.
     per_gpu_stats: Vec<Arc<DaemonStats>>,
     /// Per-tenant breakdown of [`GpufsHost::stats`], indexed by
     /// [`crate::rpc::TenantId`] — the multi-tenant mirror of the per-GPU
     /// sheets (single-tenant hosts have exactly one, equal to the
-    /// aggregate).
+    /// aggregate). A sum view over the tenant's column of the leaf grid.
     per_tenant_stats: Vec<Arc<DaemonStats>>,
+    /// The host's metrics registry: every daemon leaf sheet, aggregate
+    /// view, and mount cache sheet registers here under hierarchical
+    /// labels.
+    registry: Arc<Registry>,
+    /// The host's span tracer (off by default; see [`GpufsHost::set_tracing`]).
+    tracer: Tracer,
     worker_count: usize,
     io_chunk_pages: usize,
     io_depth: usize,
@@ -221,12 +273,36 @@ impl GpufsHost {
             &config.tenant_weights,
             &config.tenant_admission,
         ));
-        let stats = Arc::new(DaemonStats::default());
-        let per_gpu_stats: Vec<Arc<DaemonStats>> = (0..gpus.len())
-            .map(|_| Arc::new(DaemonStats::default()))
+        let registry = Arc::new(Registry::new());
+        let tracer = Tracer::new();
+        // One leaf sheet per (gpu, tenant) cell — the single write path —
+        // and sum views for every rollup anyone reads.
+        let n_tenants = hub.num_tenants();
+        let cell_stats: Vec<Vec<Arc<DaemonStats>>> = (0..gpus.len())
+            .map(|g| {
+                (0..n_tenants)
+                    .map(|t| {
+                        let leaf = Arc::new(DaemonStats::default());
+                        leaf.register(&registry, Labels::gpu(g as u32).with_tenant(t as u32));
+                        leaf
+                    })
+                    .collect()
+            })
             .collect();
-        let per_tenant_stats: Vec<Arc<DaemonStats>> = (0..hub.num_tenants())
-            .map(|_| Arc::new(DaemonStats::default()))
+        let stats = Arc::new(DaemonStats::sum_of(
+            cell_stats.iter().flatten().map(Arc::as_ref),
+        ));
+        stats.register(&registry, Labels::none());
+        let per_gpu_stats: Vec<Arc<DaemonStats>> = cell_stats
+            .iter()
+            .map(|row| Arc::new(DaemonStats::sum_of(row.iter().map(Arc::as_ref))))
+            .collect();
+        let per_tenant_stats: Vec<Arc<DaemonStats>> = (0..n_tenants)
+            .map(|t| {
+                Arc::new(DaemonStats::sum_of(
+                    cell_stats.iter().map(move |row| row[t].as_ref()),
+                ))
+            })
             .collect();
         let worker_count = config.daemon_workers.max(1);
         let io_chunk_pages = config.io_chunk_pages;
@@ -236,9 +312,8 @@ impl GpufsHost {
                 let fs = Arc::clone(&fs);
                 let gpus = gpus.clone();
                 let hub = Arc::clone(&hub);
-                let stats = Arc::clone(&stats);
-                let per_gpu = per_gpu_stats.clone();
-                let per_tenant = per_tenant_stats.clone();
+                let cells = cell_stats.clone();
+                let tracer = tracer.clone();
                 let proxy = proxy.clone();
                 std::thread::Builder::new()
                     .name(format!("gpufs-worker-{w}"))
@@ -248,9 +323,8 @@ impl GpufsHost {
                             proxy.as_deref(),
                             &gpus,
                             &hub,
-                            &stats,
-                            &per_gpu,
-                            &per_tenant,
+                            &cells,
+                            &tracer,
                             io_chunk_pages,
                             io_depth,
                         )
@@ -268,9 +342,12 @@ impl GpufsHost {
             fs,
             gpus,
             hub,
+            cell_stats,
             stats,
             per_gpu_stats,
             per_tenant_stats,
+            registry,
+            tracer,
             worker_count,
             io_chunk_pages,
             io_depth,
@@ -333,10 +410,40 @@ impl GpufsHost {
         &self.per_tenant_stats[tenant.min(self.per_tenant_stats.len() - 1)]
     }
 
+    /// Daemon activity counters attributed to one `(gpu, tenant)` cell —
+    /// the leaf sheets every view above is summed from.
+    #[must_use]
+    pub fn stats_for_cell(&self, gpu_id: usize, tenant: crate::rpc::TenantId) -> &DaemonStats {
+        let row = &self.cell_stats[gpu_id];
+        &row[tenant.min(row.len() - 1)]
+    }
+
     /// Tenant classes this host's daemon distinguishes (≥ 1).
     #[must_use]
     pub fn num_tenants(&self) -> usize {
         self.per_tenant_stats.len()
+    }
+
+    /// The host's metrics registry: every daemon and mount counter sheet,
+    /// keyed `name{host=..,gpu=..,tenant=..}`, snapshottable in one call.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The host's span tracer. Spans are collected only after
+    /// [`GpufsHost::set_tracing`]`(true)`; drain them with
+    /// [`Tracer::snapshot`].
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Turn span tracing on or off. Off (the default) is time-transparent:
+    /// virtual results are bit-identical to a build without tracing (the
+    /// `trace_equiv` integration test pins this).
+    pub fn set_tracing(&self, on: bool) {
+        self.tracer.set_enabled(on);
     }
 
     /// Size of the worker pool this host was started with.
@@ -383,6 +490,21 @@ impl Drop for GpufsHost {
     }
 }
 
+/// Static span name for serving one request kind (span labels must be
+/// `&'static str`, so the `serve:` prefix is baked per kind).
+fn serve_span_name(req: &Request) -> &'static str {
+    match req.kind_name() {
+        "Open" => "serve:Open",
+        "Close" => "serve:Close",
+        "ReadPages" => "serve:ReadPages",
+        "WritePages" => "serve:WritePages",
+        "Fsync" => "serve:Fsync",
+        "Unlink" => "serve:Unlink",
+        "Truncate" => "serve:Truncate",
+        _ => "serve:Stat",
+    }
+}
+
 /// One worker of the daemon pool: claim requests from the hub's channels
 /// until shutdown, serving each against the host FS and DMA engines.
 #[allow(clippy::too_many_arguments)]
@@ -391,20 +513,22 @@ fn worker_loop(
     proxy: Option<&HostProxy>,
     gpus: &[Arc<Gpu>],
     hub: &RpcHub,
-    stats: &DaemonStats,
-    per_gpu: &[Arc<DaemonStats>],
-    per_tenant: &[Arc<DaemonStats>],
+    cells: &[Vec<Arc<DaemonStats>>],
+    tracer: &Tracer,
     io_chunk_pages: usize,
     io_depth: usize,
 ) {
     let timings = fs.timings().clone();
     while let Some(env) = hub.next() {
+        let row = &cells[env.gpu];
         let stats = ServeStats {
-            all: stats,
-            gpu: &per_gpu[env.gpu],
-            tenant: &per_tenant[env.tenant.min(per_tenant.len() - 1)],
+            leaf: &row[env.tenant.min(row.len() - 1)],
         };
         stats.on(|s| s.requests.incr());
+        // Adopt the issuing g* call's trace context so this worker's
+        // spans (and any it forwards over the wire) nest under the
+        // client's RPC span.
+        let _scope = tracer.adopt(env.ctx);
         // Each request is timed from its own issue point: poll-notice
         // latency plus dispatch, then the host file system and DMA
         // engines — which carry all the real serialization (disk head,
@@ -414,6 +538,8 @@ fn worker_loop(
         // real worker count (requests drain in claim order regardless).
         let mut clock = Clock::starting_at(env.issue + timings.rpc_poll_ns);
         clock.advance(timings.rpc_dispatch_ns);
+        let sp = obs::span(serve_span_name(&env.req));
+        let serve_start = clock.now();
         let (result, end) = match proxy {
             // Host side of a cross-host fleet: the same serve sequence,
             // but through the proxy's wire boundary and host cache.
@@ -438,6 +564,7 @@ fn worker_loop(
                 &env.req,
             ),
         };
+        sp.finish(serve_start, end);
         // Sends fail only if the caller vanished (e.g. a panicking test
         // threadblock); the daemon itself must keep serving others.
         let _ = env.tx.send((result, end));

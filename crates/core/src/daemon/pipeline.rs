@@ -106,6 +106,8 @@ pub(super) fn read_pages(
         // Stage 1 — host file I/O of this chunk, serialized on the
         // worker's clock (the host file system pipelines/serializes the
         // individual preads as its cost model says).
+        let pread_sp = obs::span("pread");
+        let pread_start = clock.now();
         let mut staging: Vec<Vec<u8>> = Vec::with_capacity(chunk.len());
         for page in chunk {
             let mut buf = vec![0u8; page.len];
@@ -119,6 +121,11 @@ pub(super) fn read_pages(
                 Err(e) => return (Err(e), clock.now()),
             }
         }
+        pread_sp.finish_attrs(
+            pread_start,
+            clock.now(),
+            &[("chunk", j as u64), ("pages", chunk.len() as u64)],
+        );
         // Stage 2 — ship the chunk asynchronously: the DMA is issued at
         // max(data ready, previous chunk's end) and the worker moves on
         // to the next chunk's preads without waiting for it.
@@ -134,12 +141,21 @@ pub(super) fn read_pages(
             if !first_chunk {
                 clock.advance(submit_ns);
             }
-            let r = gpu.dma_h2d_scattered_chunk(&parts, clock.now().max(dma_end), first_chunk);
+            let dma_sp = obs::span("dma");
+            let dma_issue = clock.now().max(dma_end);
+            let r = gpu.dma_h2d_scattered_chunk(&parts, dma_issue, first_chunk);
             let chunk_bytes: u64 = parts.iter().map(|(b, _)| b.len() as u64).sum();
             stats.on(|s| {
                 s.bytes_h2d.add(chunk_bytes);
                 s.read_dma_chunks.incr();
             });
+            // The DMA runs asynchronously: its span covers the engine
+            // reservation (issue to completion), not worker wall time.
+            dma_sp.finish_attrs(
+                dma_issue,
+                r.end,
+                &[("chunk", j as u64), ("bytes", chunk_bytes)],
+            );
             dma_end = r.end;
             first_chunk = false;
             r.end
@@ -222,17 +238,22 @@ pub(super) fn write_pages(
         // The gather chain runs independently of the pwrite lane: chunk
         // k+1's gather starts when the engine frees up (gather k's end),
         // not after chunk k's pwrites.
-        let r = gpu.dma_d2h_scattered_chunk(&mut parts, issue.max(gather_end), first_chunk);
+        let gather_sp = obs::span("gather");
+        let gather_issue = issue.max(gather_end);
+        let r = gpu.dma_d2h_scattered_chunk(&mut parts, gather_issue, first_chunk);
         drop(parts);
         let chunk_bytes: u64 = staging.iter().map(|b| b.len() as u64).sum();
         stats.on(|s| {
             s.bytes_d2h.add(chunk_bytes);
             s.write_dma_chunks.incr();
         });
+        gather_sp.finish_attrs(gather_issue, r.end, &[("bytes", chunk_bytes)]);
         gather_end = r.end;
         first_chunk = false;
         // This chunk's bytes must be in host memory before its pwrites.
         clock.wait_until(r.end);
+        let pwrite_sp = obs::span("pwrite");
+        let pwrite_start = clock.now();
         for (&(_, file_off), data) in srcs.iter().zip(&staging) {
             match fs.pwrite(fd, file_off, data, clock.now()) {
                 Ok((n, t)) => {
@@ -242,6 +263,7 @@ pub(super) fn write_pages(
                 Err(e) => return (Err(e), clock.now()),
             }
         }
+        pwrite_sp.finish(pwrite_start, clock.now());
     }
     let generation = fs.consistency().generation(ino);
     (

@@ -8,14 +8,21 @@
 //! len)` descriptors (the GPU frame addresses stay host-side, DMA is the
 //! proxy's job), page writes carry the gathered dirty-extent bytes.
 //!
-//! ## Frame layout
+//! ## Frame layout (version 2)
 //!
 //! ```text
-//! +------+---------+------+-------------+---------...
-//! | GFSW | version | kind | payload len | payload
-//! | 4 B  | u16 LE  | u8   | u32 LE      |
-//! +------+---------+------+-------------+---------...
+//! +------+---------+------+-------+-------------+-----------+---------...
+//! | GFSW | version | kind | flags | payload len | trace ctx | payload
+//! | 4 B  | u16 LE  | u8   | u8    | u32 LE      | 0 or 16 B |
+//! +------+---------+------+-------+-------------+-----------+---------...
 //! ```
+//!
+//! The flags byte is new in version 2. Its only defined bit,
+//! [`FLAG_TRACE_CTX`], declares a 16-byte trace context (trace id +
+//! parent span id, both u64 LE) between the header and the payload, so
+//! a storage server can parent its spans under the host-side RPC that
+//! shipped the frame. Version-1 frames (11-byte header, no flags, no
+//! ctx) still decode — they simply carry [`obs::TraceCtx::NONE`].
 //!
 //! Decoding *rejects* — it never panics: truncated buffers, bad magic,
 //! unknown versions or kinds, non-UTF-8 paths, undeclared trailing bytes
@@ -23,16 +30,29 @@
 //! fed garbage answers with an error, it does not fall over.
 
 use hostfs::{FsError, HostFd, Ino};
+use obs::TraceCtx;
 
 /// Frame magic: the first four bytes of every well-formed frame.
 pub const MAGIC: [u8; 4] = *b"GFSW";
 
-/// Wire-format version this build speaks. Decoders reject frames from
-/// any other version (`ProtoError::BadVersion`) instead of guessing.
-pub const VERSION: u16 = 1;
+/// Wire-format version this build emits. Decoders also accept version-1
+/// frames (no flags byte, no trace ctx) and reject everything else
+/// (`ProtoError::BadVersion`) instead of guessing.
+pub const VERSION: u16 = 2;
 
-/// Fixed frame header size: magic + version + kind + payload length.
-pub const HEADER_LEN: usize = 4 + 2 + 1 + 4;
+/// Fixed frame header size: magic + version + kind + flags + payload
+/// length. The optional trace context rides *after* this header.
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 1 + 4;
+
+/// Version-1 header size: magic + version + kind + payload length.
+const V1_HEADER_LEN: usize = 4 + 2 + 1 + 4;
+
+/// Frame flag: a 16-byte trace context (trace id + span id, u64 LE
+/// each) sits between the header and the payload.
+pub const FLAG_TRACE_CTX: u8 = 1;
+
+/// Bytes of the optional trace context.
+const CTX_LEN: usize = 8 + 8;
 
 /// Why a frame failed to decode. Every variant is a *rejection* — the
 /// decoders return these, they never panic on hostile input.
@@ -253,39 +273,91 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Wrap `kind` + `payload` in the versioned frame header.
-fn frame(kind: u8, payload: Vec<u8>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+/// Wrap `kind` + `payload` in the versioned frame header, carrying
+/// `ctx` in the optional trace-context field when it is not
+/// [`TraceCtx::NONE`].
+fn frame(kind: u8, ctx: TraceCtx, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + CTX_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     put_u16(&mut out, VERSION);
     out.push(kind);
+    out.push(if ctx.is_none() { 0 } else { FLAG_TRACE_CTX });
     put_u32(&mut out, payload.len() as u32);
+    if !ctx.is_none() {
+        put_u64(&mut out, ctx.trace);
+        put_u64(&mut out, ctx.span);
+    }
     out.extend_from_slice(&payload);
     out
 }
 
-/// Validate the header and return `(kind, payload)`.
-fn open_frame(buf: &[u8]) -> Result<(u8, &[u8]), ProtoError> {
-    if buf.len() < HEADER_LEN {
+/// The frame's length as charged to the link cost model. The optional
+/// trace context is observability metadata and rides outside the model:
+/// excluding it keeps virtual times and wire-byte counters bit-identical
+/// with tracing on or off — the `trace_equiv` guarantee.
+#[must_use]
+pub fn charged_len(frame: &[u8]) -> usize {
+    let traced = frame.len() >= HEADER_LEN
+        && u16::from_le_bytes([frame[4], frame[5]]) == VERSION
+        && frame[7] & FLAG_TRACE_CTX != 0;
+    frame.len() - if traced { CTX_LEN } else { 0 }
+}
+
+/// Validate the header and return `(kind, ctx, payload)`. Version-1
+/// frames decode with [`TraceCtx::NONE`].
+fn open_frame(buf: &[u8]) -> Result<(u8, TraceCtx, &[u8]), ProtoError> {
+    // Magic + version first: enough to route to the per-version layout.
+    if buf.len() < 6 {
         return Err(ProtoError::Truncated);
     }
     if buf[..4] != MAGIC {
         return Err(ProtoError::BadMagic);
     }
     let version = u16::from_le_bytes([buf[4], buf[5]]);
-    if version != VERSION {
-        return Err(ProtoError::BadVersion(version));
-    }
+    let (ctx, len, body) = match version {
+        1 => {
+            if buf.len() < V1_HEADER_LEN {
+                return Err(ProtoError::Truncated);
+            }
+            let len = u32::from_le_bytes([buf[7], buf[8], buf[9], buf[10]]) as usize;
+            (TraceCtx::NONE, len, &buf[V1_HEADER_LEN..])
+        }
+        2 => {
+            if buf.len() < HEADER_LEN {
+                return Err(ProtoError::Truncated);
+            }
+            let flags = buf[7];
+            if flags & !FLAG_TRACE_CTX != 0 {
+                return Err(ProtoError::Corrupt("unknown frame flag bits"));
+            }
+            let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
+            let mut body = &buf[HEADER_LEN..];
+            let ctx = if flags & FLAG_TRACE_CTX != 0 {
+                if body.len() < CTX_LEN {
+                    return Err(ProtoError::Truncated);
+                }
+                let mut a = [0u8; 8];
+                a.copy_from_slice(&body[..8]);
+                let trace = u64::from_le_bytes(a);
+                a.copy_from_slice(&body[8..CTX_LEN]);
+                let span = u64::from_le_bytes(a);
+                body = &body[CTX_LEN..];
+                TraceCtx { trace, span }
+            } else {
+                TraceCtx::NONE
+            };
+            (ctx, len, body)
+        }
+        v => return Err(ProtoError::BadVersion(v)),
+    };
     let kind = buf[6];
-    let len = u32::from_le_bytes([buf[7], buf[8], buf[9], buf[10]]) as usize;
-    let payload = &buf[HEADER_LEN..];
-    if payload.len() < len {
+    if body.len() < len {
         return Err(ProtoError::Truncated);
     }
-    if payload.len() > len {
+    if body.len() > len {
         return Err(ProtoError::Corrupt("frame longer than declared"));
     }
-    Ok((kind, payload))
+    Ok((kind, ctx, body))
 }
 
 // Request kinds.
@@ -321,9 +393,18 @@ const FLAG_WRITE: u8 = 1;
 const FLAG_CREATE: u8 = 1 << 1;
 const FLAG_TRUNCATE: u8 = 1 << 2;
 
-/// Serialize one request into a framed byte vector.
+/// Serialize one request into a framed byte vector with no trace
+/// context — shorthand for [`encode_request_ctx`] with
+/// [`TraceCtx::NONE`].
 #[must_use]
 pub fn encode_request(req: &WireRequest) -> Vec<u8> {
+    encode_request_ctx(req, TraceCtx::NONE)
+}
+
+/// Serialize one request into a framed byte vector, carrying `ctx` in
+/// the optional trace-context field when it is not [`TraceCtx::NONE`].
+#[must_use]
+pub fn encode_request_ctx(req: &WireRequest, ctx: TraceCtx) -> Vec<u8> {
     let mut p = Vec::new();
     let kind = match req {
         WireRequest::Open {
@@ -386,17 +467,29 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
             REQ_STAT
         }
     };
-    frame(kind, p)
+    frame(kind, ctx, p)
 }
 
-/// Decode one framed request.
+/// Decode one framed request, discarding any trace context — shorthand
+/// for [`decode_request_ctx`].
 ///
 /// # Errors
 ///
 /// Rejects (never panics on) truncated buffers, wrong magic, version
 /// mismatches, unknown kinds, and structurally corrupt payloads.
 pub fn decode_request(buf: &[u8]) -> Result<WireRequest, ProtoError> {
-    let (kind, payload) = open_frame(buf)?;
+    decode_request_ctx(buf).map(|(req, _)| req)
+}
+
+/// Decode one framed request along with its trace context
+/// ([`TraceCtx::NONE`] for version-1 frames and untraced senders).
+///
+/// # Errors
+///
+/// Rejects (never panics on) the same malformations as
+/// [`decode_request`].
+pub fn decode_request_ctx(buf: &[u8]) -> Result<(WireRequest, TraceCtx), ProtoError> {
+    let (kind, ctx, payload) = open_frame(buf)?;
     let mut r = Reader::new(payload);
     let req = match kind {
         REQ_OPEN => {
@@ -445,7 +538,7 @@ pub fn decode_request(buf: &[u8]) -> Result<WireRequest, ProtoError> {
         _ => return Err(ProtoError::Corrupt("unknown request kind")),
     };
     r.finish()?;
-    Ok(req)
+    Ok((req, ctx))
 }
 
 /// Serialize one response into a framed byte vector.
@@ -495,7 +588,9 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
             RESP_ERR
         }
     };
-    frame(kind, p)
+    // Responses never carry a context: the caller that decodes them is
+    // already inside the span that shipped the request.
+    frame(kind, TraceCtx::NONE, p)
 }
 
 /// Decode one framed response.
@@ -505,7 +600,7 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
 /// Rejects (never panics on) the same malformations as
 /// [`decode_request`].
 pub fn decode_response(buf: &[u8]) -> Result<WireResponse, ProtoError> {
-    let (kind, payload) = open_frame(buf)?;
+    let (kind, _ctx, payload) = open_frame(buf)?;
     let mut r = Reader::new(payload);
     let resp = match kind {
         RESP_OPENED => WireResponse::Opened {
@@ -777,10 +872,18 @@ mod tests {
             decode_request(&frame),
             Err(ProtoError::Corrupt(_))
         ));
-        // Declared payload length longer than the buffer.
+        // Declared payload length longer than the buffer (offset 8 is
+        // the low byte of the v2 length field).
         let mut frame = encode_request(&WireRequest::Close { fd: 1 });
-        frame[7] = 0xff;
+        frame[8] = 0xff;
         assert_eq!(decode_request(&frame), Err(ProtoError::Truncated));
+        // Out-of-spec frame flag bits reject.
+        let mut frame = encode_request(&WireRequest::Close { fd: 1 });
+        frame[7] = 0x80;
+        assert_eq!(
+            decode_request(&frame),
+            Err(ProtoError::Corrupt("unknown frame flag bits"))
+        );
     }
 
     #[test]
@@ -803,5 +906,116 @@ mod tests {
             Err(ProtoError::BadMagic),
             "garbage never panics"
         );
+    }
+
+    /// Re-wrap a ctx-free v2 frame in the 11-byte version-1 header, as
+    /// a v1 sender would have emitted it.
+    fn reframe_v1(frame_v2: &[u8]) -> Vec<u8> {
+        assert_eq!(frame_v2[7], 0, "only ctx-free frames have a v1 shape");
+        let payload = &frame_v2[HEADER_LEN..];
+        let mut out = Vec::with_capacity(V1_HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        put_u16(&mut out, 1);
+        out.push(frame_v2[6]);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn trace_ctx_rides_the_frame_and_round_trips() {
+        let req = WireRequest::ReadPages {
+            fd: 3,
+            pages: vec![(0, 4096)],
+        };
+        let ctx = TraceCtx { trace: 7, span: 9 };
+        let frame = encode_request_ctx(&req, ctx);
+        assert_eq!(frame[7], FLAG_TRACE_CTX);
+        assert_eq!(decode_request_ctx(&frame), Ok((req.clone(), ctx)));
+        // The ctx-blind decoder still reads the same request.
+        assert_eq!(decode_request(&frame), Ok(req.clone()));
+        // An untraced sender emits no ctx field at all.
+        let bare = encode_request(&req);
+        assert_eq!(bare.len() + CTX_LEN, frame.len());
+        assert_eq!(decode_request_ctx(&bare), Ok((req, TraceCtx::NONE)));
+    }
+
+    #[test]
+    fn version_1_frames_still_decode_without_a_ctx() {
+        for req in all_requests() {
+            let v1 = reframe_v1(&encode_request(&req));
+            assert_eq!(decode_request_ctx(&v1), Ok((req.clone(), TraceCtx::NONE)));
+        }
+        for resp in all_responses() {
+            let v1 = reframe_v1(&encode_response(&resp));
+            assert_eq!(decode_response(&v1), Ok(resp.clone()));
+        }
+    }
+
+    // Property coverage of the new frame field: arbitrary contexts
+    // round-trip, every truncation rejects, and the v1 reframing of any
+    // request decodes cleanly with no ctx.
+    use proptest::prelude::*;
+
+    fn any_request() -> impl Strategy<Value = WireRequest> {
+        prop_oneof![
+            (0usize..12, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+                |(n, write, create, truncate)| WireRequest::Open {
+                    path: format!("/{}", "a".repeat(n)),
+                    write,
+                    create,
+                    truncate,
+                }
+            ),
+            any::<u64>().prop_map(|fd| WireRequest::Close { fd }),
+            (
+                any::<u64>(),
+                proptest::collection::vec((any::<u64>(), 0u32..1 << 20), 0..8)
+            )
+                .prop_map(|(fd, pages)| WireRequest::ReadPages { fd, pages }),
+            (
+                any::<u64>(),
+                proptest::collection::vec(
+                    (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+                    0..4
+                )
+            )
+                .prop_map(|(fd, extents)| WireRequest::WritePages { fd, extents }),
+            any::<u64>().prop_map(|fd| WireRequest::Fsync { fd }),
+            (any::<u64>(), any::<u64>()).prop_map(|(fd, size)| WireRequest::Truncate { fd, size }),
+        ]
+    }
+
+    fn any_ctx() -> impl Strategy<Value = TraceCtx> {
+        // `trace | 1` keeps the ctx live: a zero trace id means "no
+        // context" and would legitimately encode to a flag-less frame.
+        (any::<u64>(), any::<u64>()).prop_map(|(trace, span)| TraceCtx {
+            trace: trace | 1,
+            span,
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_ctx_frames_round_trip(req in any_request(), ctx in any_ctx()) {
+            let frame = encode_request_ctx(&req, ctx);
+            prop_assert_eq!(decode_request_ctx(&frame), Ok((req, ctx)));
+        }
+
+        #[test]
+        fn prop_every_truncation_rejects(req in any_request(), ctx in any_ctx()) {
+            let frame = encode_request_ctx(&req, ctx);
+            for cut in 0..frame.len() {
+                prop_assert!(decode_request_ctx(&frame[..cut]).is_err());
+            }
+        }
+
+        #[test]
+        fn prop_v1_frames_decode_with_no_ctx(req in any_request()) {
+            let v1 = reframe_v1(&encode_request(&req));
+            prop_assert_eq!(decode_request_ctx(&v1), Ok((req, TraceCtx::NONE)));
+        }
     }
 }

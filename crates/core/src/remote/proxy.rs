@@ -151,10 +151,17 @@ impl HostProxy {
         clock: &mut Clock,
         req: &WireRequest,
     ) -> Result<WireResponse, FsError> {
-        let frame = proto::encode_request(req);
+        // The round-trip span opens before the frame is authored so the
+        // encoded ctx names it as the server-side parent.
+        let sp = obs::span("net_roundtrip");
+        let issued = clock.now();
+        let frame = proto::encode_request_ctx(req, obs::current());
+        // Charge the link (and the byte counters) for the frame minus
+        // the trace ctx, so tracing never perturbs virtual time.
+        let wire_len = proto::charged_len(&frame) as u64;
         self.wire.wire_rpcs.incr();
-        self.wire.wire_req_bytes.add(frame.len() as u64);
-        let arrival = self.up.transfer(clock.now(), frame.len() as u64).end + self.rtt_ns / 2;
+        self.wire.wire_req_bytes.add(wire_len);
+        let arrival = self.up.transfer(clock.now(), wire_len).end + self.rtt_ns / 2;
         // Like `RpcHub::call`, the service wait is a blocking region:
         // holding any lock across a storage round-trip stalls every
         // other GPU on this host for a network RTT, and lockcheck's
@@ -168,6 +175,7 @@ impl HostProxy {
         let end = self.down.transfer(server_end, resp_frame.len() as u64).end
             + (self.rtt_ns - self.rtt_ns / 2);
         clock.wait_until(end);
+        sp.finish_attrs(issued, clock.now(), &[("req_bytes", wire_len)]);
         #[allow(clippy::expect_used)]
         let resp =
             proto::decode_response(&resp_frame).expect("server response frames are well-formed");

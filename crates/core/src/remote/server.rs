@@ -23,6 +23,20 @@ use simtime::{Clock, Counter, Nanos, Timings};
 
 use super::proto::{self, ProtoError, WireRequest, WireResponse};
 
+/// The trace-span name of one served wire request.
+fn server_span_name(req: &WireRequest) -> &'static str {
+    match req {
+        WireRequest::Open { .. } => "server:Open",
+        WireRequest::Close { .. } => "server:Close",
+        WireRequest::ReadPages { .. } => "server:ReadPages",
+        WireRequest::WritePages { .. } => "server:WritePages",
+        WireRequest::Fsync { .. } => "server:Fsync",
+        WireRequest::Unlink { .. } => "server:Unlink",
+        WireRequest::Truncate { .. } => "server:Truncate",
+        WireRequest::Stat { .. } => "server:Stat",
+    }
+}
+
 /// Activity counters of one storage server, aggregated over every host
 /// link it serves.
 #[derive(Debug, Default)]
@@ -104,10 +118,15 @@ impl StorageServer {
     /// Returns the [`ProtoError`] describing why the frame failed to
     /// decode.
     pub fn serve_frame(&self, frame: &[u8], now: Nanos) -> Result<(Vec<u8>, Nanos), ProtoError> {
-        let req = proto::decode_request(frame)?;
+        let (req, ctx) = proto::decode_request_ctx(frame)?;
         self.stats.frames.incr();
+        // Re-parent under the wire ctx so the server's span hangs off
+        // the host-side `net_roundtrip` that shipped the frame.
+        let _remote = obs::adopt_remote(ctx);
+        let sp = obs::span(server_span_name(&req));
         let mut clock = Clock::starting_at(now);
         let resp = self.serve(&req, &mut clock);
+        sp.finish(now, clock.now());
         if matches!(resp, WireResponse::Err(_)) {
             self.stats.errors.incr();
         }

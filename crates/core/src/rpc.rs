@@ -48,7 +48,7 @@
 //! stranded mid-shutdown with an envelope nobody will answer.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use gpusim::{DevPtr, GpuId};
@@ -164,6 +164,38 @@ pub enum Request {
     },
 }
 
+impl Request {
+    /// The request's stable kind name — span labels and wire diagnostics.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Open { .. } => "Open",
+            Request::Close { .. } => "Close",
+            Request::ReadPages { .. } => "ReadPages",
+            Request::WritePages { .. } => "WritePages",
+            Request::Fsync { .. } => "Fsync",
+            Request::Unlink { .. } => "Unlink",
+            Request::Truncate { .. } => "Truncate",
+            Request::Stat { .. } => "Stat",
+        }
+    }
+
+    /// The client-side span name for this request's round-trip (span
+    /// labels must be `&'static str`, so the prefix is baked per kind).
+    pub(crate) fn rpc_span_name(&self) -> &'static str {
+        match self {
+            Request::Open { .. } => "rpc:Open",
+            Request::Close { .. } => "rpc:Close",
+            Request::ReadPages { .. } => "rpc:ReadPages",
+            Request::WritePages { .. } => "rpc:WritePages",
+            Request::Fsync { .. } => "rpc:Fsync",
+            Request::Unlink { .. } => "rpc:Unlink",
+            Request::Truncate { .. } => "rpc:Truncate",
+            Request::Stat { .. } => "rpc:Stat",
+        }
+    }
+}
+
 /// Successful response payloads.
 #[derive(Debug, Clone)]
 pub enum RespOk {
@@ -221,6 +253,9 @@ pub(crate) struct Envelope {
     pub tenant: TenantId,
     pub gpu: GpuId,
     pub issue: Nanos,
+    /// Trace context of the issuing `g*` call, captured at post time so
+    /// the daemon worker's spans nest under the client's RPC span.
+    pub ctx: obs::TraceCtx,
     pub tx: mpsc::SyncSender<(Result<RespOk, FsError>, Nanos)>,
 }
 
@@ -288,7 +323,7 @@ pub struct RpcHub {
     /// Requests admitted but not yet answered, per tenant.
     inflight: Vec<AtomicUsize>,
     /// Calls that had to wait at the admission throttle, per tenant.
-    stalls: Vec<AtomicU64>,
+    stalls: Vec<obs::Counter>,
     /// Posts, claims, and the close all serialize on this lock (see the
     /// module docs for the shutdown protocol); the condvar wakes sleeping
     /// workers.
@@ -346,7 +381,7 @@ impl RpcHub {
             weights: weights.to_vec(),
             admission: admission.to_vec(),
             inflight: (0..tenants).map(|_| AtomicUsize::new(0)).collect(),
-            stalls: (0..tenants).map(|_| AtomicU64::new(0)).collect(),
+            stalls: (0..tenants).map(|_| obs::Counter::new()).collect(),
             state: Mutex::new(HubState {
                 pending: 0,
                 credit: vec![0; tenants],
@@ -387,7 +422,7 @@ impl RpcHub {
     /// Calls of `tenant` that had to wait at the admission throttle.
     #[must_use]
     pub fn tenant_stalls(&self, tenant: TenantId) -> u64 {
-        self.stalls[tenant.min(self.tenants - 1)].load(Ordering::Relaxed)
+        self.stalls[tenant.min(self.tenants - 1)].get()
     }
 
     /// Requests of `tenant` currently admitted but unanswered.
@@ -429,7 +464,7 @@ impl RpcHub {
                 return Ok(InflightGuard(Some(inflight)));
             }
             if fruitless == 0 {
-                self.stalls[tenant].fetch_add(1, Ordering::Relaxed);
+                self.stalls[tenant].incr();
             }
             crate::backoff::spin_then_sleep(fruitless, ADMISSION_SPIN_ROUNDS);
             fruitless += 1;
@@ -473,6 +508,7 @@ impl RpcHub {
                     tenant,
                     gpu,
                     issue,
+                    ctx: obs::current(),
                     tx,
                 });
             st.pending += 1;
@@ -639,6 +675,7 @@ mod tests {
             tenant,
             gpu: 0,
             issue: 0,
+            ctx: obs::TraceCtx::NONE,
             tx,
         });
         hub.state.lock().pending += 1;

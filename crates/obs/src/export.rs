@@ -1,0 +1,145 @@
+//! Exporters: Chrome trace-event JSON (Perfetto-loadable) and
+//! flamegraph-ready folded stacks.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::SpanRecord;
+
+/// Render spans as Chrome trace-event JSON — the `{"traceEvents": [...]}`
+/// object format, loadable in Perfetto or `chrome://tracing`.
+///
+/// Each span becomes one complete (`"ph": "X"`) event. Virtual
+/// nanoseconds map onto the format's microsecond timestamps with three
+/// decimal places, so nothing is rounded away. Spans of one trace share
+/// a `tid` (one row per fault in the UI); `args` carries the span ids
+/// and every recorded attribute.
+#[must_use]
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let dur = s.end.saturating_sub(s.start);
+        let _ = write!(
+            out,
+            "{{\"name\":{:?},\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"span\":{},\"parent\":{}",
+            s.name,
+            s.start / 1000,
+            s.start % 1000,
+            dur / 1000,
+            dur % 1000,
+            s.trace,
+            s.span,
+            s.parent,
+        );
+        for (k, v) in &s.attrs {
+            let _ = write!(out, ",{k:?}:{v}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render spans as folded stacks (`root;child;leaf self_ns` lines,
+/// deterministically sorted) — the input format of flamegraph tools.
+///
+/// Each span contributes its *self* time: duration minus the summed
+/// durations of its direct children, clamped at zero (concurrent
+/// children — pipelined pread/DMA chunks — can legitimately overlap
+/// their parent by more than its span).
+#[must_use]
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.span, s)).collect();
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for s in spans {
+        if s.parent != 0 {
+            *child_ns.entry(s.parent).or_default() += s.end.saturating_sub(s.start);
+        }
+    }
+    let mut folded: HashMap<String, u64> = HashMap::new();
+    for s in spans {
+        let mut names = vec![s.name];
+        let mut p = s.parent;
+        while p != 0 {
+            match by_id.get(&p) {
+                Some(up) => {
+                    names.push(up.name);
+                    p = up.parent;
+                }
+                None => break,
+            }
+        }
+        names.reverse();
+        let dur = s.end.saturating_sub(s.start);
+        let own = dur.saturating_sub(child_ns.get(&s.span).copied().unwrap_or(0));
+        *folded.entry(names.join(";")).or_default() += own;
+    }
+    let mut rows: Vec<(String, u64)> = folded.into_iter().collect();
+    rows.sort();
+    let mut out = String::new();
+    for (stack, ns) in rows {
+        let _ = writeln!(out, "{stack} {ns}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(span: u64, parent: u64, name: &'static str, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            trace: 1,
+            span,
+            parent,
+            name,
+            start,
+            end,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn chrome_json_shape_and_precision() {
+        let mut root = rec(1, 0, "gread", 0, 4500);
+        root.attrs.push(("bytes", 65536));
+        let spans = vec![root, rec(2, 1, "pread", 1000, 2500)];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"gread\""));
+        assert!(json.contains("\"ts\":0.000,\"dur\":4.500"));
+        assert!(json.contains("\"ts\":1.000,\"dur\":1.500"));
+        assert!(json.contains("\"bytes\":65536"));
+        assert!(json.contains("\"parent\":1"));
+    }
+
+    #[test]
+    fn folded_stacks_compute_self_time() {
+        let spans = vec![
+            rec(1, 0, "gread", 0, 100),
+            rec(2, 1, "pread", 10, 40),
+            rec(3, 1, "dma", 40, 80),
+            rec(4, 0, "gread", 200, 250),
+        ];
+        let folded = folded_stacks(&spans);
+        let lines: Vec<&str> = folded.lines().collect();
+        // gread self = (100 - 70) + 50; children keep their full time.
+        assert_eq!(lines, vec!["gread 80", "gread;dma 40", "gread;pread 30"]);
+    }
+
+    #[test]
+    fn overlapping_children_clamp_at_zero() {
+        let spans = vec![
+            rec(1, 0, "rpc", 0, 50),
+            rec(2, 1, "pread", 0, 40),
+            rec(3, 1, "dma", 20, 60),
+        ];
+        let folded = folded_stacks(&spans);
+        assert!(folded.contains("rpc 0\n"), "folded:\n{folded}");
+    }
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Record the traced fault-path latency breakdown into BENCH_trace.json
+# (one JSON object per line, appended — the repo's perf trajectory).
+# An optional second argument also dumps the Perfetto-loadable Chrome
+# trace-event JSON.
+#
+# Usage: scripts/bench_trace.sh [OUT_PATH] [CHROME_OUT]   (default: BENCH_trace.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p gpufs_bench --bin trace_json -- "${1:-BENCH_trace.json}" "${@:2}"

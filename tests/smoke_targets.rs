@@ -42,6 +42,7 @@ const BINS: &[&str] = &[
     "fig7_json",
     "fig_scale_json",
     "tail_json",
+    "trace_json",
 ];
 
 fn cargo() -> Command {

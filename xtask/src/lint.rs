@@ -1,8 +1,9 @@
 //! The `xtask lint` pass: source-level workspace invariants.
 //!
-//! Six rules, motivated by the lockcheck layer, the repo's
-//! concurrency-bug history (see ISSUE 6 / ARCHITECTURE.md), and the
-//! cross-host storage tier's layering:
+//! Seven rules, motivated by the lockcheck layer, the repo's
+//! concurrency-bug history (see ISSUE 6 / ARCHITECTURE.md), the
+//! cross-host storage tier's layering, and the metrics registry's
+//! single-attribution-path design:
 //!
 //! * **`std-sync`** — no direct `std::sync::{Mutex, RwLock, Condvar}`
 //!   anywhere under `crates/`: every lock must go through the
@@ -31,6 +32,13 @@
 //!   state must arrive through the wire protocol, or the cross-host
 //!   split silently degenerates to shared-memory peeking and the
 //!   zero-net transparency test stops proving anything.
+//! * **`adhoc-counter`** — no raw `AtomicU64` in non-test `crates/core`
+//!   code outside the data-plane files ([`ADHOC_COUNTER_ALLOWED`]):
+//!   counters belong to `obs::Counter` and the metrics registry, whose
+//!   leaf/sum-view split is what makes every per-GPU / per-tenant /
+//!   per-host rollup reconcile by construction. A stray atomic counter
+//!   is invisible to `Registry::snapshot` and reopens the counter-drift
+//!   bugs the registry closed.
 //!
 //! A finding is fixed or waived, never ignored: waivers are inline
 //! `// lint:allow <rule> -- <reason>` comments on the offending line or
@@ -78,6 +86,20 @@ const PROXY_NO_HOSTFS: &[&str] = &[
     "crates/core/src/remote/client.rs",
 ];
 
+/// Files under `crates/core/src/` where raw `AtomicU64` is data-plane
+/// state, not an ad-hoc counter (the `adhoc-counter` rule). Every entry
+/// needs a justification here.
+const ADHOC_COUNTER_ALLOWED: &[&str] = &[
+    // The fpage seqlock version word and the global file-uid mint: the
+    // paper's §4.2 concurrency protocol itself, not metrics.
+    "crates/core/src/cache/radix.rs",
+    // Frame identity/ready-time words read under the seqlock protocol.
+    "crates/core/src/cache/frames.rs",
+    // File metadata mirrored to GPU-visible memory (size, generation,
+    // readahead stream state, flush horizon) — shared state, not tallies.
+    "crates/core/src/table.rs",
+];
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Rule {
     StdSync,
@@ -86,6 +108,7 @@ enum Rule {
     UnsafeSafety,
     HotMutex,
     ProxyHostFs,
+    AdhocCounter,
 }
 
 impl Rule {
@@ -97,6 +120,7 @@ impl Rule {
             Rule::UnsafeSafety => "unsafe-safety",
             Rule::HotMutex => "hot-mutex",
             Rule::ProxyHostFs => "proxy-hostfs",
+            Rule::AdhocCounter => "adhoc-counter",
         }
     }
 }
@@ -178,6 +202,9 @@ xtask lint rules:
                  (crates/core/src/remote/{proxy,cache,client}.rs) — the
                  proxy reaches the storage server only through the wire
                  protocol, never by touching the file system directly
+  adhoc-counter  no raw AtomicU64 in non-test crates/core code outside the
+                 data-plane files (radix/frames/table) — counters go through
+                 obs::Counter and the registry so every rollup reconciles
 waive a finding inline: // lint:allow <rule> -- <reason>   (reason required)
 ";
 
@@ -218,6 +245,7 @@ fn lint_file(rel: &str, text: &str) -> Vec<Finding> {
     let sleep_allowed = SLEEP_ALLOWED.contains(&rel);
     let hot_lockfree = HOT_LOCKFREE.contains(&rel);
     let proxy_no_hostfs = PROXY_NO_HOSTFS.contains(&rel);
+    let adhoc_scoped = rel.starts_with("crates/core/src/") && !ADHOC_COUNTER_ALLOWED.contains(&rel);
     let mut findings = Vec::new();
     for (i, code_line) in code.iter().enumerate() {
         let lineno = i + 1;
@@ -287,6 +315,15 @@ fn lint_file(rel: &str, text: &str) -> Vec<Finding> {
                 Rule::ProxyHostFs,
                 "HostFs touched from host-proxy code; the proxy must reach \
                  the storage server only through the wire protocol"
+                    .into(),
+            );
+        }
+        if adhoc_scoped && has_word(code_line, "AtomicU64") {
+            report(
+                Rule::AdhocCounter,
+                "raw AtomicU64 in crates/core outside the data-plane files; \
+                 counters go through obs::Counter and the registry so every \
+                 rollup reconciles — waive only for non-counter shared state"
                     .into(),
             );
         }
@@ -774,6 +811,37 @@ pub unsafe fn slice(&self) -> &[u8] { todo!() }
             lint_file("crates/core/src/remote/proxy.rs", reasonless).len(),
             1
         );
+    }
+
+    #[test]
+    fn adhoc_counter_rule_routes_counters_through_the_registry() {
+        let text = "struct S { hits: AtomicU64 }\n";
+        // Fires in general core code...
+        let f = lint_file("crates/core/src/daemon/mod.rs", text);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule.name(), "adhoc-counter");
+        // ...but not in the data-plane allowlist, outside crates/core,
+        // or in test code.
+        assert!(lint_file("crates/core/src/cache/radix.rs", text).is_empty());
+        assert!(lint_file("crates/core/src/table.rs", text).is_empty());
+        assert!(lint_file("crates/obs/src/trace.rs", text).is_empty());
+        assert!(lint_file("crates/workloads/src/traffic.rs", text).is_empty());
+        assert!(lint_file(
+            "crates/core/src/daemon/mod.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicU64;\n}\n",
+        )
+        .is_empty());
+        // Other atomic widths are not counters-by-convention.
+        assert!(lint_file(
+            "crates/core/src/daemon/mod.rs",
+            "struct S { flag: AtomicBool, n: AtomicUsize }\n",
+        )
+        .is_empty());
+        // Waivers need a reason, as everywhere.
+        let waived = "// lint:allow adhoc-counter -- virtual-time frontier word, not a counter\nlet t = AtomicU64::new(0);\n";
+        assert!(lint_file("crates/core/src/mount.rs", waived).is_empty());
+        let reasonless = "// lint:allow adhoc-counter\nlet t = AtomicU64::new(0);\n";
+        assert_eq!(lint_file("crates/core/src/mount.rs", reasonless).len(), 1);
     }
 
     #[test]
